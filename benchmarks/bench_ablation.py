@@ -1,0 +1,92 @@
+"""Benchmark E7 — ablations of CUBEFIT's design choices.
+
+Covers the knobs the paper calls out:
+
+* the class count K ("as the number of servers is increased, increasing
+  the number of classes will yield better performance");
+* the tiny-tenant policy (class K-1 versus the theoretical alpha_K
+  construction — Section V-A says K-1 "is best" empirically);
+* the m-fit first stage (reusing mature bins' leftover space).
+
+Each ablation reports the server count it achieves on a fixed workload
+so regressions in packing quality — not just speed — are visible.
+"""
+
+import pytest
+
+from repro.core.cubefit import CubeFit
+from repro.core.validation import audit
+from repro.workloads.distributions import NormalizedClients, UniformLoad, \
+    ZipfClients
+from repro.workloads.sequences import generate_sequence
+
+N_TENANTS = 3_000
+
+
+@pytest.fixture(scope="module")
+def uniform_sequence():
+    return generate_sequence(UniformLoad(0.4), N_TENANTS, seed=0)
+
+
+@pytest.fixture(scope="module")
+def zipf_sequence():
+    return generate_sequence(NormalizedClients(ZipfClients(3.0, 52)),
+                             N_TENANTS, seed=0)
+
+
+def run_config(benchmark, sequence, **config):
+    def run():
+        algo = CubeFit(gamma=2, **config)
+        algo.consolidate(sequence)
+        return algo
+
+    algo = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert audit(algo.placement).ok
+    benchmark.extra_info["servers"] = algo.placement.num_servers
+    benchmark.extra_info["utilization"] = round(
+        algo.placement.utilization(), 4)
+    return algo
+
+
+@pytest.mark.parametrize("k", [3, 5, 10, 15])
+def test_class_count_ablation(benchmark, uniform_sequence, k):
+    run_config(benchmark, uniform_sequence, num_classes=k)
+
+
+def test_more_classes_pack_tighter(uniform_sequence):
+    """The paper's guidance: more classes help at scale."""
+    few = CubeFit(gamma=2, num_classes=3)
+    few.consolidate(uniform_sequence)
+    many = CubeFit(gamma=2, num_classes=10)
+    many.consolidate(uniform_sequence)
+    assert many.placement.num_servers <= few.placement.num_servers
+
+
+@pytest.mark.parametrize("policy,k", [("last-class", 12), ("alpha", 12)])
+def test_tiny_policy_ablation(benchmark, zipf_sequence, policy, k):
+    run_config(benchmark, zipf_sequence, num_classes=k,
+               tiny_policy=policy)
+
+
+def test_last_class_policy_beats_alpha(zipf_sequence):
+    """Section V-A: tiny tenants 'are best placed in class K-1 (instead
+    of alpha_K)'."""
+    last = CubeFit(gamma=2, num_classes=12, tiny_policy="last-class")
+    last.consolidate(zipf_sequence)
+    alpha = CubeFit(gamma=2, num_classes=12, tiny_policy="alpha")
+    alpha.consolidate(zipf_sequence)
+    assert last.placement.num_servers <= alpha.placement.num_servers
+
+
+@pytest.mark.parametrize("first_stage", [True, False])
+def test_first_stage_ablation(benchmark, uniform_sequence, first_stage):
+    run_config(benchmark, uniform_sequence, num_classes=10,
+               first_stage=first_stage)
+
+
+def test_first_stage_saves_servers(uniform_sequence):
+    on = CubeFit(gamma=2, num_classes=10, first_stage=True)
+    on.consolidate(uniform_sequence)
+    off = CubeFit(gamma=2, num_classes=10, first_stage=False)
+    off.consolidate(uniform_sequence)
+    assert on.placement.num_servers <= off.placement.num_servers

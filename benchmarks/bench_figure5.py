@@ -1,0 +1,67 @@
+"""Benchmark E1 — Figure 5: p99 latency under worst-case failures.
+
+Regenerates the paper's Figure 5 bars: CUBEFIT (gamma = 2 and 3, K = 5)
+and RFI (gamma = 2, mu = 0.85) on a cluster filled to capacity, with the
+worst-overload selection of 1 and 2 simultaneous server failures, for
+uniform (1..15 clients) and zipfian (exponent 3) tenant populations.
+
+Expected shape (paper, Section V-B):
+
+* 1 failure: every configuration meets the 5 s p99 SLA;
+* 2 failures: only CUBEFIT with 3 replicas stays within the SLA
+  (paper: 4.27 s uniform / 4.19 s zipfian); CUBEFIT with 2 replicas and
+  RFI violate it.
+"""
+
+import pytest
+
+from repro.sim.figures import figure5
+
+
+@pytest.fixture(scope="module")
+def figure5_result(scale):
+    return figure5(scale=scale, failure_counts=(1, 2), seed=0)
+
+
+def test_figure5_benchmark(benchmark, scale):
+    """Time one full Figure 5 regeneration (all 12 bars)."""
+    result = benchmark.pedantic(
+        lambda: figure5(scale=scale, failure_counts=(1, 2), seed=0),
+        rounds=1, iterations=1)
+    print()
+    print(result)
+
+
+class TestFigure5Shape:
+    def test_all_configurations_meet_sla_at_one_failure(self,
+                                                        figure5_result):
+        for row in figure5_result.rows():
+            if row.failures == 1:
+                assert row.meets_sla, (
+                    f"{row.configuration} ({row.distribution}) violated "
+                    f"the SLA at 1 failure: p99={row.p99:.2f}s")
+
+    def test_only_cubefit3_survives_two_failures(self, figure5_result):
+        for row in figure5_result.rows():
+            if row.failures != 2:
+                continue
+            if row.configuration == "CubeFit 3 replicas":
+                assert row.meets_sla, (
+                    f"CubeFit-3 should survive 2 failures "
+                    f"({row.distribution}): p99={row.p99:.2f}s "
+                    f"dropped={row.dropped}")
+            else:
+                assert not row.meets_sla, (
+                    f"{row.configuration} should violate the SLA at 2 "
+                    f"failures ({row.distribution}): p99={row.p99:.2f}s")
+
+    def test_cubefit3_two_failure_latency_near_paper(self, figure5_result):
+        """Paper: 4.27 s (uniform) and 4.19 s (zipfian)."""
+        for dist in ("uniform", "zipfian"):
+            row = figure5_result.row(dist, "CubeFit 3 replicas", 2)
+            assert 3.0 <= row.p99 <= 5.0
+
+    def test_no_queries_dropped_by_cubefit3(self, figure5_result):
+        for row in figure5_result.rows():
+            if row.configuration == "CubeFit 3 replicas":
+                assert row.dropped == 0

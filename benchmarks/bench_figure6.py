@@ -1,0 +1,60 @@
+"""Benchmark E2 — Figure 6: % server savings of CUBEFIT over RFI.
+
+Regenerates the paper's Figure 6: the relative difference
+``(RFI - CUBEFIT) / CUBEFIT * 100%`` in mean servers used, over
+independent runs, for uniform load distributions with max load
+0.2 .. 1.0 and zipfian client distributions (exponents 2, 3, 4)
+normalized by C = 52.  Whiskers are 95% confidence intervals.
+
+Expected shape (paper, Section V-C): CUBEFIT saves servers on the
+small-tenant populations — "the gains amount to about 30% fewer
+machines" — and the advantage grows as tenants get smaller ("When
+smaller tenants increase ... CUBEFIT [performs] increasingly better
+over RFI").
+"""
+
+import pytest
+
+from repro.sim.figures import figure6
+
+
+@pytest.fixture(scope="module")
+def figure6_result(scale):
+    return figure6(scale=scale, base_seed=0)
+
+
+def test_figure6_benchmark(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: figure6(scale=scale, base_seed=0), rounds=1, iterations=1)
+    print()
+    print(result)
+
+
+class TestFigure6Shape:
+    def test_about_30_percent_on_smallest_uniform(self, figure6_result):
+        row = next(r for r in figure6_result.rows()
+                   if r.distribution == "uniform(0,0.2]")
+        assert 20.0 <= row.savings_percent <= 45.0
+
+    def test_savings_grow_as_tenants_shrink(self, figure6_result):
+        """Across the uniform family, smaller max load => larger savings."""
+        uniform = [r for r in figure6_result.rows()
+                   if r.distribution.startswith("uniform")]
+        savings = [r.savings_percent for r in uniform]  # 0.2 .. 1.0
+        assert savings[0] > savings[-1]
+        # overall monotone trend (allow small local noise)
+        assert savings[0] >= savings[2] >= savings[4] - 1.0
+
+    def test_zipfian_populations_save_servers(self, figure6_result):
+        for row in figure6_result.rows():
+            if row.distribution.startswith("zipf"):
+                assert row.savings_percent > 5.0
+
+    def test_never_pathologically_worse(self, figure6_result):
+        for row in figure6_result.rows():
+            assert row.savings_percent > -5.0
+
+    def test_confidence_intervals_reported(self, figure6_result):
+        for row in figure6_result.rows():
+            assert row.ci.n == figure6_result.runs
+            assert row.ci.half_width >= 0.0

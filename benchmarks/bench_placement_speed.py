@@ -1,0 +1,62 @@
+"""Benchmark E6 — placement throughput and utilization statistics.
+
+The paper's simulator "captures statistics including how many servers
+were used, amount of time each placement algorithm needs to consolidate
+tenants onto servers, and the average server utilization."  This bench
+measures consolidation wall time per algorithm on a fixed 2,000-tenant
+uniform sequence and reports servers/utilization as extra_info.
+"""
+
+import pytest
+
+from repro.algorithms.naive import (RobustBestFit, RobustFirstFit,
+                                    RobustNextFit)
+from repro.algorithms.rfi import RFI
+from repro.core.cubefit import CubeFit
+from repro.workloads.distributions import UniformLoad
+from repro.workloads.sequences import generate_sequence
+
+N_TENANTS = 2_000
+
+FACTORIES = {
+    "cubefit": lambda: CubeFit(gamma=2, num_classes=10),
+    "rfi": lambda: RFI(gamma=2),
+    "bestfit": lambda: RobustBestFit(gamma=2),
+    "firstfit": lambda: RobustFirstFit(gamma=2),
+    "nextfit": lambda: RobustNextFit(gamma=2),
+}
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    return generate_sequence(UniformLoad(0.6), N_TENANTS, seed=0)
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_consolidation_speed(benchmark, sequence, name):
+    factory = FACTORIES[name]
+
+    def run():
+        algo = factory()
+        algo.consolidate(sequence)
+        return algo
+
+    algo = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["servers"] = algo.placement.num_servers
+    benchmark.extra_info["utilization"] = round(
+        algo.placement.utilization(), 4)
+    benchmark.extra_info["tenants_per_second"] = round(
+        N_TENANTS / max(benchmark.stats["mean"], 1e-9))
+
+
+def test_cubefit_scales_linearly(benchmark):
+    """CubeFit's per-tenant cost must not blow up with sequence length."""
+    seq = generate_sequence(UniformLoad(0.6), 4 * N_TENANTS, seed=1)
+
+    def run():
+        algo = CubeFit(gamma=2, num_classes=10)
+        algo.consolidate(seq)
+        return algo
+
+    algo = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert algo.placement.num_tenants == 4 * N_TENANTS

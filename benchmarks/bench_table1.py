@@ -1,0 +1,61 @@
+"""Benchmark E3 — Table I: yearly cost savings of CUBEFIT over RFI.
+
+Regenerates the paper's Table I at the active scale and extrapolates
+the absolute columns to the paper's 50,000 tenants:
+
+    Distribution | RFI Servers | CubeFit Saved | Dollar Savings
+    Uniform      | 10,951      | 2,506         | $18,045,004
+    Zipfian      |  2,218      |   496         |  $3,571,557
+
+The uniform population is DiscreteUniform(1..15 clients)/52 and the
+zipfian population Zipf(3) over (1..52)/52, both priced at EC2
+c4.4xlarge's $0.822/hour, year-round.
+"""
+
+import pytest
+
+from repro.sim.figures import table1
+
+
+@pytest.fixture(scope="module")
+def table1_result(scale):
+    return table1(scale=scale, base_seed=0)
+
+
+def test_table1_benchmark(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: table1(scale=scale, base_seed=0), rounds=1, iterations=1)
+    print()
+    print(result)
+
+
+class TestTable1Shape:
+    def rows(self, result):
+        return {r.distribution: r for r in result.rows()}
+
+    def test_uniform_rfi_servers_near_paper(self, table1_result):
+        """Paper: 10,951 RFI servers at 50k tenants (ours: ~11.5k)."""
+        row = self.rows(table1_result)["Uniform"]
+        assert 8_000 <= row.rfi_servers_50k <= 14_000
+
+    def test_uniform_savings_near_paper(self, table1_result):
+        """Paper: 2,506 servers saved => ~$18.0M/yr (ours: ~$18.3M)."""
+        row = self.rows(table1_result)["Uniform"]
+        assert 1_700 <= row.servers_saved_50k <= 3_300
+        assert 12e6 <= row.yearly_savings_usd_50k <= 25e6
+
+    def test_zipfian_rfi_servers_near_paper(self, table1_result):
+        """Paper: 2,218 RFI servers at 50k tenants (ours: ~2.1k)."""
+        row = self.rows(table1_result)["Zipfian"]
+        assert 1_500 <= row.rfi_servers_50k <= 3_000
+
+    def test_zipfian_savings_near_paper(self, table1_result):
+        """Paper: 496 servers saved => ~$3.57M/yr (ours: ~$3.1M)."""
+        row = self.rows(table1_result)["Zipfian"]
+        assert 300 <= row.servers_saved_50k <= 700
+        assert 2e6 <= row.yearly_savings_usd_50k <= 5.5e6
+
+    def test_dollar_arithmetic(self, table1_result):
+        for row in table1_result.rows():
+            assert row.yearly_savings_usd == pytest.approx(
+                row.servers_saved * 0.822 * 8760, rel=1e-9)

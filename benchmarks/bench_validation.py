@@ -1,0 +1,52 @@
+"""Benchmark E5 — robustness audit throughput and the cluster engine.
+
+The audit (Theorem 1's condition over every server) runs after each
+experiment; this bench keeps it honest on large packings, and also
+measures the discrete-event engine's raw event throughput, which gates
+Figure 5's wall time.
+"""
+
+import pytest
+
+from repro.core.cubefit import CubeFit
+from repro.core.validation import audit
+from repro.cluster.engine import Simulator
+from repro.cluster.machine import Machine
+from repro.workloads.distributions import UniformLoad
+from repro.workloads.sequences import generate_sequence
+
+
+@pytest.fixture(scope="module")
+def big_placement():
+    seq = generate_sequence(UniformLoad(0.5), 10_000, seed=0)
+    algo = CubeFit(gamma=2, num_classes=10)
+    algo.consolidate(seq)
+    return algo.placement
+
+
+def test_audit_speed(benchmark, big_placement):
+    report = benchmark(audit, big_placement)
+    assert report.ok
+    benchmark.extra_info["servers"] = big_placement.num_servers
+
+
+def test_engine_event_throughput(benchmark):
+    """Closed loop of 64 jobs cycling through a PS machine."""
+
+    def run():
+        sim = Simulator()
+        machine = Machine(sim, 0, cores=12)
+
+        def resubmit():
+            if sim.now < 100.0:
+                machine.submit(0.5, resubmit)
+
+        for _ in range(64):
+            machine.submit(0.5, resubmit)
+        sim.run_until(100.0)
+        return sim.events_dispatched
+
+    events = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["events"] = events
+    benchmark.extra_info["events_per_second"] = round(
+        events / max(benchmark.stats["mean"], 1e-9))

@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark runs at the scale profile selected by the
+``REPRO_FULL_SCALE`` environment variable (see
+:mod:`repro.sim.scenarios`); the default profile keeps the whole suite
+in the minutes range while preserving every experiment's shape.
+"""
+
+import pytest
+
+from repro.sim.scenarios import current_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Active scale profile, echoed into the bench report."""
+    profile = current_scale()
+    print(f"\n[benchmarks running at scale profile: {profile.name}]")
+    return profile

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Capacity planning: size a fleet and price the savings (Table I style).
+
+Run with::
+
+    python examples/capacity_planning.py [n_tenants]
+
+Given a forecast tenant population, answers the operator questions the
+paper's Table I answers: how many servers does each placement policy
+need, at which failure tolerance, and what does the difference cost per
+year at EC2 on-demand prices?
+"""
+
+import sys
+
+from repro import CubeFit, RFI, RobustBestFit
+from repro.analysis.cost import CostModel
+from repro.analysis.stats import confidence_interval_95
+from repro.sim.runner import compare
+from repro.workloads import (DiscreteUniformClients, NormalizedClients,
+                             ZipfClients)
+
+
+def plan(distribution, n_tenants: int, runs: int = 3) -> None:
+    factories = {
+        "CubeFit (1-failure, g=2)":
+            lambda: CubeFit(gamma=2, num_classes=10),
+        "CubeFit (2-failure, g=3)":
+            lambda: CubeFit(gamma=3, num_classes=10),
+        "RFI      (1-failure, g=2)": lambda: RFI(gamma=2),
+        "BestFit  (1-failure, g=2)":
+            lambda: RobustBestFit(gamma=2, failures=1),
+    }
+    cost = CostModel()
+    print(f"\n=== {distribution.name}: {n_tenants} tenants, "
+          f"{runs} runs ===")
+    result = compare(factories, distribution, n_tenants=n_tenants,
+                     runs=runs, base_seed=0)
+    baseline = result.mean_servers("RFI      (1-failure, g=2)")
+    print(f"{'policy':<28} {'servers':>9} {'±95% CI':>8} "
+          f"{'yearly cost':>14} {'vs RFI/yr':>12}")
+    for name in factories:
+        ci = confidence_interval_95(
+            [float(s) for s in result.servers[name]])
+        yearly = cost.yearly_cost(ci.mean)
+        delta = cost.yearly_savings(baseline, ci.mean)
+        print(f"{name:<28} {ci.mean:>9,.1f} {ci.half_width:>8.1f} "
+              f"${yearly:>13,.0f} {delta:>+12,.0f}")
+
+
+def main() -> None:
+    n_tenants = int(sys.argv[1]) if len(sys.argv) > 1 else 5000
+    # The paper's two populations (Section V-C / Table I).
+    uniform = NormalizedClients(DiscreteUniformClients(1, 15),
+                                max_clients=52)
+    zipfian = NormalizedClients(ZipfClients(exponent=3.0, max_clients=52),
+                                max_clients=52)
+    plan(uniform, n_tenants)
+    plan(zipfian, n_tenants)
+    print("\nNotes: gamma=3 rows buy tolerance of TWO simultaneous "
+          "failures;\nthe extra servers are the price of that insurance "
+          "(Section V-B).")
+
+
+if __name__ == "__main__":
+    main()

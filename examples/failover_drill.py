@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Failover drill: fail servers in a simulated cluster, watch the SLA.
+
+Run with::
+
+    python examples/failover_drill.py
+
+Fills a simulated analytics cluster with tenants using CUBEFIT (gamma=2
+and gamma=3) and RFI, then injects the paper's "worst overload case"
+failures and measures 99th-percentile latencies against the 5-second
+SLA — a miniature, annotated version of the paper's Figure 5 pipeline.
+"""
+
+from repro.cluster import (ClusterConfig, ClusterExperiment,
+                           worst_overload_failures)
+from repro.core.cubefit import CubeFit
+from repro.algorithms.rfi import RFI
+from repro.sim.figures import fill_cluster
+from repro.workloads import DiscreteUniformClients
+
+SERVERS = 12
+CONFIG = ClusterConfig(warmup=20.0, measure=40.0, seed=0)
+
+
+def drill(name, factory, failure_counts=(0, 1, 2)) -> None:
+    clients = DiscreteUniformClients(1, 15)
+    filled = fill_cluster(factory, clients, max_servers=SERVERS, seed=0)
+    print(f"\n--- {name}: {filled.num_tenants} tenants, "
+          f"{filled.total_clients} clients on <= {SERVERS} servers ---")
+    experiment = ClusterExperiment(filled.tenant_homes,
+                                   filled.tenant_clients, CONFIG)
+    for f in failure_counts:
+        plan = worst_overload_failures(filled.tenant_homes,
+                                       filled.tenant_clients, f)
+        result = experiment.run(fail_servers=plan.failed)
+        verdict = "meets SLA" if result.meets_sla else "VIOLATES SLA"
+        drops = f", {result.dropped} queries had no surviving replica" \
+            if result.dropped else ""
+        print(f"  {f} failure(s) {list(plan.failed)!s:<10} "
+              f"worst-server p99 = {result.p99:5.2f}s, "
+              f"cluster p99 = {result.global_p99:5.2f}s -> "
+              f"{verdict}{drops}")
+
+
+def recovery_drill() -> None:
+    """Re-replication: how fast repair shrinks the unavailability gap."""
+    filled = fill_cluster(lambda: CubeFit(gamma=2, num_classes=5),
+                          DiscreteUniformClients(1, 15),
+                          max_servers=SERVERS, seed=0)
+    plan = worst_overload_failures(filled.tenant_homes,
+                                   filled.tenant_clients, 2)
+    print(f"\n--- recovery drill: CubeFit gamma=2, failing "
+          f"{list(plan.failed)} ---")
+    for delay in (None, 5.0):
+        config = ClusterConfig(warmup=CONFIG.warmup,
+                               measure=CONFIG.measure, seed=0,
+                               recovery_delay=delay)
+        experiment = ClusterExperiment(filled.tenant_homes,
+                                       filled.tenant_clients, config)
+        result = experiment.run(fail_servers=plan.failed)
+        label = "no recovery" if delay is None \
+            else f"re-replicate after {delay:.0f}s"
+        print(f"  {label:<24} p99 = {result.p99:5.2f}s, "
+              f"{result.dropped} dropped queries, "
+              f"{result.recovered_replicas} replicas re-homed")
+
+
+def main() -> None:
+    print(f"SLA: {CONFIG.sla_seconds:.0f}s at the 99th percentile "
+          f"(= unit server load)")
+    drill("CubeFit gamma=2, K=5 (tolerates 1 failure)",
+          lambda: CubeFit(gamma=2, num_classes=5))
+    drill("CubeFit gamma=3, K=5 (tolerates 2 failures)",
+          lambda: CubeFit(gamma=3, num_classes=5))
+    drill("RFI gamma=2, mu=0.85 (tolerates 1 failure)",
+          lambda: RFI(gamma=2))
+    recovery_drill()
+    print("\nReading the drill: every policy should survive one "
+          "failure;\nafter two simultaneous failures only the "
+          "gamma=3 configuration\nhas reserved enough capacity "
+          "(the paper's Figure 5). Re-replication bounds the damage\n"
+          "when the tolerance is exceeded — at the cost of cold-cache "
+          "warm-up\non the new replica homes.")
+
+
+if __name__ == "__main__":
+    main()

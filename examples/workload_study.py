@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Workload study: how tenant-size distributions shape consolidation.
+
+Run with::
+
+    python examples/workload_study.py
+
+Sweeps the paper's Figure 6 distribution families at a small scale and
+relates the measured savings to the theory: the worst-case competitive
+bound of Theorem 2 and the weight-based lower bound on OPT.
+"""
+
+from repro import CubeFit, RFI
+from repro.algorithms.lower_bound import best_lower_bound
+from repro.analysis.competitive import competitive_ratio_upper_bound
+from repro.sim.runner import compare
+from repro.workloads import (NormalizedClients, UniformLoad, ZipfClients,
+                             generate_sequence)
+
+N_TENANTS = 2000
+GAMMA = 2
+K = 10
+
+
+def study(distribution) -> None:
+    factories = {
+        "cubefit": lambda: CubeFit(gamma=GAMMA, num_classes=K),
+        "rfi": lambda: RFI(gamma=GAMMA),
+    }
+    result = compare(factories, distribution, n_tenants=N_TENANTS,
+                     runs=2, base_seed=0)
+    seq = generate_sequence(distribution, N_TENANTS, seed=0)
+    lb = best_lower_bound(seq.loads, GAMMA, K)
+    cube = result.mean_servers("cubefit")
+    rfi = result.mean_servers("rfi")
+    savings = result.savings_percent("rfi", "cubefit")
+    print(f"{distribution.name:<22} {lb:>6} {cube:>9.1f} "
+          f"{cube / lb:>7.2f} {rfi:>9.1f} {savings:>9.1f}%")
+
+
+def main() -> None:
+    print(f"{N_TENANTS} tenants per run, gamma={GAMMA}, K={K}\n")
+    print(f"{'distribution':<22} {'LB':>6} {'CubeFit':>9} "
+          f"{'vs LB':>7} {'RFI':>9} {'savings':>10}")
+    for max_load in (0.2, 0.4, 0.6, 0.8, 1.0):
+        study(UniformLoad(max_load))
+    for exponent in (2.0, 3.0, 4.0):
+        study(NormalizedClients(ZipfClients(exponent, 52)))
+
+    bound = competitive_ratio_upper_bound(GAMMA, 211)
+    print(f"\nTheory check: no input can force CubeFit above "
+          f"{float(bound.value):.3f}x the optimal robust packing "
+          f"(Theorem 2's bound for large K; the paper quotes 1.59).")
+    print("'vs LB' compares CubeFit to the weight-based lower bound on "
+          "OPT;\nvalues close to 1 substantiate the paper's "
+          "'near-optimal' claim,\nand are far below the worst-case "
+          "bound on every realistic workload.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,333 @@
+"""Base class, registry, and shared machinery for placement algorithms.
+
+Every consolidation algorithm in this package is *online*: it receives
+tenants one at a time through :meth:`OnlinePlacementAlgorithm.place` and
+must commit each tenant's ``gamma`` replicas to servers before seeing the
+next tenant.
+
+The module also provides :class:`ServerIndex`, a small numpy-backed view
+over a :class:`~repro.core.placement.PlacementState` that supports the
+hot operation both CUBEFIT's first stage and RFI need: *"among servers
+with at least ``r`` robust availability, try candidates from the fullest
+down"* without scanning every server in Python.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from ..core.placement import PlacementState
+from ..core.tenant import LOAD_EPS, Tenant
+from ..errors import ConfigurationError
+
+
+class OnlinePlacementAlgorithm(ABC):
+    """Interface all placement algorithms implement.
+
+    Subclasses define :attr:`name` (used by the registry and reports) and
+    :meth:`place`.  A fresh instance holds a fresh, empty
+    :class:`PlacementState`; instances are single-use per tenant sequence.
+    """
+
+    #: Registry/report identifier; subclasses must override.
+    name: str = "abstract"
+
+    def __init__(self, gamma: int, capacity: float = 1.0) -> None:
+        if gamma < 2:
+            raise ConfigurationError(
+                f"replication factor gamma must be >= 2 for fault "
+                f"tolerance, got {gamma}")
+        self.gamma = gamma
+        self.placement = PlacementState(gamma=gamma, capacity=capacity)
+        #: Wall-clock seconds spent inside :meth:`place` calls.
+        self.placement_seconds = 0.0
+
+    @abstractmethod
+    def place(self, tenant: Tenant) -> Tuple[int, ...]:
+        """Place all replicas of ``tenant``; return the server ids used."""
+
+    def consolidate(self, tenants: Iterable[Tenant]) -> PlacementState:
+        """Place an entire (online) sequence, tracking wall time.
+
+        Returns the final placement for inspection/auditing.
+        """
+        start = time.perf_counter()
+        for tenant in tenants:
+            self.place(tenant)
+        self.placement_seconds += time.perf_counter() - start
+        return self.placement
+
+    def remove(self, tenant_id: int) -> None:
+        """Handle a tenant's departure (dynamic tenancy).
+
+        Removing replicas only ever lowers loads and shared loads, so
+        every robustness invariant is preserved for free; subclasses
+        extend this to reclaim algorithm-specific bookkeeping (e.g.
+        CUBEFIT shrinks an active multi-replica).  Freed space is reused
+        by subsequent placements through the normal candidate search.
+        """
+        homes = list(self.placement.tenant_servers(tenant_id).values())
+        self.placement.remove_tenant(tenant_id)
+        index = getattr(self, "_index", None)
+        if index is not None:
+            index.refresh(homes)
+
+    def update_load(self, tenant_id: int,
+                    new_load: float) -> Tuple[int, ...]:
+        """Handle an elastic load change (the tenant grew or shrank).
+
+        The paper's load model is per-arrival static; elastic tenants
+        (the RTP baseline's setting) change load as their client count
+        changes.  The safe generic strategy is remove-and-replace: the
+        tenant departs and immediately re-arrives with the new load, so
+        every robustness invariant is enforced by the normal placement
+        path.  The tenant may move servers — that is the migration cost
+        of elasticity; subclasses can override with an in-place fast
+        path when the new load still fits the old slots.
+
+        Returns the server ids hosting the tenant afterwards.
+        """
+        if new_load <= 0.0:
+            raise ConfigurationError(
+                f"new_load must be positive, got {new_load!r}")
+        if not self.placement.tenant_servers(tenant_id):
+            raise ConfigurationError(
+                f"tenant {tenant_id} is not placed")
+        self.remove(tenant_id)
+        return self.place(Tenant(tenant_id, new_load))
+
+    # Convenience pass-throughs -------------------------------------------------
+    @property
+    def guaranteed_failures(self) -> int:
+        """Simultaneous server failures this algorithm's packings are
+        guaranteed to survive.  Default: ``gamma - 1`` (the problem's
+        full budget); algorithms with a smaller reserve override it
+        (RFI guarantees one failure regardless of gamma)."""
+        return self.gamma - 1
+
+    @property
+    def num_servers(self) -> int:
+        return self.placement.num_servers
+
+    def describe(self) -> Dict[str, object]:
+        """Summary statistics for reports."""
+        return {
+            "algorithm": self.name,
+            "gamma": self.gamma,
+            "servers": self.placement.num_servers,
+            "tenants": self.placement.num_tenants,
+            "utilization": self.placement.utilization(),
+            "placement_seconds": self.placement_seconds,
+        }
+
+
+class ServerIndex:
+    """Numpy-backed availability/level index over a placement.
+
+    Tracks, per server id, the bin *level* and the *robust availability*::
+
+        avail = capacity - level - worst_failover_load(failures)
+
+    ``avail >= r`` is a necessary condition for placing a replica of load
+    ``r`` on the server without violating the ``failures``-failure reserve
+    (necessary, not sufficient, because placing the replica can also raise
+    the worst-case failover load through new shared partners).  The index
+    is used to prune candidates; callers re-verify exactly.
+
+    The owning algorithm must call :meth:`refresh` for every server whose
+    load or shared-load partners changed, and :meth:`track` when a server
+    it wants indexed is opened.
+    """
+
+    _GROW = 1024
+
+    def __init__(self, placement: PlacementState, failures: int) -> None:
+        self.placement = placement
+        self.failures = failures
+        self._level = np.zeros(self._GROW, dtype=np.float64)
+        self._avail = np.full(self._GROW, -np.inf, dtype=np.float64)
+        #: Servers eligible for candidate queries (e.g. CUBEFIT maturity).
+        self._eligible = np.zeros(self._GROW, dtype=bool)
+        self._size = 0
+
+    def _ensure(self, server_id: int) -> None:
+        while server_id >= len(self._level):
+            for attr in ("_level", "_avail", "_eligible"):
+                arr = getattr(self, attr)
+                pad_value: object
+                if arr.dtype == bool:
+                    pad = np.zeros(self._GROW, dtype=bool)
+                elif attr == "_avail":
+                    pad = np.full(self._GROW, -np.inf, dtype=np.float64)
+                else:
+                    pad = np.zeros(self._GROW, dtype=np.float64)
+                setattr(self, attr, np.concatenate([arr, pad]))
+        self._size = max(self._size, server_id + 1)
+
+    def track(self, server_id: int, eligible: bool = True) -> None:
+        """Start indexing ``server_id`` (must exist in the placement)."""
+        self._ensure(server_id)
+        self._eligible[server_id] = eligible
+        self.refresh([server_id])
+
+    def set_eligible(self, server_id: int, eligible: bool) -> None:
+        self._ensure(server_id)
+        self._eligible[server_id] = eligible
+
+    def is_eligible(self, server_id: int) -> bool:
+        return server_id < self._size and bool(self._eligible[server_id])
+
+    def refresh(self, server_ids: Iterable[int]) -> None:
+        """Recompute level/availability for the given servers."""
+        for sid in server_ids:
+            if sid >= self._size:
+                continue
+            server = self.placement.server(sid)
+            self._level[sid] = server.load
+            self._avail[sid] = (server.capacity - server.load
+                                - self.placement.worst_failover_load(
+                                    sid, self.failures))
+
+    def candidates(self, min_avail: float,
+                   max_level: Optional[float] = None,
+                   exclude: Sequence[int] = ()) -> List[int]:
+        """Eligible servers with ``avail >= min_avail``, fullest first.
+
+        ``max_level`` additionally caps the current level (used for RFI's
+        interleaving threshold ``mu``).  ``exclude`` removes specific ids
+        (e.g. servers already hosting a sibling replica).
+        """
+        if self._size == 0:
+            return []
+        avail = self._avail[:self._size]
+        mask = self._eligible[:self._size] & (avail >= min_avail - LOAD_EPS)
+        if max_level is not None:
+            mask &= self._level[:self._size] <= max_level + LOAD_EPS
+        ids = np.nonzero(mask)[0]
+        if len(ids) == 0:
+            return []
+        if exclude:
+            ids = ids[~np.isin(ids, list(exclude))]
+            if len(ids) == 0:
+                return []
+        # Fullest (highest level) first; stable tie-break on id for
+        # determinism.
+        order = np.lexsort((ids, -self._level[ids]))
+        return [int(i) for i in ids[order]]
+
+    def level(self, server_id: int) -> float:
+        return float(self._level[server_id])
+
+    def avail(self, server_id: int) -> float:
+        return float(self._avail[server_id])
+
+
+def worst_shared_sum(placement: PlacementState, server_id: int,
+                     failures: int,
+                     bumps: Optional[Dict[int, float]] = None,
+                     extra_partners: Sequence[float] = ()) -> float:
+    """Sum of the ``failures`` largest shared loads of ``server_id``.
+
+    ``bumps`` maps partner server ids to *additional* shared load that a
+    hypothetical placement would create; partners not yet in the shared
+    index are allowed.  ``extra_partners`` adds hypothetical *fresh*
+    partners with the given shared loads (used to anticipate sibling
+    replicas that have not been placed yet).  This is the primitive
+    behind the exact m-fit and RFI feasibility checks.
+    """
+    shared = placement.shared_partners(server_id)
+    if bumps:
+        for other, extra in bumps.items():
+            if other == server_id:
+                continue
+            shared[other] = shared.get(other, 0.0) + extra
+    values = list(shared.values())
+    values.extend(extra_partners)
+    if failures <= 0 or not values:
+        return 0.0
+    if len(values) <= failures:
+        return sum(values)
+    return sum(heapq.nlargest(failures, values))
+
+
+def robust_after_placement(placement: PlacementState, server_id: int,
+                           replica_load: float, chosen: Sequence[int],
+                           failures: int,
+                           extra_reserve: float = 0.0,
+                           future_siblings: int = 0) -> bool:
+    """Exact feasibility of placing a replica on ``server_id``.
+
+    Checks that, with the replica added and shared loads bumped against
+    the sibling servers in ``chosen``:
+
+    * ``server_id`` keeps ``load + worst_failover <= capacity``,
+    * every server in ``chosen`` keeps the same property (their shared
+      load against ``server_id`` grows by ``replica_load``).
+
+    ``extra_reserve`` demands additional headroom on ``server_id`` itself
+    (used by policies that hold space back for future growth).
+
+    ``future_siblings`` anticipates that this tenant still has that many
+    replicas to place, each of which will add a shared load of
+    ``replica_load`` against ``server_id`` and every server in ``chosen``
+    — possibly on *fresh* servers, in which case no later feasibility
+    check would guard these servers.  Algorithms whose fallback opens a
+    new server (RFI, the naive baselines) must pass it; CUBEFIT's first
+    stage rolls the whole tenant back on any failure, so its final check
+    sees all shares and it may pass 0.
+    """
+    server = placement.server(server_id)
+    bumps = {c: replica_load for c in chosen}
+    future = [replica_load] * future_siblings
+    worst = worst_shared_sum(placement, server_id, failures, bumps, future)
+    empty_after = server.capacity - server.load - replica_load - extra_reserve
+    if empty_after + LOAD_EPS < worst:
+        return False
+    for c in chosen:
+        other = placement.server(c)
+        worst_c = worst_shared_sum(placement, c, failures,
+                                   {server_id: replica_load}, future)
+        if other.capacity - other.load + LOAD_EPS < worst_c:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+_REGISTRY: Dict[str, Type[OnlinePlacementAlgorithm]] = {}
+
+
+def register(cls: Type[OnlinePlacementAlgorithm]
+             ) -> Type[OnlinePlacementAlgorithm]:
+    """Class decorator adding the algorithm to the global registry."""
+    if not cls.name or cls.name == "abstract":
+        raise ConfigurationError(
+            f"{cls.__name__} must define a unique 'name'")
+    if cls.name in _REGISTRY:
+        raise ConfigurationError(
+            f"duplicate algorithm name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_algorithms() -> List[str]:
+    """Names of all registered algorithms."""
+    return sorted(_REGISTRY)
+
+
+def make_algorithm(name: str, gamma: int,
+                   **kwargs) -> OnlinePlacementAlgorithm:
+    """Instantiate a registered algorithm by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; known: {available_algorithms()}"
+        ) from None
+    return cls(gamma=gamma, **kwargs)

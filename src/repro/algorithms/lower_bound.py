@@ -1,0 +1,51 @@
+"""Lower bounds on the optimal (offline) number of servers.
+
+Used to substantiate the paper's "near-optimal when the number of tenants
+is large" claim without solving the NP-hard offline problem:
+
+* :func:`capacity_lower_bound` — total tenant load; any packing, robust
+  or not, needs at least this many unit-capacity servers.
+* :func:`weight_lower_bound` — Theorem 2's statement (II): every bin of a
+  *valid robust* packing carries weight at most ``r``, so
+  ``OPT >= ceil(W(σ) / r)``.  Strictly stronger than the capacity bound
+  on inputs dominated by large replicas.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from ..analysis.competitive import competitive_ratio_upper_bound
+from ..analysis.weights import total_weight
+from ..core.config import TINY_POLICY_LAST_CLASS
+
+
+def capacity_lower_bound(loads: Iterable[float]) -> int:
+    """``ceil(sum of tenant loads)`` — servers needed just for capacity."""
+    return int(math.ceil(sum(loads) - 1e-12))
+
+
+def weight_lower_bound(loads: Sequence[float], gamma: int,
+                       num_classes: int,
+                       tiny_policy: str = TINY_POLICY_LAST_CLASS) -> int:
+    """``ceil(W(σ) / r)`` — robust packings cannot beat this.
+
+    ``r`` is the exact per-bin weight supremum from
+    :func:`repro.analysis.competitive.competitive_ratio_upper_bound`.
+    """
+    if not loads:
+        return 0
+    w = total_weight(loads, gamma, num_classes, tiny_policy)
+    r = competitive_ratio_upper_bound(gamma, num_classes, tiny_policy).value
+    bound = Fraction(w) / r
+    return int(math.ceil(bound - Fraction(1, 10 ** 12)))
+
+
+def best_lower_bound(loads: Sequence[float], gamma: int,
+                     num_classes: int,
+                     tiny_policy: str = TINY_POLICY_LAST_CLASS) -> int:
+    """Max of the available lower bounds."""
+    return max(capacity_lower_bound(loads),
+               weight_lower_bound(loads, gamma, num_classes, tiny_policy))

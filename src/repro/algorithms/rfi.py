@@ -1,0 +1,101 @@
+"""RFI: the baseline from the RTP system (Schaffner et al., SIGMOD 2013).
+
+Reconstructed from the paper's Section V description:
+
+    "RFI first searches for the server that would have the least load
+    left over after a tenant is placed on it, including having enough
+    reserved capacity for additional load from any single failed server
+    (overload capacity) and a mu value that governs how much of the first
+    server's total capacity to use for interleaving.  If no such server
+    is found, a new server is provisioned and the replica is placed
+    there.  For the second replica, the algorithm repeats the process but
+    selects a different server machine."
+
+Concretely, per replica (in replica order):
+
+* candidate servers are those not already hosting a replica of the
+  tenant;
+* feasibility is **single-failure robustness** with exact shared-load
+  accounting: after the placement, the candidate and every sibling
+  server must keep ``load + max_shared <= capacity``;
+* the *first* replica may only fill a server up to ``mu`` of its
+  capacity (interleaving headroom for other tenants' secondaries);
+* among feasible servers, Best Fit: least leftover capacity, i.e. the
+  fullest feasible server;
+* otherwise a new server is opened.
+
+RFI reserves for only **one** failure — the reason it violates SLAs under
+two simultaneous failures in the paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.tenant import Replica, Tenant
+from ..errors import ConfigurationError
+from .base import (OnlinePlacementAlgorithm, ServerIndex, register,
+                   robust_after_placement)
+
+#: Interleaving threshold recommended by the RTP paper and used in the
+#: CUBEFIT paper's experiments.
+DEFAULT_MU = 0.85
+
+
+@register
+class RFI(OnlinePlacementAlgorithm):
+    """Robust best-Fit with Interleaving, tolerant to a single failure."""
+
+    name = "rfi"
+
+    def __init__(self, gamma: int = 2, mu: float = DEFAULT_MU,
+                 capacity: float = 1.0) -> None:
+        super().__init__(gamma=gamma, capacity=capacity)
+        if not (0.0 < mu <= 1.0):
+            raise ConfigurationError(
+                f"mu must be in (0, 1], got {mu}")
+        self.mu = mu
+        # RFI's reserve budget is one failure, regardless of gamma.
+        self._index = ServerIndex(self.placement, failures=1)
+
+    @property
+    def guaranteed_failures(self) -> int:
+        return 1
+
+    def place(self, tenant: Tenant) -> Tuple[int, ...]:
+        chosen: List[int] = []
+        for replica in tenant.replicas(self.gamma):
+            target = self._find_server(replica, chosen,
+                                       is_primary=not chosen)
+            if target is None:
+                target = self._open_server()
+            self.placement.place(replica, target)
+            chosen.append(target)
+        self._index.refresh(chosen)
+        return tuple(chosen)
+
+    def _open_server(self) -> int:
+        server = self.placement.open_server()
+        self._index.track(server.server_id)
+        return server.server_id
+
+    def _find_server(self, replica: Replica, chosen: List[int],
+                     is_primary: bool) -> Optional[int]:
+        """Fullest feasible server for ``replica`` (Best Fit), or None."""
+        max_level = (self.mu * self.placement.capacity - replica.load
+                     if is_primary else None)
+        candidates = self._index.candidates(min_avail=replica.load,
+                                            max_level=max_level,
+                                            exclude=chosen)
+        future = self.gamma - len(chosen) - 1
+        for sid in candidates:
+            if robust_after_placement(self.placement, sid, replica.load,
+                                      chosen, failures=1,
+                                      future_siblings=future):
+                return sid
+        return None
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["mu"] = self.mu
+        return info

@@ -1,0 +1,29 @@
+"""Analysis: Theorem 2 machinery, statistics, cost model."""
+
+from .weights import (replica_weight, tenant_weight, total_weight,
+                      tiny_weight_density, placement_bin_weights,
+                      count_underweight_bins)
+from .competitive import (competitive_ratio_upper_bound, ratio_sweep,
+                          paper_reference_ratio, PAPER_RATIOS, WorstBin,
+                          ONLINE_LOWER_BOUND, adversarial_sequence)
+from .stats import (mean, sample_std, percentile, p99,
+                    confidence_interval_95, ConfidenceInterval,
+                    relative_difference_percent, Z_95)
+from .cost import CostModel, C4_4XLARGE_HOURLY_USD, HOURS_PER_YEAR
+from .report import (Table, figure5_table, figure6_table, table1_table,
+                     theorem2_table)
+from .diagnostics import explain, PackingReport, ServerBreakdown
+
+__all__ = [
+    "replica_weight", "tenant_weight", "total_weight",
+    "tiny_weight_density", "placement_bin_weights",
+    "count_underweight_bins", "competitive_ratio_upper_bound", "ratio_sweep",
+    "paper_reference_ratio", "PAPER_RATIOS", "WorstBin",
+    "adversarial_sequence",
+    "ONLINE_LOWER_BOUND", "mean",
+    "sample_std", "percentile", "p99", "confidence_interval_95",
+    "ConfidenceInterval", "relative_difference_percent", "Z_95",
+    "CostModel", "C4_4XLARGE_HOURLY_USD", "HOURS_PER_YEAR",
+    "Table", "figure5_table", "figure6_table", "table1_table",
+    "theorem2_table", "explain", "PackingReport", "ServerBreakdown",
+]

@@ -1,0 +1,48 @@
+"""Operating-cost model (Table I).
+
+The paper prices servers at Amazon EC2's c4.4xlarge on-demand rate of
+$0.822 per hour (an instance size comparable to its testbed machines) and
+assumes continuous, year-round operation, so the yearly saving of using
+``s`` fewer servers is ``s * 0.822 * 24 * 365``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+#: On-demand hourly price of a c4.4xlarge instance used by the paper.
+C4_4XLARGE_HOURLY_USD = 0.822
+
+#: Hours of continuous operation per (non-leap) year.
+HOURS_PER_YEAR = 24 * 365
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Converts server counts into yearly dollar figures."""
+
+    hourly_usd: float = C4_4XLARGE_HOURLY_USD
+    hours_per_year: int = HOURS_PER_YEAR
+
+    def __post_init__(self) -> None:
+        if self.hourly_usd <= 0:
+            raise ConfigurationError(
+                f"hourly price must be positive, got {self.hourly_usd}")
+        if self.hours_per_year <= 0:
+            raise ConfigurationError(
+                f"hours_per_year must be positive, got {self.hours_per_year}")
+
+    def yearly_cost(self, servers: float) -> float:
+        """Yearly cost of running ``servers`` machines continuously."""
+        if servers < 0:
+            raise ConfigurationError(
+                f"server count must be non-negative, got {servers}")
+        return servers * self.hourly_usd * self.hours_per_year
+
+    def yearly_savings(self, baseline_servers: float,
+                       candidate_servers: float) -> float:
+        """Yearly dollars saved by the candidate over the baseline."""
+        return self.yearly_cost(baseline_servers) \
+            - self.yearly_cost(candidate_servers)

@@ -1,0 +1,148 @@
+"""Packing diagnostics: where did the capacity go?
+
+A robust packing spends each server's unit capacity on three things:
+
+* **used** — replica load actually hosted;
+* **reserve** — headroom that must stay empty so the worst
+  ``failures``-failure failover fits (the price of robustness);
+* **slack** — capacity that is neither used nor required as reserve:
+  genuine fragmentation the algorithm failed to sell.
+
+:func:`explain` decomposes a placement along these lines, per server
+and per CUBEFIT class, which is how one *sees* why an algorithm used
+the servers it did — e.g. RFI's larger reserve on shared-heavy servers,
+or CUBEFIT's slack concentrated in the last, immature group of each
+class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.placement import PlacementState
+from ..errors import ConfigurationError
+from .report import Table
+from .stats import mean
+
+
+@dataclass(frozen=True)
+class ServerBreakdown:
+    """Capacity decomposition of one server."""
+
+    server_id: int
+    capacity: float
+    used: float
+    reserve: float
+    replicas: int
+    tenants_shared_with: int
+    bin_class: Optional[int] = None
+
+    @property
+    def slack(self) -> float:
+        return max(0.0, self.capacity - self.used - self.reserve)
+
+    @property
+    def utilization(self) -> float:
+        return self.used / self.capacity if self.capacity else 0.0
+
+
+@dataclass
+class PackingReport:
+    """Whole-placement capacity decomposition."""
+
+    failures: int
+    servers: List[ServerBreakdown] = field(default_factory=list)
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.servers)
+
+    @property
+    def total_used(self) -> float:
+        return sum(s.used for s in self.servers)
+
+    @property
+    def total_reserve(self) -> float:
+        return sum(s.reserve for s in self.servers)
+
+    @property
+    def total_slack(self) -> float:
+        return sum(s.slack for s in self.servers)
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.servers:
+            return 0.0
+        return mean([s.utilization for s in self.servers])
+
+    def fraction(self, which: str) -> float:
+        """Share of total capacity spent on used/reserve/slack."""
+        total = sum(s.capacity for s in self.servers)
+        if total <= 0:
+            return 0.0
+        value = {"used": self.total_used, "reserve": self.total_reserve,
+                 "slack": self.total_slack}.get(which)
+        if value is None:
+            raise ConfigurationError(
+                f"which must be used/reserve/slack, got {which!r}")
+        return value / total
+
+    def by_class(self) -> Dict[Optional[int], List[ServerBreakdown]]:
+        grouped: Dict[Optional[int], List[ServerBreakdown]] = {}
+        for server in self.servers:
+            grouped.setdefault(server.bin_class, []).append(server)
+        return grouped
+
+    def to_table(self) -> Table:
+        """Per-class summary table (class None = untagged servers)."""
+        table = Table(
+            title=f"Packing breakdown ({self.num_servers} non-empty "
+                  f"servers, {self.failures}-failure reserve)",
+            columns=["class", "servers", "mean_used", "mean_reserve",
+                     "mean_slack", "mean_utilization"])
+        for bin_class, servers in sorted(
+                self.by_class().items(),
+                key=lambda kv: (kv[0] is None, kv[0])):
+            table.add_row(
+                bin_class if bin_class is not None else "-",
+                len(servers),
+                round(mean([s.used for s in servers]), 3),
+                round(mean([s.reserve for s in servers]), 3),
+                round(mean([s.slack for s in servers]), 3),
+                round(mean([s.utilization for s in servers]), 3))
+        return table
+
+    def __str__(self) -> str:
+        head = (f"capacity split: used {self.fraction('used'):.1%}, "
+                f"reserve {self.fraction('reserve'):.1%}, "
+                f"slack {self.fraction('slack'):.1%}")
+        return head + "\n" + self.to_table().to_text()
+
+
+def explain(placement: PlacementState,
+            failures: Optional[int] = None) -> PackingReport:
+    """Decompose every non-empty server of ``placement``.
+
+    ``failures`` defaults to ``gamma - 1``.  The reserve is the exact
+    worst-case failover load (top-``failures`` shared partners), i.e.
+    the minimum headroom the robustness condition forces the server to
+    keep.
+    """
+    f = placement.gamma - 1 if failures is None else failures
+    report = PackingReport(failures=f)
+    for server in placement:
+        if len(server) == 0:
+            continue
+        reserve = placement.worst_failover_load(server.server_id, f)
+        report.servers.append(ServerBreakdown(
+            server_id=server.server_id,
+            capacity=server.capacity,
+            used=server.load,
+            reserve=min(reserve, server.capacity - server.load),
+            replicas=len(server),
+            tenants_shared_with=len(
+                placement.shared_partners(server.server_id)),
+            bin_class=server.tags.get("class"),
+        ))
+    return report

@@ -1,0 +1,148 @@
+"""Plain-text and CSV rendering of experiment results.
+
+A single tiny table model shared by the CLI output, the benchmark
+`extra_info`, and CSV export, so every experiment's numbers can leave
+the process in a machine-readable form.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, List, Optional, Sequence, Union
+
+from ..errors import ConfigurationError
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class Table:
+    """An ordered grid with a title; render as text, markdown, or CSV."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(values)} values, table has "
+                f"{len(self.columns)} columns")
+        self.rows.append(values)
+
+    # ------------------------------------------------------------------
+    def _formatted(self) -> List[List[str]]:
+        out = []
+        for row in self.rows:
+            formatted = []
+            for value in row:
+                if isinstance(value, float):
+                    formatted.append(f"{value:,.2f}")
+                elif isinstance(value, int):
+                    formatted.append(f"{value:,}")
+                else:
+                    formatted.append(str(value))
+            out.append(formatted)
+        return out
+
+    def to_text(self) -> str:
+        """Fixed-width table (what the CLI prints)."""
+        body = self._formatted()
+        widths = [len(c) for c in self.columns]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title] if self.title else []
+        header = "  ".join(c.ljust(widths[i])
+                           for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(cell.rjust(widths[i])
+                                   for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        body = self._formatted()
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in body:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self, path: Optional[PathLike] = None) -> str:
+        """CSV text; also written to ``path`` when given."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow(row)
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def figure5_table(result) -> Table:
+    """Tabulate a :class:`repro.sim.figures.Figure5Result`."""
+    table = Table(
+        title=f"Figure 5 (SLA {result.sla_seconds:.0f}s p99)",
+        columns=["distribution", "configuration", "failures", "p99_s",
+                 "meets_sla", "dropped"])
+    for row in result.rows():
+        table.add_row(row.distribution, row.configuration, row.failures,
+                      round(row.p99, 3), row.meets_sla, row.dropped)
+    return table
+
+
+def figure6_table(result) -> Table:
+    """Tabulate a :class:`repro.sim.figures.Figure6Result`."""
+    table = Table(
+        title=f"Figure 6 ({result.tenants} tenants, {result.runs} runs)",
+        columns=["distribution", "savings_percent", "ci_half_width",
+                 "rfi_servers", "cubefit_servers"])
+    for row in result.rows():
+        table.add_row(row.distribution, round(row.savings_percent, 2),
+                      round(row.ci.half_width, 2),
+                      round(row.rfi_servers, 1),
+                      round(row.cubefit_servers, 1))
+    return table
+
+
+def table1_table(result) -> Table:
+    """Tabulate a :class:`repro.sim.figures.Table1Result`."""
+    table = Table(
+        title=f"Table I ({result.tenants} tenants, {result.runs} runs)",
+        columns=["distribution", "rfi_servers", "cubefit_servers",
+                 "servers_saved", "yearly_savings_usd",
+                 "rfi_servers_50k", "servers_saved_50k",
+                 "yearly_savings_usd_50k"])
+    for row in result.rows():
+        table.add_row(row.distribution, round(row.rfi_servers, 1),
+                      round(row.cubefit_servers, 1),
+                      round(row.servers_saved, 1),
+                      round(row.yearly_savings_usd),
+                      round(row.rfi_servers_50k),
+                      round(row.servers_saved_50k),
+                      round(row.yearly_savings_usd_50k))
+    return table
+
+
+def theorem2_table(result) -> Table:
+    """Tabulate a :class:`repro.sim.figures.Theorem2Result`."""
+    table = Table(title="Theorem 2 bounds",
+                  columns=["gamma", "K", "alpha_K", "bound"])
+    for row in result.rows():
+        table.add_row(row.gamma, row.num_classes, row.alpha,
+                      round(row.ratio, 6))
+    return table

@@ -1,0 +1,118 @@
+"""Statistics helpers used by the experiment harnesses.
+
+Implements exactly what the paper reports: means over independent runs,
+95% confidence intervals (the whiskers of Figure 6), percentile latencies
+(the 99th-percentile SLA of Figures 4-5), and the relative-difference
+metric of Section V-C.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+#: Two-sided z value for a 95% confidence interval.
+Z_95 = 1.959963984540054
+
+#: Student-t 0.975 quantiles for small sample sizes (df 1..30); falls back
+#: to the normal z beyond.  Hard-coded so the package does not require
+#: scipy at runtime.
+_T_975 = [
+    12.7062, 4.3027, 3.1824, 2.7764, 2.5706, 2.4469, 2.3646, 2.3060,
+    2.2622, 2.2281, 2.2010, 2.1788, 2.1604, 2.1448, 2.1314, 2.1199,
+    2.1098, 2.1009, 2.0930, 2.0860, 2.0796, 2.0739, 2.0687, 2.0639,
+    2.0595, 2.0555, 2.0518, 2.0484, 2.0452, 2.0423,
+]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ConfigurationError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def sample_std(values: Sequence[float]) -> float:
+    """Unbiased (n-1) sample standard deviation; 0 for n < 2."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (n - 1))
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean with a symmetric half-width (95% CI)."""
+
+    mean: float
+    half_width: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.half_width:.3f} (n={self.n})"
+
+
+def confidence_interval_95(values: Sequence[float]) -> ConfidenceInterval:
+    """95% CI of the mean using Student's t for small n."""
+    n = len(values)
+    if n == 0:
+        raise ConfigurationError("confidence interval of empty sequence")
+    mu = mean(values)
+    if n == 1:
+        return ConfidenceInterval(mean=mu, half_width=0.0, n=1)
+    t = _T_975[n - 2] if n - 1 <= len(_T_975) else Z_95
+    half = t * sample_std(values) / math.sqrt(n)
+    return ConfidenceInterval(mean=mu, half_width=half, n=n)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile; ``q`` in [0, 100].
+
+    Matches ``numpy.percentile``'s default behaviour but works on plain
+    sequences without allocating arrays (hot path in the latency
+    recorder).
+    """
+    if not values:
+        raise ConfigurationError("percentile of empty sequence")
+    if not (0.0 <= q <= 100.0):
+        raise ConfigurationError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * (q / 100.0)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def p99(values: Sequence[float]) -> float:
+    """The paper's SLA metric: the 99th-percentile latency."""
+    return percentile(values, 99.0)
+
+
+def relative_difference_percent(baseline: float, candidate: float) -> float:
+    """Section V-C's savings metric: ``(baseline - candidate) / candidate``
+    as a percentage.
+
+    With server counts, this is the percentage of *extra* servers the
+    baseline (RFI) uses relative to the candidate (CUBEFIT).
+    """
+    if candidate <= 0:
+        raise ConfigurationError(
+            f"candidate value must be positive, got {candidate}")
+    return (baseline - candidate) / candidate * 100.0

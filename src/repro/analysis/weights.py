@@ -1,0 +1,120 @@
+"""The weighting argument of Theorem 2.
+
+The proof assigns a *weight* to every replica so that
+
+* (I) every bin of CUBEFIT (except O(1) of them) carries total weight at
+  least 1, hence ``CUBEFIT(σ) <= W(σ) + O(1)``;
+* (II) every bin of any *valid robust* packing carries total weight at
+  most ``r``, hence ``OPT(σ) >= W(σ) / r``.
+
+Concretely, a replica of size ``x`` in ``(1/(i+1), 1/i]`` (class ``tau =
+i - gamma + 1 < K``) weighs ``1/tau``; a tiny (class-``K``) replica of
+size ``x`` weighs ``x * d`` where ``d`` is the tiny *weight density*::
+
+    d = (alpha_K + 1) / (alpha_K - gamma + 1)       ("alpha" policy)
+    d = (K + gamma - 1) / (K - 1)                   ("last-class" policy)
+
+so that a sealed multi-replica — whose size exceeds the reciprocal of
+(threshold denominator + 1) — weighs at least ``1 / target_class``, the
+weight of the slot it occupies.
+
+All arithmetic is exact (:class:`fractions.Fraction`).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Union
+
+from ..core.classes import SizeClassifier
+from ..core.config import TINY_POLICY_ALPHA, TINY_POLICIES
+from ..errors import ConfigurationError
+
+Number = Union[int, float, Fraction]
+
+
+def tiny_weight_density(gamma: int, num_classes: int,
+                        tiny_policy: str = TINY_POLICY_ALPHA) -> Fraction:
+    """Weight per unit size of tiny (class-``K``) replicas."""
+    if tiny_policy not in TINY_POLICIES:
+        raise ConfigurationError(
+            f"tiny_policy must be one of {TINY_POLICIES}, "
+            f"got {tiny_policy!r}")
+    classifier = SizeClassifier(num_classes=num_classes, gamma=gamma)
+    if tiny_policy == TINY_POLICY_ALPHA:
+        alpha = classifier.alpha()
+        if alpha < gamma:
+            raise ConfigurationError(
+                f"'alpha' weights undefined: alpha_K = {alpha} < gamma = "
+                f"{gamma} (need K > gamma^2 + gamma)")
+        return Fraction(alpha + 1, alpha - gamma + 1)
+    # last-class: multi-replicas target class K-1 with slot size
+    # 1/(K+gamma-2); a sealed multi-replica has size > 1/(K+gamma-1)
+    # (threshold minus the largest tiny replica), so density
+    # (K+gamma-1)/(K-1) gives sealed weight > 1/(K-1).
+    return Fraction(num_classes + gamma - 1, num_classes - 1)
+
+
+def replica_weight(size: Number, gamma: int, num_classes: int,
+                   tiny_policy: str = TINY_POLICY_ALPHA) -> Fraction:
+    """Weight of one replica of the given ``size``."""
+    frac_size = Fraction(size)
+    if frac_size <= 0:
+        raise ConfigurationError(f"replica size must be positive: {size!r}")
+    classifier = SizeClassifier(num_classes=num_classes, gamma=gamma)
+    tau = classifier.replica_class(float(frac_size))
+    if tau < num_classes:
+        return Fraction(1, tau)
+    return frac_size * tiny_weight_density(gamma, num_classes, tiny_policy)
+
+
+def tenant_weight(load: Number, gamma: int, num_classes: int,
+                  tiny_policy: str = TINY_POLICY_ALPHA) -> Fraction:
+    """Total weight of all ``gamma`` replicas of a tenant of ``load``."""
+    replica_size = Fraction(load) / gamma
+    return gamma * replica_weight(replica_size, gamma, num_classes,
+                                  tiny_policy)
+
+
+def total_weight(loads: Iterable[Number], gamma: int, num_classes: int,
+                 tiny_policy: str = TINY_POLICY_ALPHA) -> Fraction:
+    """``W(σ)``: total weight of all replicas of all tenants in ``loads``."""
+    return sum((tenant_weight(load, gamma, num_classes, tiny_policy)
+                for load in loads), Fraction(0))
+
+
+def placement_bin_weights(placement, num_classes: int,
+                          tiny_policy: str = TINY_POLICY_ALPHA) -> dict:
+    """Total replica weight hosted by each server of a placement.
+
+    This is the quantity behind statement (I) of Theorem 2: in a
+    CUBEFIT packing, all but a constant number of bins carry weight at
+    least 1 (the constant covers the last, partially filled group of
+    each class and the active multi-replicas).
+    :func:`count_underweight_bins` applies the statement.
+    """
+    gamma = placement.gamma
+    weights = {}
+    for server in placement:
+        total = Fraction(0)
+        for replica in server:
+            total += replica_weight(Fraction(replica.load).
+                                    limit_denominator(10 ** 9),
+                                    gamma, num_classes, tiny_policy)
+        weights[server.server_id] = float(total)
+    return weights
+
+
+def count_underweight_bins(placement, num_classes: int,
+                           tiny_policy: str = TINY_POLICY_ALPHA,
+                           threshold: float = 1.0) -> int:
+    """Number of non-empty bins whose weight is below ``threshold``.
+
+    Theorem 2 (I) says this is O(1) in the input length for CUBEFIT
+    packings; tests assert it stays below a K- and gamma-dependent
+    constant regardless of how many tenants were placed.
+    """
+    weights = placement_bin_weights(placement, num_classes, tiny_policy)
+    return sum(
+        1 for sid, weight in weights.items()
+        if weight < threshold - 1e-9 and len(placement.server(sid)) > 0)

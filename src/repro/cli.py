@@ -1,0 +1,244 @@
+"""Command-line entry points: regenerate any figure or table.
+
+Usage::
+
+    python -m repro figure5            # Section V-B failure experiments
+    python -m repro figure6            # Section V-C consolidation savings
+    python -m repro table1             # Table I dollar savings
+    python -m repro theorem2           # competitive-ratio sweep
+    python -m repro calibrate          # Section IV load-model calibration
+    python -m repro all                # everything, in order
+
+Set ``REPRO_FULL_SCALE=1`` for paper-scale runs (50,000 tenants x 10
+runs, 69 servers, five-minute windows); the default is a laptop-scale
+profile with identical shapes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from .analysis.report import (figure5_table, figure6_table,
+                              table1_table, theorem2_table)
+from .cluster.calibration import calibrate_load_model
+from .sim.figures import figure5, figure6, table1, theorem2
+from .sim.scenarios import current_scale
+
+
+def _render_svg(args: argparse.Namespace, name: str,
+                renderer_factory) -> None:
+    """Write a result figure as SVG when --svg DIR was given."""
+    if args.svg is None:
+        return
+    from pathlib import Path
+    directory = Path(args.svg)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.svg"
+    renderer_factory().save(path)
+    print(f"[wrote {path}]")
+
+
+def _export(args: argparse.Namespace, name: str, table_factory) -> None:
+    """Write a result table as CSV when --csv DIR was given.
+
+    ``table_factory`` is a thunk so that table construction is skipped
+    entirely when no export was requested.
+    """
+    if args.csv is None:
+        return
+    from pathlib import Path
+    directory = Path(args.csv)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.csv"
+    table_factory().to_csv(path)
+    print(f"[wrote {path}]")
+
+
+def _run_figure5(args: argparse.Namespace) -> None:
+    result = figure5(seed=args.seed)
+    print(result)
+    _export(args, "figure5", lambda: figure5_table(result))
+    from .viz.figures import render_figure5
+    _render_svg(args, "figure5", lambda: render_figure5(result))
+
+
+def _run_figure6(args: argparse.Namespace) -> None:
+    result = figure6(base_seed=args.seed)
+    print(result)
+    _export(args, "figure6", lambda: figure6_table(result))
+    from .viz.figures import render_figure6
+    _render_svg(args, "figure6", lambda: render_figure6(result))
+
+
+def _run_table1(args: argparse.Namespace) -> None:
+    result = table1(base_seed=args.seed)
+    print(result)
+    _export(args, "table1", lambda: table1_table(result))
+
+
+def _run_theorem2(args: argparse.Namespace) -> None:
+    result = theorem2()
+    print(result)
+    _export(args, "theorem2", lambda: theorem2_table(result))
+    from .viz.figures import render_theorem2
+    _render_svg(args, "theorem2", lambda: render_theorem2(result))
+
+
+def _run_scaling(args: argparse.Namespace) -> None:
+    from .algorithms.rfi import RFI
+    from .core.cubefit import CubeFit
+    from .sim.timing import scaling_study
+    from .workloads.distributions import UniformLoad
+
+    profile = current_scale()
+    top = max(profile.sim_tenants, 2000)
+    counts = [max(top // 16, 100), top // 4, top]
+    factories = {
+        "cubefit": lambda: CubeFit(gamma=2, num_classes=10),
+        "rfi": lambda: RFI(gamma=2),
+    }
+    study = scaling_study(factories, UniformLoad(0.3), counts,
+                          seed=args.seed)
+    print(study)
+    savings = study.savings_series("rfi", "cubefit")
+    print("\nCubeFit savings over RFI by scale (the asymptotic claim):")
+    for n, value in savings:
+        print(f"  n={n:>7,}: {value:+.1f}%")
+    _export(args, "scaling", lambda: study.to_table())
+    from .viz.figures import render_scaling
+    _render_svg(args, "scaling", lambda: render_scaling(study))
+
+
+def _run_churn(args: argparse.Namespace) -> None:
+    from .algorithms.rfi import RFI
+    from .core.cubefit import CubeFit
+    from .sim.churn import ChurnConfig, run_churn
+    from .workloads.distributions import UniformLoad
+
+    config = ChurnConfig(arrival_rate=8.0, mean_lifetime=30.0,
+                         horizon=150.0, sample_every=15.0,
+                         seed=args.seed)
+    print(f"Churn study: Poisson arrivals at {config.arrival_rate}/t, "
+          f"exponential lifetimes (mean {config.mean_lifetime}t), "
+          f"~{config.expected_population:.0f} tenants in steady state\n")
+    for name, factory in (
+            ("cubefit", lambda: CubeFit(gamma=2, num_classes=10)),
+            ("rfi", lambda: RFI(gamma=2))):
+        result = run_churn(factory, UniformLoad(0.4), config)
+        robust = "robust" if result.final_robust else "VIOLATED"
+        print(f"{name:>8}: {result.arrivals} arrivals / "
+              f"{result.departures} departures; steady-state "
+              f"{result.mean_steady_servers:.1f} servers at "
+              f"{result.mean_steady_utilization:.2f} utilization "
+              f"({robust})")
+
+
+def _run_soak(args: argparse.Namespace) -> None:
+    from .algorithms.rfi import RFI
+    from .core.cubefit import CubeFit
+    from .sim.soak import SoakConfig, run_soak
+
+    config = SoakConfig(operations=400, seed=args.seed)
+    print("Soak: randomized place/remove/resize/fail+recover/repack "
+          "stream,\nrobustness audited after every operation.\n")
+    for factory in (lambda: CubeFit(gamma=2, num_classes=10),
+                    lambda: RFI(gamma=2)):
+        result = run_soak(factory, config)
+        print(result)
+        if not result.ok:
+            raise SystemExit(1)
+
+
+def _run_explain(args: argparse.Namespace) -> None:
+    from .algorithms.rfi import RFI
+    from .analysis.diagnostics import explain
+    from .core.cubefit import CubeFit
+    from .workloads.distributions import UniformLoad
+    from .workloads.sequences import generate_sequence
+    from .workloads.trace_io import load_trace
+
+    if args.trace:
+        sequence = load_trace(args.trace)
+        print(f"loaded {len(sequence)} tenants from {args.trace}\n")
+    else:
+        sequence = generate_sequence(UniformLoad(0.5), 2000,
+                                     seed=args.seed)
+        print(f"no --trace given; using {len(sequence)} tenants "
+              f"~ {sequence.description}\n")
+    for name, factory in (
+            ("cubefit", lambda: CubeFit(gamma=2, num_classes=10)),
+            ("rfi", lambda: RFI(gamma=2))):
+        algo = factory()
+        algo.consolidate(sequence)
+        failures = None if name == "cubefit" else 1
+        report = explain(algo.placement, failures=failures)
+        print(f"=== {name}: {algo.placement.num_servers} servers ===")
+        print(report)
+        print()
+
+
+def _run_calibrate(args: argparse.Namespace) -> None:
+    result = calibrate_load_model()
+    print("Section IV calibration (simulated cluster):")
+    for point in result.boundary:
+        print(f"  {point.tenants:3d} tenant(s): boundary at "
+              f"{point.clients} clients")
+    model = result.model
+    print(f"  fitted: load = {model.delta:.4f} * clients + "
+          f"{model.beta:.4f} per tenant")
+    print(f"  C (max clients, one tenant) = "
+          f"{result.max_clients_single_tenant}  (paper: 52)")
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
+    "figure5": _run_figure5,
+    "figure6": _run_figure6,
+    "table1": _run_table1,
+    "theorem2": _run_theorem2,
+    "calibrate": _run_calibrate,
+    "scaling": _run_scaling,
+    "churn": _run_churn,
+    "explain": _run_explain,
+    "soak": _run_soak,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the CUBEFIT paper's figures and tables "
+                    "(ICDCS 2017).")
+    parser.add_argument("experiment",
+                        choices=sorted(_COMMANDS) + ["all"],
+                        help="which artifact to regenerate")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base random seed (default 0)")
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also write each result as CSV into DIR")
+    parser.add_argument("--svg", metavar="DIR", default=None,
+                        help="also render each figure as SVG into DIR")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="tenant trace (JSON) for the explain "
+                             "command")
+    args = parser.parse_args(argv)
+
+    profile = current_scale()
+    print(f"[scale profile: {profile.name} — "
+          f"{profile.sim_tenants} tenants x {profile.sim_runs} runs, "
+          f"{profile.cluster_servers} cluster servers; set "
+          f"REPRO_FULL_SCALE=1 for paper scale]\n")
+
+    names = sorted(_COMMANDS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        _COMMANDS[name](args)
+        print(f"[{name}: {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Cluster substrate: discrete-event simulation of the paper's testbed."""
+
+from .engine import Simulator, EventHandle
+from .machine import Machine, DEFAULT_CORES
+from .background import (MaintenanceTask, DEFAULT_MAINTENANCE_DEMAND,
+                         DEFAULT_MAINTENANCE_INTERVAL)
+from .datastore import DataStore, DEFAULT_COLD_PENALTY, DEFAULT_WARM_AFTER
+from .routing import ReplicaRouter
+from .client import TenantClient, DEFAULT_THINK_MEAN
+from .latency import (LatencyRecorder, LatencySample, DEFAULT_SLA_SECONDS,
+                      SLA_PERCENTILE)
+from .failures import (FailurePlan, worst_overload_failures,
+                       project_client_counts, EXHAUSTIVE_LIMIT)
+from .experiment import (ClusterConfig, ClusterResult, ClusterExperiment,
+                         PAPER_WARMUP, PAPER_MEASURE)
+from .calibration import (CalibrationResult, calibrate_load_model,
+                          find_boundary_clients, measure_p99)
+
+__all__ = [
+    "Simulator", "EventHandle", "Machine", "DEFAULT_CORES", "DataStore",
+    "DEFAULT_COLD_PENALTY", "DEFAULT_WARM_AFTER", "ReplicaRouter",
+    "TenantClient", "DEFAULT_THINK_MEAN", "LatencyRecorder",
+    "LatencySample", "DEFAULT_SLA_SECONDS", "SLA_PERCENTILE",
+    "FailurePlan", "worst_overload_failures", "project_client_counts",
+    "EXHAUSTIVE_LIMIT", "ClusterConfig", "ClusterResult",
+    "ClusterExperiment", "PAPER_WARMUP", "PAPER_MEASURE",
+    "CalibrationResult", "calibrate_load_model", "find_boundary_clients",
+    "measure_p99", "MaintenanceTask", "DEFAULT_MAINTENANCE_DEMAND",
+    "DEFAULT_MAINTENANCE_INTERVAL",
+]

@@ -1,0 +1,97 @@
+"""Calibration of the linear load model against the simulated cluster.
+
+Reproduces the paper's Section IV methodology one level down: instead of
+benchmarking TPC-H on real Xeons, we benchmark the synthetic workload on
+the simulated machine.  For each tenant count ``T`` we binary-search the
+largest total client count whose 99th-percentile latency still meets the
+SLA; the resulting (clients, tenants) boundary points are fed to a
+least-squares fit of ``delta * clients + beta * tenants = 1``
+(:func:`repro.workloads.loadmodel.fit_boundary`).
+
+"Some client-tenant configurations resulted in the SLA being violated
+while others met the SLA.  This allowed us to derive the equation of the
+line that separates the configurations that meet SLA from those that do
+not, providing us with the values for delta and beta."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import CalibrationError
+from ..workloads.loadmodel import BoundaryPoint, LinearLoadModel, \
+    fit_boundary
+from .experiment import ClusterConfig, ClusterExperiment
+
+
+@dataclass
+class CalibrationResult:
+    """Fitted model plus the raw boundary measurements."""
+
+    model: LinearLoadModel
+    boundary: List[BoundaryPoint]
+    #: (tenants, clients) -> measured p99 for every probed configuration.
+    probes: Dict[tuple, float] = field(default_factory=dict)
+
+    @property
+    def max_clients_single_tenant(self) -> int:
+        """The paper's C: clients one tenant can run at unit load."""
+        return self.model.max_clients(capacity=1.0, tenants=1)
+
+
+def measure_p99(tenants: int, clients: int,
+                config: ClusterConfig) -> float:
+    """p99 latency of one machine hosting ``tenants`` tenants with
+    ``clients`` total clients (replication factor 1: calibration is a
+    single-machine measurement, as in the paper)."""
+    if tenants < 1 or clients < 1:
+        raise CalibrationError(
+            f"need tenants >= 1 and clients >= 1, got {tenants}, {clients}")
+    homes = {tid: [0] for tid in range(tenants)}
+    base, extra = divmod(clients, tenants)
+    counts = {tid: base + (1 if tid < extra else 0)
+              for tid in range(tenants)}
+    experiment = ClusterExperiment(homes, counts, config)
+    return experiment.run().p99
+
+
+def find_boundary_clients(tenants: int, config: ClusterConfig,
+                          lo: int = 1, hi: int = 128) -> BoundaryPoint:
+    """Largest client count meeting the SLA for ``tenants`` tenants.
+
+    Standard binary search on the (noisy but strongly monotone) p99
+    curve.  ``hi`` is doubled until it violates the SLA so the search
+    brackets the boundary.
+    """
+    sla = config.sla_seconds
+    if measure_p99(tenants, lo, config) > sla:
+        raise CalibrationError(
+            f"{tenants} tenant(s) violate the SLA even with {lo} client(s);"
+            f" the per-tenant overhead exceeds server capacity")
+    while measure_p99(tenants, hi, config) <= sla:
+        lo = hi
+        hi *= 2
+        if hi > 4096:
+            raise CalibrationError(
+                "SLA never violated; demand scale is implausibly low")
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if measure_p99(tenants, mid, config) <= sla:
+            lo = mid
+        else:
+            hi = mid
+    return BoundaryPoint(tenants=tenants, clients=lo)
+
+
+def calibrate_load_model(
+        tenant_counts: Sequence[int] = (1, 4, 8, 12),
+        config: Optional[ClusterConfig] = None) -> CalibrationResult:
+    """Full calibration pass: boundary search per tenant count + fit."""
+    if config is None:
+        # Short windows: calibration needs many runs, and the boundary
+        # position converges quickly.
+        config = ClusterConfig(warmup=30.0, measure=60.0)
+    boundary = [find_boundary_clients(t, config) for t in tenant_counts]
+    model = fit_boundary(boundary)
+    return CalibrationResult(model=model, boundary=boundary)

@@ -1,0 +1,87 @@
+"""Closed-loop tenant clients.
+
+Each tenant runs a number of concurrent client threads that
+"independently iterate through the TPC-H queries submitting them to the
+[data] system" (Section IV).  A client is a closed loop: think for an
+exponentially distributed time, issue the next query of its stream, wait
+for completion, repeat.  Closed-loop clients are what make overload
+visible as latency: when a server slows down, its clients slow down with
+it and response times — not queue lengths — absorb the excess load.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..workloads.tpch import QueryStream
+from .engine import Simulator
+from .latency import LatencyRecorder
+from .routing import ReplicaRouter
+
+#: Mean think time between queries (seconds).
+DEFAULT_THINK_MEAN = 0.3
+
+
+class TenantClient:
+    """One client thread of one tenant."""
+
+    def __init__(self, sim: Simulator, client_id: int, tenant_id: int,
+                 router: ReplicaRouter, stream: QueryStream,
+                 recorder: LatencyRecorder,
+                 rng: np.random.Generator,
+                 think_mean: float = DEFAULT_THINK_MEAN) -> None:
+        if think_mean < 0:
+            raise SimulationError(
+                f"think_mean must be non-negative, got {think_mean}")
+        self.sim = sim
+        self.client_id = client_id
+        self.tenant_id = tenant_id
+        self.router = router
+        self.stream = stream
+        self.recorder = recorder
+        self.rng = rng
+        self.think_mean = think_mean
+        self.queries_issued = 0
+        self._stopped = False
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Begin the closed loop; a random initial stagger avoids a
+        thundering herd at time zero."""
+        if initial_delay is None:
+            initial_delay = float(self.rng.uniform(0.0,
+                                                   max(self.think_mean, 0.1)))
+        self.sim.schedule(initial_delay, self._issue)
+
+    def stop(self) -> None:
+        """Stop issuing new queries (in-flight ones still complete)."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    def _issue(self) -> None:
+        if self._stopped:
+            return
+        query = self.stream.next_query()
+        self.queries_issued += 1
+
+        def on_complete(latency: Optional[float], server_id: int,
+                        name: str = query.template.name) -> None:
+            if latency is None:
+                self.recorder.record_dropped()
+            else:
+                self.recorder.record(self.sim.now, self.tenant_id, name,
+                                     latency, server_id=server_id)
+            self._think()
+
+        self.router.execute(self.tenant_id, query, on_complete)
+
+    def _think(self) -> None:
+        if self._stopped:
+            return
+        if self.think_mean <= 0:
+            delay = 0.0
+        else:
+            delay = float(self.rng.exponential(self.think_mean))
+        self.sim.schedule(delay, self._issue)

@@ -1,0 +1,58 @@
+"""Shared data store model (Figure 4 of the paper).
+
+Each server runs a single data system shared by all tenants it hosts
+("shared data system multi-tenant model").  The aspect that matters to
+the experiments is cache warm-up: the paper runs the workload for five
+minutes so "the database system [can] cache all tenants' data in
+memory" before measuring.  We model that with a per-(machine, tenant)
+access counter: the first ``warm_after`` queries of a tenant on a
+machine pay a cold-read multiplier on their service demand; afterwards
+data is memory-resident and queries run at full speed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import SimulationError
+
+#: Demand multiplier while a tenant's data is not yet cached.
+DEFAULT_COLD_PENALTY = 2.5
+
+#: Queries after which a tenant's data counts as fully cached.
+DEFAULT_WARM_AFTER = 5
+
+
+class DataStore:
+    """Per-machine shared store tracking tenant cache warmth."""
+
+    def __init__(self, cold_penalty: float = DEFAULT_COLD_PENALTY,
+                 warm_after: int = DEFAULT_WARM_AFTER) -> None:
+        if cold_penalty < 1.0:
+            raise SimulationError(
+                f"cold_penalty must be >= 1, got {cold_penalty}")
+        if warm_after < 0:
+            raise SimulationError(
+                f"warm_after must be >= 0, got {warm_after}")
+        self.cold_penalty = cold_penalty
+        self.warm_after = warm_after
+        self._accesses: Dict[Tuple[int, int], int] = {}
+
+    def demand_multiplier(self, machine_id: int, tenant_id: int) -> float:
+        """Multiplier for the next query of ``tenant_id`` on ``machine_id``
+        (and record the access)."""
+        key = (machine_id, tenant_id)
+        count = self._accesses.get(key, 0)
+        self._accesses[key] = count + 1
+        if count >= self.warm_after:
+            return 1.0
+        return self.cold_penalty
+
+    def is_warm(self, machine_id: int, tenant_id: int) -> bool:
+        return self._accesses.get((machine_id, tenant_id), 0) \
+            >= self.warm_after
+
+    def evict_machine(self, machine_id: int) -> None:
+        """Forget warmth for a machine (e.g. after failure/restart)."""
+        for key in [k for k in self._accesses if k[0] == machine_id]:
+            del self._accesses[key]

@@ -1,0 +1,187 @@
+"""Failure planning: the paper's "worst overload case".
+
+Section V-B: "To cause f server failures, we select f servers that
+result in the distribution of the highest number of clients to a single
+server (resulting in the highest possible load on a server)."
+
+When servers in a set ``F`` fail, a tenant with ``k`` of its ``gamma``
+homes in ``F`` re-shares its clients evenly over its ``gamma - k``
+surviving homes.  The *overload metric* of ``F`` is the maximum
+post-failure client count on any surviving server; the planner picks the
+``F`` maximizing it — exhaustively for small ``f`` (the paper uses 1 and
+2), greedily beyond.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+#: Largest f for which all subsets are enumerated (beyond: greedy).
+EXHAUSTIVE_LIMIT = 2
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """Chosen failure set and its projected effect."""
+
+    failed: Tuple[int, ...]
+    #: Max post-failure client count on a single surviving server.
+    projected_max_clients: float
+    #: The surviving server attaining the max.
+    hottest_server: Optional[int] = None
+
+
+def project_client_counts(tenant_homes: Dict[int, Sequence[int]],
+                          tenant_clients: Dict[int, int],
+                          failed: Iterable[int]) -> Dict[int, float]:
+    """Expected client count per surviving server after ``failed`` fail.
+
+    A tenant's clients are spread evenly over alive replicas; tenants
+    with no surviving replica contribute nothing (they are unavailable,
+    which the SLA evaluation accounts for separately).
+    """
+    failed_set = set(failed)
+    counts: Dict[int, float] = {}
+    for tenant_id, homes in tenant_homes.items():
+        alive = [h for h in homes if h not in failed_set]
+        if not alive:
+            continue
+        share = tenant_clients.get(tenant_id, 0) / len(alive)
+        for home in alive:
+            counts[home] = counts.get(home, 0.0) + share
+    return counts
+
+
+def _max_count(counts: Dict[int, float]) -> Tuple[float, Optional[int]]:
+    if not counts:
+        return 0.0, None
+    hottest = max(counts, key=counts.get)
+    return counts[hottest], hottest
+
+
+def worst_overload_failures(tenant_homes: Dict[int, Sequence[int]],
+                            tenant_clients: Dict[int, int],
+                            f: int,
+                            servers: Optional[Sequence[int]] = None,
+                            exhaustive_limit: int = EXHAUSTIVE_LIMIT
+                            ) -> FailurePlan:
+    """Pick the ``f`` failures that maximize single-server client load.
+
+    ``servers`` restricts the candidate failure set (defaults to every
+    server hosting at least one replica).  Exhaustive enumeration for
+    ``f <= exhaustive_limit``; greedy extension beyond (each step adds
+    the single failure that maximizes the metric).
+    """
+    if f < 0:
+        raise ConfigurationError(f"f must be non-negative, got {f}")
+    if servers is None:
+        candidates = sorted({h for homes in tenant_homes.values()
+                             for h in homes})
+    else:
+        candidates = sorted(servers)
+    if f > len(candidates):
+        raise ConfigurationError(
+            f"cannot fail {f} of {len(candidates)} servers")
+    if f == 0:
+        value, hottest = _max_count(
+            project_client_counts(tenant_homes, tenant_clients, ()))
+        return FailurePlan(failed=(), projected_max_clients=value,
+                           hottest_server=hottest)
+    if f <= exhaustive_limit:
+        return _exhaustive(tenant_homes, tenant_clients, candidates, f)
+    return _greedy(tenant_homes, tenant_clients, candidates, f)
+
+
+def _evaluate(tenant_homes: Dict[int, Sequence[int]],
+              tenant_clients: Dict[int, int],
+              failed: Tuple[int, ...]) -> Tuple[float, Optional[int]]:
+    counts = project_client_counts(tenant_homes, tenant_clients, failed)
+    for fid in failed:
+        counts.pop(fid, None)
+    return _max_count(counts)
+
+
+def _exhaustive(tenant_homes: Dict[int, Sequence[int]],
+                tenant_clients: Dict[int, int],
+                candidates: List[int], f: int) -> FailurePlan:
+    best: Optional[FailurePlan] = None
+    for failed in itertools.combinations(candidates, f):
+        value, hottest = _evaluate(tenant_homes, tenant_clients, failed)
+        if best is None or value > best.projected_max_clients:
+            best = FailurePlan(failed=failed, projected_max_clients=value,
+                               hottest_server=hottest)
+    assert best is not None  # f >= 1 and candidates non-empty
+    return best
+
+
+def plan_replacement_homes(tenant_homes: Dict[int, Sequence[int]],
+                           tenant_clients: Dict[int, int],
+                           failed: Iterable[int],
+                           candidates: Sequence[int]
+                           ) -> Dict[int, List[int]]:
+    """Choose new homes for replicas lost to ``failed`` servers.
+
+    Greedy least-loaded: each lost replica is re-homed on the candidate
+    server with the smallest projected client count that does not
+    already host the tenant and has not failed.  Returns
+    ``tenant_id -> replacement server ids`` (one per lost replica);
+    tenants with no replica on a failed server are absent.
+
+    Raises
+    ------
+    ConfigurationError
+        If a tenant cannot be re-homed (every candidate already hosts
+        it or has failed).
+    """
+    failed_set = set(failed)
+    healthy = [c for c in sorted(set(candidates)) if c not in failed_set]
+    counts = project_client_counts(tenant_homes, tenant_clients,
+                                   failed_set)
+    for server in healthy:
+        counts.setdefault(server, 0.0)
+    replacements: Dict[int, List[int]] = {}
+    for tenant_id in sorted(tenant_homes):
+        homes = list(tenant_homes[tenant_id])
+        lost = [h for h in homes if h in failed_set]
+        if not lost:
+            continue
+        share = tenant_clients.get(tenant_id, 0) / max(len(homes), 1)
+        taken = set(homes)
+        for _ in lost:
+            options = [c for c in healthy if c not in taken]
+            if not options:
+                raise ConfigurationError(
+                    f"tenant {tenant_id}: no healthy server available "
+                    f"for re-replication")
+            target = min(options, key=lambda c: (counts[c], c))
+            replacements.setdefault(tenant_id, []).append(target)
+            counts[target] = counts.get(target, 0.0) + share
+            taken.add(target)
+    return replacements
+
+
+def _greedy(tenant_homes: Dict[int, Sequence[int]],
+            tenant_clients: Dict[int, int],
+            candidates: List[int], f: int) -> FailurePlan:
+    failed: List[int] = []
+    best_value = 0.0
+    hottest: Optional[int] = None
+    for _ in range(f):
+        step_best: Optional[Tuple[float, int, Optional[int]]] = None
+        for cand in candidates:
+            if cand in failed:
+                continue
+            value, hot = _evaluate(tenant_homes, tenant_clients,
+                                   tuple(failed + [cand]))
+            if step_best is None or value > step_best[0]:
+                step_best = (value, cand, hot)
+        assert step_best is not None
+        best_value, chosen, hottest = step_best
+        failed.append(chosen)
+    return FailurePlan(failed=tuple(failed),
+                       projected_max_clients=best_value,
+                       hottest_server=hottest)

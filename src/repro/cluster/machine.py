@@ -1,0 +1,178 @@
+"""Processor-sharing server machine model.
+
+Models the paper's testbed machines (Intel Xeon, 12 cores) executing
+single-threaded analytics queries: when ``n`` queries are active each
+runs at rate ``min(1, cores/n)`` — full speed while the machine has spare
+cores, fair-shared beyond that.  This is the egalitarian processor
+sharing discipline, which matches a database executing many concurrent
+scans.
+
+Implementation uses the *virtual time* technique so each arrival or
+departure costs ``O(log n)`` instead of rescanning all jobs: with all
+jobs sharing one rate ``r(n)``, define virtual progress ``V`` with
+``dV/dt = r(n(t))``; a job arriving at virtual time ``V0`` with demand
+``w`` departs when ``V`` reaches ``V0 + w``.  A min-heap of departure
+virtual times yields the next physical departure.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .engine import EventHandle, Simulator
+
+#: Cores per machine on the paper's testbed.
+DEFAULT_CORES = 12
+
+_V_EPS = 1e-9
+
+
+class Machine:
+    """One server machine executing queries under processor sharing."""
+
+    def __init__(self, sim: Simulator, machine_id: int,
+                 cores: int = DEFAULT_CORES) -> None:
+        if cores < 1:
+            raise SimulationError(f"cores must be >= 1, got {cores}")
+        self.sim = sim
+        self.machine_id = machine_id
+        self.cores = cores
+        self.failed = False
+        self._virtual = 0.0
+        self._last_update = 0.0
+        #: job_id -> (finish_virtual, completion callback)
+        self._jobs: Dict[int, Tuple[float, Callable[[], None]]] = {}
+        self._finish_heap: List[Tuple[float, int]] = []
+        self._departure: Optional[EventHandle] = None
+        self._job_ids = itertools.count()
+        # Busy-time integral (in core-seconds) for utilization stats.
+        self._busy_core_seconds = 0.0
+        self.completed_jobs = 0
+
+    # ------------------------------------------------------------------
+    # Virtual-time bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def active_jobs(self) -> int:
+        return len(self._jobs)
+
+    def _rate(self) -> float:
+        """Service rate each active job receives (<= 1 core)."""
+        n = len(self._jobs)
+        if n == 0:
+            return 0.0
+        return min(1.0, self.cores / n)
+
+    def _advance(self) -> None:
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt > 0:
+            n = len(self._jobs)
+            self._virtual += dt * self._rate()
+            self._busy_core_seconds += dt * min(n, self.cores)
+        self._last_update = now
+
+    def _reschedule_departure(self) -> None:
+        if self._departure is not None:
+            self._departure.cancel()
+            self._departure = None
+        # Drop stale heap heads (jobs already completed/aborted).
+        heap = self._finish_heap
+        while heap and heap[0][1] not in self._jobs:
+            heapq.heappop(heap)
+        if not heap:
+            return
+        finish_v = heap[0][0]
+        rate = self._rate()
+        if rate <= 0:
+            raise SimulationError(
+                f"machine {self.machine_id}: jobs active but rate is 0")
+        delay = max(0.0, (finish_v - self._virtual) / rate)
+        self._departure = self.sim.schedule(delay, self._depart)
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+    def submit(self, demand: float,
+               on_complete: Callable[[], None]) -> int:
+        """Start a query needing ``demand`` core-seconds; returns job id.
+
+        ``on_complete`` fires (through the simulator) when the query
+        finishes.  Submitting to a failed machine is an error — routing
+        must check :attr:`failed` first.
+        """
+        if self.failed:
+            raise SimulationError(
+                f"machine {self.machine_id} is failed; cannot submit")
+        if demand <= 0:
+            raise SimulationError(f"demand must be positive, got {demand}")
+        self._advance()
+        job_id = next(self._job_ids)
+        finish_v = self._virtual + demand
+        self._jobs[job_id] = (finish_v, on_complete)
+        heapq.heappush(self._finish_heap, (finish_v, job_id))
+        self._reschedule_departure()
+        return job_id
+
+    def _depart(self) -> None:
+        self._departure = None
+        self._advance()
+        completed: List[Callable[[], None]] = []
+        heap = self._finish_heap
+        while heap:
+            finish_v, job_id = heap[0]
+            if job_id not in self._jobs:
+                heapq.heappop(heap)
+                continue
+            if finish_v <= self._virtual + _V_EPS:
+                heapq.heappop(heap)
+                completed.append(self._jobs.pop(job_id)[1])
+            else:
+                break
+        self._reschedule_departure()
+        self.completed_jobs += len(completed)
+        for callback in completed:
+            callback()
+
+    def abort(self, job_id: int) -> bool:
+        """Remove a job without completing it; True if it was active."""
+        self._advance()
+        if self._jobs.pop(job_id, None) is None:
+            return False
+        self._reschedule_departure()
+        return True
+
+    def fail(self) -> List[Callable[[], None]]:
+        """Mark the machine failed, aborting all active queries.
+
+        Returns the completion callbacks of the aborted queries so the
+        router can re-issue them against surviving replicas (clients
+        re-execute, they do not observe a phantom completion).
+        """
+        self._advance()
+        self.failed = True
+        aborted = [cb for _finish, cb in self._jobs.values()]
+        self._jobs.clear()
+        self._finish_heap.clear()
+        if self._departure is not None:
+            self._departure.cancel()
+            self._departure = None
+        return aborted
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Mean fraction of cores busy since time 0."""
+        self._advance()
+        horizon = self.sim.now if elapsed is None else elapsed
+        if horizon <= 0:
+            return 0.0
+        return self._busy_core_seconds / (horizon * self.cores)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "FAILED" if self.failed else f"{len(self._jobs)} jobs"
+        return f"Machine({self.machine_id}, {state})"

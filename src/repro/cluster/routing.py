@@ -1,0 +1,226 @@
+"""Replica-aware query routing with failover.
+
+Implements the paper's execution model:
+
+* a tenant's analytic (read) workload is shared between its ``gamma``
+  replicas — we round-robin reads per tenant over *alive* replicas;
+* update queries execute against **all** alive replicas for consistency
+  (Section IV); their latency is the slowest replica's completion;
+* when a server fails, in-flight queries on it are re-issued against the
+  tenant's surviving replicas, and subsequent queries route only to
+  survivors ("clients of tenants hosted on it execute their queries on
+  the remaining tenant replicas").
+
+The router is the single owner of in-flight bookkeeping: machines know
+nothing about tenants, clients know nothing about machines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import SimulationError
+from ..workloads.tpch import QueryExecution
+from .datastore import DataStore
+from .engine import Simulator
+from .machine import Machine
+
+CompletionCallback = Callable[[Optional[float], int], None]
+
+
+class _InFlightQuery:
+    """Context of one logical query (possibly fanned out to replicas)."""
+
+    __slots__ = ("router", "tenant_id", "query", "on_complete", "issued_at",
+                 "outstanding", "finished", "last_server")
+
+    def __init__(self, router: "ReplicaRouter", tenant_id: int,
+                 query: QueryExecution, on_complete: CompletionCallback,
+                 issued_at: float) -> None:
+        self.router = router
+        self.tenant_id = tenant_id
+        self.query = query
+        self.on_complete = on_complete
+        self.issued_at = issued_at
+        self.outstanding = 0
+        self.finished = False
+        self.last_server = -1
+
+    def part_done(self, server_id: int) -> None:
+        self.outstanding -= 1
+        self.last_server = server_id
+        if self.outstanding == 0 and not self.finished:
+            self.finished = True
+            latency = self.router.sim.now - self.issued_at
+            self.on_complete(latency, server_id)
+
+    def part_lost(self, was_read: bool) -> None:
+        """A replica failed mid-query."""
+        self.outstanding -= 1
+        if self.finished:
+            return
+        if was_read:
+            # Re-execute the read on a surviving replica.
+            self.router._dispatch_read(self)
+        elif self.outstanding == 0:
+            # Update: surviving parts already completed (or none exist).
+            alive = self.router.alive_homes(self.tenant_id)
+            self.finished = True
+            if alive:
+                self.on_complete(self.router.sim.now - self.issued_at,
+                                 self.last_server)
+            else:
+                self.on_complete(None, -1)
+
+
+class ReplicaRouter:
+    """Routes tenant queries to replica machines."""
+
+    def __init__(self, sim: Simulator, machines: Dict[int, Machine],
+                 tenant_homes: Dict[int, Sequence[int]],
+                 datastore: Optional[DataStore] = None) -> None:
+        self.sim = sim
+        self.machines = machines
+        self.datastore = datastore if datastore is not None else DataStore()
+        self._homes: Dict[int, List[int]] = {}
+        for tenant_id, homes in tenant_homes.items():
+            home_list = list(homes)
+            if not home_list:
+                raise SimulationError(
+                    f"tenant {tenant_id} has no replica homes")
+            for mid in home_list:
+                if mid not in machines:
+                    raise SimulationError(
+                        f"tenant {tenant_id} placed on unknown machine "
+                        f"{mid}")
+            self._homes[tenant_id] = home_list
+        #: Per-tenant round-robin cursor for read routing.
+        self._cursor: Dict[int, int] = {t: 0 for t in self._homes}
+        #: machine id -> {job id -> (context, was_read)}
+        self._inflight: Dict[int, Dict[int, tuple]] = \
+            {mid: {} for mid in machines}
+        #: Reads re-issued because their machine failed mid-flight.
+        self.reissued = 0
+        #: Queries that found no surviving replica.
+        self.unavailable = 0
+
+    # ------------------------------------------------------------------
+    def alive_homes(self, tenant_id: int) -> List[int]:
+        return [mid for mid in self._homes[tenant_id]
+                if not self.machines[mid].failed]
+
+    def tenant_homes(self, tenant_id: int) -> List[int]:
+        return list(self._homes[tenant_id])
+
+    def execute(self, tenant_id: int, query: QueryExecution,
+                on_complete: CompletionCallback) -> None:
+        """Run ``query`` for ``tenant_id``.
+
+        ``on_complete(latency)`` fires when the query finishes; latency is
+        None when no surviving replica could serve it.
+        """
+        if tenant_id not in self._homes:
+            raise SimulationError(f"unknown tenant {tenant_id}")
+        ctx = _InFlightQuery(self, tenant_id, query, on_complete,
+                             issued_at=self.sim.now)
+        if query.is_update:
+            self._dispatch_update(ctx)
+        else:
+            self._dispatch_read(ctx)
+
+    # ------------------------------------------------------------------
+    def _submit(self, ctx: _InFlightQuery, machine_id: int,
+                was_read: bool) -> None:
+        machine = self.machines[machine_id]
+        demand = ctx.query.demand * self.datastore.demand_multiplier(
+            machine_id, ctx.tenant_id)
+        ctx.outstanding += 1
+
+        def on_machine_complete(mid: int = machine_id) -> None:
+            jobs = self._inflight[mid]
+            jobs.pop(job_id, None)
+            ctx.part_done(mid)
+
+        job_id = machine.submit(demand, on_machine_complete)
+        self._inflight[machine_id][job_id] = (ctx, was_read)
+
+    def _dispatch_read(self, ctx: _InFlightQuery) -> None:
+        alive = self.alive_homes(ctx.tenant_id)
+        if not alive:
+            self.unavailable += 1
+            ctx.finished = True
+            ctx.on_complete(None, -1)
+            return
+        cursor = self._cursor[ctx.tenant_id]
+        target = alive[cursor % len(alive)]
+        self._cursor[ctx.tenant_id] = (cursor + 1) % max(len(alive), 1)
+        self._submit(ctx, target, was_read=True)
+
+    def _dispatch_update(self, ctx: _InFlightQuery) -> None:
+        alive = self.alive_homes(ctx.tenant_id)
+        if not alive:
+            self.unavailable += 1
+            ctx.finished = True
+            ctx.on_complete(None, -1)
+            return
+        for mid in alive:
+            self._submit(ctx, mid, was_read=False)
+
+    # ------------------------------------------------------------------
+    # Re-replication (recovery)
+    # ------------------------------------------------------------------
+    def add_home(self, tenant_id: int, machine_id: int) -> None:
+        """Register a new replica home for ``tenant_id``.
+
+        Used by recovery: the tenant's data is copied to ``machine_id``
+        and subsequent reads round-robin over the enlarged alive set.
+        The data store treats the machine as cold for this tenant until
+        warmed, so re-replication has a realistic warm-up cost.
+        """
+        if tenant_id not in self._homes:
+            raise SimulationError(f"unknown tenant {tenant_id}")
+        machine = self.machines.get(machine_id)
+        if machine is None:
+            raise SimulationError(f"unknown machine {machine_id}")
+        if machine.failed:
+            raise SimulationError(
+                f"cannot re-replicate onto failed machine {machine_id}")
+        if machine_id in self._homes[tenant_id]:
+            raise SimulationError(
+                f"machine {machine_id} already hosts tenant {tenant_id}")
+        self._homes[tenant_id].append(machine_id)
+
+    def remove_home(self, tenant_id: int, machine_id: int) -> None:
+        """Deregister a replica home (e.g. a permanently failed one)."""
+        if tenant_id not in self._homes:
+            raise SimulationError(f"unknown tenant {tenant_id}")
+        homes = self._homes[tenant_id]
+        if machine_id not in homes:
+            raise SimulationError(
+                f"machine {machine_id} does not host tenant {tenant_id}")
+        if len(homes) <= 1:
+            raise SimulationError(
+                f"tenant {tenant_id} would be left with no homes")
+        homes.remove(machine_id)
+
+    # ------------------------------------------------------------------
+    def fail_machine(self, machine_id: int) -> int:
+        """Fail a machine; re-issue its in-flight reads elsewhere.
+
+        Returns the number of queries that were in flight on the machine.
+        """
+        machine = self.machines[machine_id]
+        if machine.failed:
+            return 0
+        machine.fail()  # aborts jobs; callbacks are dropped here on purpose
+        inflight = self._inflight[machine_id]
+        victims = list(inflight.values())
+        inflight.clear()
+        for ctx, was_read in victims:
+            if was_read:
+                self.reissued += 1
+            ctx.part_lost(was_read)
+        return len(victims)
+
+    def total_inflight(self) -> int:
+        return sum(len(jobs) for jobs in self._inflight.values())

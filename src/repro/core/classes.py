@@ -1,0 +1,151 @@
+"""Size-class machinery (Section III of the paper).
+
+CUBEFIT partitions replicas into ``K`` classes by size.  With replication
+factor ``gamma``:
+
+* class ``tau`` for ``1 <= tau < K`` contains replicas with size in
+  ``( 1/(tau+gamma), 1/(tau+gamma-1) ]``;
+* class ``K`` ("tiny") contains replicas with size in
+  ``( 0, 1/(K+gamma-1) ]``.
+
+Because every replica of a tenant of load ``x`` has size ``x/gamma <=
+1/gamma``, class 1's upper boundary ``1/gamma`` covers the largest
+possible replica.
+
+A *bin of class tau* is partitioned into ``tau + gamma - 1`` slots of
+size ``1/(tau+gamma-1)``: ``tau`` data slots for class-``tau`` replicas
+and ``gamma - 1`` slots reserved empty for failover.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ConfigurationError
+
+#: Relative tolerance used when deciding which side of a class boundary a
+#: replica size falls on.  ``1/5`` computed in floating point may come out
+#: a hair under 0.2; without the tolerance such a replica would land in
+#: the wrong (smaller) class.
+BOUNDARY_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class SizeClassifier:
+    """Maps replica/tenant sizes to CUBEFIT classes.
+
+    Parameters
+    ----------
+    num_classes:
+        ``K``, the number of classes.  The paper suggests ``K = 10`` for
+        large data centers and ``K = 5`` for smaller settings.
+    gamma:
+        Replication factor.
+    """
+
+    num_classes: int
+    gamma: int
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 2:
+            raise ConfigurationError(
+                f"num_classes (K) must be >= 2, got {self.num_classes}")
+        if self.gamma < 2:
+            raise ConfigurationError(
+                f"gamma must be >= 2, got {self.gamma}")
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def replica_class(self, size: float) -> int:
+        """Class of a replica of the given ``size``.
+
+        The class ``tau`` satisfies ``tau+gamma-1 <= 1/size < tau+gamma``
+        (left inequality from the inclusive upper boundary), so ``tau =
+        floor(1/size) - gamma + 1``, clamped to ``K`` for tiny replicas.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``size`` is non-positive or exceeds ``1/gamma`` (no valid
+            replica can be larger than that).
+        """
+        if size <= 0.0:
+            raise ConfigurationError(
+                f"replica size must be positive, got {size!r}")
+        inv = 1.0 / size
+        tau = int(math.floor(inv + BOUNDARY_EPS)) - self.gamma + 1
+        if tau < 1:
+            raise ConfigurationError(
+                f"replica size {size!r} exceeds the maximum replica size "
+                f"1/gamma = {1.0 / self.gamma!r}")
+        return min(tau, self.num_classes)
+
+    def tenant_class(self, load: float) -> int:
+        """Class of the replicas of a tenant with total ``load``."""
+        return self.replica_class(load / self.gamma)
+
+    def is_tiny(self, size: float) -> bool:
+        """Whether a replica of ``size`` belongs to the tiny class ``K``."""
+        return self.replica_class(size) == self.num_classes
+
+    # ------------------------------------------------------------------
+    # Class geometry
+    # ------------------------------------------------------------------
+    def class_bounds(self, tau: int) -> Tuple[float, float]:
+        """Half-open replica-size interval ``(lo, hi]`` of class ``tau``."""
+        self._check_class(tau)
+        hi = 1.0 / (tau + self.gamma - 1)
+        lo = 0.0 if tau == self.num_classes else 1.0 / (tau + self.gamma)
+        return (lo, hi)
+
+    def slots_per_bin(self, tau: int) -> int:
+        """Total slots in a class-``tau`` bin (data + reserved)."""
+        self._check_class(tau, allow_tiny=False)
+        return tau + self.gamma - 1
+
+    def data_slots(self, tau: int) -> int:
+        """Slots of a class-``tau`` bin available for class-``tau``
+        replicas (the remaining ``gamma-1`` are the failover reserve)."""
+        self._check_class(tau, allow_tiny=False)
+        return tau
+
+    @property
+    def reserved_slots(self) -> int:
+        """Slots per bin kept empty in anticipation of failures."""
+        return self.gamma - 1
+
+    def slot_size(self, tau: int) -> float:
+        """Size of each slot of a class-``tau`` bin."""
+        return 1.0 / self.slots_per_bin(tau)
+
+    def tiny_threshold(self) -> float:
+        """Upper boundary of the tiny class: ``1/(K+gamma-1)``."""
+        return 1.0 / (self.num_classes + self.gamma - 1)
+
+    def alpha(self) -> int:
+        """The paper's ``alpha_K``: largest integer with
+        ``alpha^2 + alpha < K``.
+
+        Used by the theoretical tiny-tenant policy, which groups tiny
+        replicas into multi-replicas with total size in
+        ``(1/(alpha+1), 1/alpha]``.
+        """
+        a = int(math.floor((math.sqrt(4 * self.num_classes + 1) - 1) / 2))
+        # Guard against floating point on the boundary.
+        while (a + 1) * (a + 1) + (a + 1) < self.num_classes:
+            a += 1
+        while a >= 1 and a * a + a >= self.num_classes:
+            a -= 1
+        return a
+
+    def _check_class(self, tau: int, allow_tiny: bool = True) -> None:
+        hi = self.num_classes if allow_tiny else self.num_classes - 1
+        if not (1 <= tau <= hi):
+            raise ConfigurationError(
+                f"class must be in [1, {hi}], got {tau}")
+
+    def __str__(self) -> str:
+        return f"SizeClassifier(K={self.num_classes}, gamma={self.gamma})"

@@ -1,0 +1,169 @@
+"""Cube addressing machinery for CUBEFIT's second stage.
+
+For each class ``tau < K`` the algorithm keeps ``gamma`` *groups*, each of
+``tau^(gamma-1)`` bins.  The ``tau`` data slots of a group's bins together
+form a ``gamma``-dimensional cube with ``tau^gamma`` slots.  A counter
+``cnt_tau`` in ``[0, tau^gamma)`` is encoded as ``gamma`` digits in base
+``tau`` (most significant first); replica ``j`` (0-based) of the current
+tenant goes to the slot addressed by the ``j``-fold right cyclic shift of
+those digits, inside group ``j``'s cube.  Within a cube, the first
+``gamma-1`` digits select the bin and the last digit selects the slot.
+
+This addressing is what guarantees Lemma 1 (any two bins share replicas
+of at most one tenant): tenants sharing a bin in group ``j`` have counter
+values that differ in exactly one digit position (which position depends
+on ``j``), so no two tenants can share two different bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+
+def to_digits(value: int, base: int, width: int) -> Tuple[int, ...]:
+    """Encode ``value`` as ``width`` digits in ``base``, MSB first.
+
+    ``base == 1`` is allowed (all digits are 0; only ``value == 0`` is
+    representable), matching class ``tau = 1`` whose cube has one slot.
+    """
+    if base < 1:
+        raise ConfigurationError(f"base must be >= 1, got {base}")
+    if width < 1:
+        raise ConfigurationError(f"width must be >= 1, got {width}")
+    limit = base ** width
+    if not (0 <= value < limit):
+        raise ConfigurationError(
+            f"value {value} not representable in {width} base-{base} digits")
+    digits = []
+    for _ in range(width):
+        digits.append(value % base)
+        value //= base
+    return tuple(reversed(digits))
+
+
+def from_digits(digits: Tuple[int, ...], base: int) -> int:
+    """Inverse of :func:`to_digits` (MSB first)."""
+    value = 0
+    for d in digits:
+        if not (0 <= d < max(base, 1)):
+            raise ConfigurationError(
+                f"digit {d} out of range for base {base}")
+        value = value * base + d
+    return value
+
+
+def rotate_right(digits: Tuple[int, ...], shifts: int) -> Tuple[int, ...]:
+    """Cyclic right shift: one shift maps ``(d1..dn)`` to ``(dn, d1..d(n-1))``."""
+    n = len(digits)
+    if n == 0:
+        return digits
+    shifts %= n
+    if shifts == 0:
+        return digits
+    return digits[-shifts:] + digits[:-shifts]
+
+
+@dataclass(frozen=True)
+class SlotAddress:
+    """Location of one replica in the cube scheme.
+
+    ``group`` is the cube index (== replica index), ``bin_index`` the bin
+    within the group's array of ``tau^(gamma-1)`` bins, and ``slot`` the
+    data slot within that bin (``0 .. tau-1``).
+    """
+
+    group: int
+    bin_index: int
+    slot: int
+
+
+class ClassCubes:
+    """The cube state for a single class ``tau``: groups, bins, counter.
+
+    Bin *creation* is lazy: the physical server backing a ``(group,
+    bin_index)`` pair is opened only when the first replica is routed to
+    it, so the algorithm's server count reflects servers actually used.
+    A fresh generation of groups replaces the old one when the counter
+    wraps at ``tau^gamma`` (the old bins are full by then).
+
+    The class does not touch servers itself: callers resolve addresses
+    through :meth:`bin_id` / :meth:`assign_bin`.
+    """
+
+    def __init__(self, tau: int, gamma: int) -> None:
+        if tau < 1:
+            raise ConfigurationError(f"tau must be >= 1, got {tau}")
+        if gamma < 2:
+            raise ConfigurationError(f"gamma must be >= 2, got {gamma}")
+        self.tau = tau
+        self.gamma = gamma
+        self.counter = 0
+        self.generation = 0
+        self._bins_per_group = tau ** (gamma - 1)
+        self._period = tau ** gamma
+        self._groups: List[List[Optional[int]]] = self._fresh_groups()
+
+    def _fresh_groups(self) -> List[List[Optional[int]]]:
+        return [[None] * self._bins_per_group for _ in range(self.gamma)]
+
+    @property
+    def period(self) -> int:
+        """Tenants per generation: ``tau^gamma``."""
+        return self._period
+
+    @property
+    def bins_per_group(self) -> int:
+        return self._bins_per_group
+
+    def current_addresses(self) -> List[SlotAddress]:
+        """Slot addresses for the tenant about to be placed.
+
+        Entry ``j`` is where replica ``j`` goes (inside group ``j``).
+        """
+        digits = to_digits(self.counter, self.tau, self.gamma)
+        addresses = []
+        for j in range(self.gamma):
+            rotated = rotate_right(digits, j)
+            bin_index = from_digits(rotated[:-1], self.tau)
+            addresses.append(SlotAddress(group=j, bin_index=bin_index,
+                                         slot=rotated[-1]))
+        return addresses
+
+    def bin_id(self, address: SlotAddress) -> Optional[int]:
+        """Server id backing ``address``'s bin, or None if not yet opened."""
+        return self._groups[address.group][address.bin_index]
+
+    def assign_bin(self, address: SlotAddress, server_id: int) -> None:
+        """Record the server opened for ``address``'s bin."""
+        if self._groups[address.group][address.bin_index] is not None:
+            raise ConfigurationError(
+                f"bin (group={address.group}, index={address.bin_index}) "
+                f"of class {self.tau} already assigned")
+        self._groups[address.group][address.bin_index] = server_id
+
+    def advance(self) -> bool:
+        """Move the counter past the current tenant.
+
+        Returns True when the counter wrapped, i.e. a fresh generation of
+        groups was allocated.
+        """
+        self.counter += 1
+        if self.counter == self._period:
+            self.counter = 0
+            self.generation += 1
+            self._groups = self._fresh_groups()
+            return True
+        return False
+
+    def open_bin_ids(self) -> List[int]:
+        """Server ids of bins opened in the current generation."""
+        return [sid for group in self._groups for sid in group
+                if sid is not None]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ClassCubes(tau={self.tau}, gamma={self.gamma}, "
+                f"counter={self.counter}/{self._period}, "
+                f"generation={self.generation})")

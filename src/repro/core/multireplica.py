@@ -1,0 +1,113 @@
+"""Multi-replica aggregation for tiny (class-``K``) tenants.
+
+Tiny replicas — those no larger than ``1/(K+gamma-1)`` — are too small to
+justify a slot each, so CUBEFIT coalesces them: the ``j``-th replicas of
+consecutive tiny tenants are appended to the ``j``-th *active
+multi-replica* until adding one more would push the multi-replica past a
+size threshold; then the multi-replica is *sealed* and a fresh one is
+created.  The ``gamma`` active multi-replicas always contain replicas of
+exactly the same tenants, so a multi-replica behaves exactly like one
+replica of a larger tenant and is routed through the cube machinery of a
+*target class*:
+
+* ``"alpha"`` policy (theory):   threshold ``1/alpha_K``, target class
+  ``alpha_K - gamma + 1``;
+* ``"last-class"`` policy (the paper's experiments): threshold equal to
+  the class-``(K-1)`` slot size ``1/(K+gamma-2)``, target class ``K-1``.
+
+A bin hosting an *unsealed* multi-replica is withheld from CUBEFIT's
+first stage (not reported mature) because the multi-replica may still
+grow into space the m-fit check would otherwise hand out; sealing
+releases the bin.  This conservative rule preserves Theorem 1 without
+extra bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .classes import SizeClassifier
+from .config import CubeFitConfig, TINY_POLICY_ALPHA
+from .tenant import LOAD_EPS
+
+
+@dataclass
+class MultiReplica:
+    """A group of co-located tiny replicas treated as one replica.
+
+    ``server_ids[j]`` hosts the ``j``-th copy; all copies contain replicas
+    of the same tenants (one replica each), so ``size`` — the per-copy
+    load — is the sum of the member replicas' loads.
+    """
+
+    server_ids: Tuple[int, ...]
+    size: float = 0.0
+    tenant_ids: List[int] = field(default_factory=list)
+    sealed: bool = False
+
+    def add(self, tenant_id: int, replica_load: float) -> None:
+        if self.sealed:
+            raise ConfigurationError(
+                "cannot add replicas to a sealed multi-replica")
+        self.tenant_ids.append(tenant_id)
+        self.size += replica_load
+
+    def remove(self, tenant_id: int, replica_load: float) -> None:
+        """Handle a member tenant's departure.
+
+        Allowed on sealed multi-replicas too (the space is simply freed
+        on the host bins); on the *active* multi-replica the shrunken
+        size lets future tiny replicas take the departed tenant's place.
+        """
+        try:
+            self.tenant_ids.remove(tenant_id)
+        except ValueError:
+            raise ConfigurationError(
+                f"tenant {tenant_id} is not part of this multi-replica"
+            ) from None
+        self.size = max(0.0, self.size - replica_load)
+
+    def __len__(self) -> int:
+        return len(self.tenant_ids)
+
+
+class MultiReplicaPolicy:
+    """Derives the threshold/target class for a tiny policy."""
+
+    def __init__(self, config: CubeFitConfig) -> None:
+        classifier = SizeClassifier(num_classes=config.num_classes,
+                                    gamma=config.gamma)
+        if config.tiny_policy == TINY_POLICY_ALPHA:
+            alpha = classifier.alpha()
+            if alpha < config.gamma:
+                # CubeFitConfig validates this, but guard against direct
+                # construction with inconsistent parameters.
+                raise ConfigurationError(
+                    f"alpha_K = {alpha} < gamma = {config.gamma}; the "
+                    f"'alpha' tiny policy is undefined for this K")
+            #: Maximum per-copy size of a multi-replica.
+            self.threshold = 1.0 / alpha
+            #: Class whose cube machinery places the multi-replicas.
+            self.target_class = alpha - config.gamma + 1
+        else:
+            self.target_class = config.num_classes - 1
+            self.threshold = classifier.slot_size(self.target_class)
+        # Sanity: a multi-replica must fit in its slot.
+        slot = classifier.slot_size(self.target_class)
+        if self.threshold > slot + LOAD_EPS:
+            raise ConfigurationError(
+                f"multi-replica threshold {self.threshold} exceeds the "
+                f"target class {self.target_class} slot size {slot}")
+
+    def fits(self, active: Optional[MultiReplica],
+             replica_load: float) -> bool:
+        """Whether ``replica_load`` still fits in the active multi-replica.
+
+        Mirrors the paper: the replica is added unless that would make the
+        multi-replica larger than the threshold.
+        """
+        if active is None or active.sealed:
+            return False
+        return active.size + replica_load <= self.threshold + LOAD_EPS

@@ -1,0 +1,319 @@
+"""Placement state with exact shared-load accounting.
+
+This module is the substrate every consolidation algorithm builds on.  It
+tracks, incrementally and exactly:
+
+* which server hosts which replica,
+* per-server load (the bin *level*),
+* the pairwise **shared load** ``|S_i ∩ S_j|`` — the total load of
+  replicas on ``S_i`` whose tenant also has a replica on ``S_j``.
+
+The paper's robustness condition (Section II) is expressed directly in
+these terms: a packing tolerates any ``f`` simultaneous server failures
+iff for every server ``S_i`` and every set ``S*`` of at most ``f`` other
+servers::
+
+    |S_i| + sum(|S_i ∩ S_j| for S_j in S*) <= 1
+
+Because shared loads are non-negative, the worst ``f``-subset for a given
+server is simply its ``f`` largest shared-load partners, which makes the
+audit linear-time per server.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, PlacementError
+from .server import Server, UNIT_CAPACITY
+from .tenant import LOAD_EPS, Replica, Tenant
+
+ReplicaKey = Tuple[int, int]
+
+
+class PlacementState:
+    """Mutable assignment of replicas to servers.
+
+    Parameters
+    ----------
+    gamma:
+        Replication factor (replicas per tenant); typically 2 or 3.
+    capacity:
+        Per-server capacity; the paper normalizes this to 1.
+
+    Notes
+    -----
+    All mutations go through :meth:`place` / :meth:`unplace` (or the
+    tenant-level helpers :meth:`place_tenant` / :meth:`remove_tenant`) so
+    the shared-load index stays consistent.  Algorithms must never touch
+    :class:`~repro.core.server.Server` objects directly for mutation.
+    """
+
+    def __init__(self, gamma: int, capacity: float = UNIT_CAPACITY) -> None:
+        if gamma < 1:
+            raise ConfigurationError(f"gamma must be >= 1, got {gamma}")
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"capacity must be positive, got {capacity}")
+        self.gamma = gamma
+        self.capacity = capacity
+        self._servers: Dict[int, Server] = {}
+        self._next_server_id = 0
+        #: symmetric shared-load index: shared[a][b] == |S_a ∩ S_b|
+        self._shared: Dict[int, Dict[int, float]] = {}
+        #: tenant_id -> {replica index -> server id}
+        self._tenant_servers: Dict[int, Dict[int, int]] = {}
+        #: tenant_id -> tenant load (needed to rebuild shares on removal)
+        self._tenant_loads: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Server inventory
+    # ------------------------------------------------------------------
+    def open_server(self) -> Server:
+        """Provision a fresh, empty server and return it."""
+        server = Server(server_id=self._next_server_id,
+                        capacity=self.capacity)
+        self._servers[server.server_id] = server
+        self._shared[server.server_id] = {}
+        self._next_server_id += 1
+        return server
+
+    def server(self, server_id: int) -> Server:
+        """Look up a server by id."""
+        try:
+            return self._servers[server_id]
+        except KeyError:
+            raise PlacementError(f"no such server: {server_id}") from None
+
+    @property
+    def servers(self) -> List[Server]:
+        """All provisioned servers, in id order."""
+        return [self._servers[i] for i in sorted(self._servers)]
+
+    @property
+    def server_ids(self) -> List[int]:
+        return sorted(self._servers)
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __iter__(self) -> Iterator[Server]:
+        return iter(self.servers)
+
+    @property
+    def num_servers(self) -> int:
+        """Number of provisioned servers (the objective to minimize)."""
+        return len(self._servers)
+
+    @property
+    def num_nonempty_servers(self) -> int:
+        """Servers currently hosting at least one replica."""
+        return sum(1 for s in self._servers.values() if len(s) > 0)
+
+    @property
+    def num_tenants(self) -> int:
+        return len(self._tenant_servers)
+
+    # ------------------------------------------------------------------
+    # Replica placement
+    # ------------------------------------------------------------------
+    def place(self, replica: Replica, server_id: int) -> None:
+        """Host ``replica`` on server ``server_id``.
+
+        Updates the shared-load index against every sibling replica of the
+        same tenant that is already placed.
+        """
+        server = self.server(server_id)
+        siblings = self._tenant_servers.get(replica.tenant_id, {})
+        if replica.index in siblings:
+            raise PlacementError(
+                f"replica {replica.key} is already placed on server "
+                f"{siblings[replica.index]}")
+        server.add(replica)  # validates capacity and tenant-distinctness
+        shared_here = self._shared[server_id]
+        for other_id in siblings.values():
+            # Each replica of the tenant has the same load, so the shared
+            # load grows symmetrically by one replica load on both sides.
+            shared_here[other_id] = shared_here.get(other_id, 0.0) \
+                + replica.load
+            shared_other = self._shared[other_id]
+            shared_other[server_id] = shared_other.get(server_id, 0.0) \
+                + replica.load
+        if replica.tenant_id not in self._tenant_servers:
+            self._tenant_servers[replica.tenant_id] = {}
+            self._tenant_loads[replica.tenant_id] = 0.0
+        self._tenant_servers[replica.tenant_id][replica.index] = server_id
+        self._tenant_loads[replica.tenant_id] += replica.load
+
+    def unplace(self, replica_key: ReplicaKey, server_id: int) -> Replica:
+        """Remove a replica (rollback support); inverse of :meth:`place`."""
+        server = self.server(server_id)
+        replica = server.remove(replica_key)
+        tenant_id, index = replica_key
+        siblings = self._tenant_servers[tenant_id]
+        del siblings[index]
+        shared_here = self._shared[server_id]
+        for other_id in siblings.values():
+            shared_here[other_id] -= replica.load
+            if shared_here[other_id] <= LOAD_EPS:
+                del shared_here[other_id]
+            shared_other = self._shared[other_id]
+            shared_other[server_id] -= replica.load
+            if shared_other[server_id] <= LOAD_EPS:
+                del shared_other[server_id]
+        self._tenant_loads[tenant_id] -= replica.load
+        if not siblings:
+            del self._tenant_servers[tenant_id]
+            del self._tenant_loads[tenant_id]
+        return replica
+
+    def place_tenant(self, tenant: Tenant,
+                     server_ids: Sequence[int]) -> None:
+        """Place all ``gamma`` replicas of ``tenant`` at once.
+
+        ``server_ids[j]`` receives replica ``j``.  The ids must be
+        pairwise distinct and exactly ``gamma`` of them must be given.
+        Atomic: on failure, successfully placed replicas are rolled back.
+        """
+        if len(server_ids) != self.gamma:
+            raise PlacementError(
+                f"tenant {tenant.tenant_id}: expected {self.gamma} target "
+                f"servers, got {len(server_ids)}")
+        if len(set(server_ids)) != len(server_ids):
+            raise PlacementError(
+                f"tenant {tenant.tenant_id}: target servers must be "
+                f"distinct, got {server_ids}")
+        placed: List[Tuple[ReplicaKey, int]] = []
+        try:
+            for replica, server_id in zip(tenant.replicas(self.gamma),
+                                          server_ids):
+                self.place(replica, server_id)
+                placed.append((replica.key, server_id))
+        except Exception:
+            for key, server_id in reversed(placed):
+                self.unplace(key, server_id)
+            raise
+
+    def remove_tenant(self, tenant_id: int) -> None:
+        """Remove every replica of ``tenant_id`` from the placement."""
+        try:
+            siblings = dict(self._tenant_servers[tenant_id])
+        except KeyError:
+            raise PlacementError(
+                f"tenant {tenant_id} is not placed") from None
+        for index, server_id in siblings.items():
+            self.unplace((tenant_id, index), server_id)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def tenant_servers(self, tenant_id: int) -> Dict[int, int]:
+        """Mapping ``replica index -> server id`` for a placed tenant."""
+        return dict(self._tenant_servers.get(tenant_id, {}))
+
+    def tenant_load(self, tenant_id: int) -> float:
+        """Total placed load of the tenant (sum over placed replicas)."""
+        return self._tenant_loads.get(tenant_id, 0.0)
+
+    @property
+    def tenant_ids(self) -> List[int]:
+        return sorted(self._tenant_servers)
+
+    def shared_load(self, a: int, b: int) -> float:
+        """``|S_a ∩ S_b|``: load on ``a`` of tenants also replicated on ``b``."""
+        return self._shared[a].get(b, 0.0)
+
+    def shared_partners(self, server_id: int) -> Dict[int, float]:
+        """All servers sharing at least one tenant with ``server_id``."""
+        return dict(self._shared[server_id])
+
+    def worst_failover_load(self, server_id: int,
+                            failures: Optional[int] = None) -> float:
+        """Upper bound on load redirected to ``server_id``.
+
+        This is the paper's worst case over failure sets: the sum of the
+        ``failures`` largest shared loads of the server (defaults to
+        ``gamma - 1`` failures).
+        """
+        f = self.gamma - 1 if failures is None else failures
+        if f <= 0:
+            return 0.0
+        values = self._shared[server_id].values()
+        if len(values) <= f:
+            return sum(values)
+        return sum(heapq.nlargest(f, values))
+
+    def slack(self, server_id: int, failures: Optional[int] = None) -> float:
+        """Capacity remaining after load plus worst-case failover load.
+
+        A non-negative slack for every server is exactly the paper's
+        robustness condition for the given failure budget.
+        """
+        server = self.server(server_id)
+        return (server.capacity - server.load
+                - self.worst_failover_load(server_id, failures))
+
+    def is_robust(self, server_id: int,
+                  failures: Optional[int] = None) -> bool:
+        """Whether one server meets the robustness condition."""
+        return self.slack(server_id, failures) >= -LOAD_EPS
+
+    def failover_load(self, server_id: int,
+                      failed: Iterable[int]) -> float:
+        """Load redirected to ``server_id`` for a *specific* failure set.
+
+        Uses the paper's conservative accounting (each failed partner
+        redirects its full shared load), i.e.
+        ``sum(|S ∩ F| for F in failed)``.
+        """
+        shared = self._shared[server_id]
+        return sum(shared.get(f, 0.0) for f in failed if f != server_id)
+
+    def exact_failover_load(self, server_id: int,
+                            failed: Iterable[int]) -> float:
+        """Load redirected to ``server_id`` under *exact* redistribution.
+
+        When ``k`` of a tenant's servers fail, its total load ``x`` is
+        re-shared evenly among the ``gamma - k`` survivors, so each
+        survivor's share grows from ``x/gamma`` to ``x/(gamma-k)``.  This
+        is the semantics the cluster simulator implements; it is never
+        larger than :meth:`failover_load` and coincides with it when all
+        ``gamma - 1`` partners of a tenant fail.
+        """
+        failed_set = set(failed)
+        failed_set.discard(server_id)
+        extra = 0.0
+        server = self.server(server_id)
+        for (tenant_id, _index) in server.replicas:
+            homes = set(self._tenant_servers[tenant_id].values())
+            k = len(homes & failed_set)
+            if k == 0:
+                continue
+            survivors = len(homes) - k
+            if survivors <= 0:
+                continue  # tenant fully lost; no load to redirect
+            x = self._tenant_loads[tenant_id]
+            extra += x / survivors - x / len(homes)
+        return extra
+
+    def utilization(self) -> float:
+        """Mean load across non-empty servers (paper's 'average server
+        utilization' statistic)."""
+        nonempty = [s for s in self._servers.values() if len(s) > 0]
+        if not nonempty:
+            return 0.0
+        return sum(s.load for s in nonempty) / len(nonempty)
+
+    def total_load(self) -> float:
+        """Total placed replica load across all servers."""
+        return sum(s.load for s in self._servers.values())
+
+    def snapshot(self) -> Dict[int, List[ReplicaKey]]:
+        """Cheap, copyable description of the assignment for reporting."""
+        return {sid: sorted(server.replicas)
+                for sid, server in self._servers.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PlacementState(gamma={self.gamma}, "
+                f"servers={self.num_servers}, tenants={self.num_tenants})")

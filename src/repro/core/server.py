@@ -1,0 +1,111 @@
+"""Server (bin) model used by the packing core.
+
+Each server has unit capacity (Section II).  A server hosts replicas of
+distinct tenants; its *level* is the total load of hosted replicas.  The
+packing algorithms additionally annotate servers with algorithm-specific
+metadata (e.g. the CUBEFIT bin class) through the :attr:`Server.tags`
+mapping so that the core model stays algorithm-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Tuple
+
+from ..errors import CapacityError, PlacementError
+from .tenant import LOAD_EPS, Replica
+
+#: Default (normalized) server capacity.
+UNIT_CAPACITY = 1.0
+
+ReplicaKey = Tuple[int, int]
+
+
+@dataclass
+class Server:
+    """A single server machine with unit capacity.
+
+    Mutating operations are intended to be driven through
+    :class:`repro.core.placement.PlacementState`, which also maintains the
+    cross-server shared-load index required for robustness accounting.
+    """
+
+    server_id: int
+    capacity: float = UNIT_CAPACITY
+    #: Replicas hosted by this server, keyed by ``(tenant_id, index)``.
+    replicas: Dict[ReplicaKey, Replica] = field(default_factory=dict)
+    #: Algorithm-specific annotations (e.g. CUBEFIT bin class, maturity).
+    tags: Dict[str, Any] = field(default_factory=dict)
+    _load: float = 0.0
+
+    @property
+    def load(self) -> float:
+        """Total load of replicas currently hosted (the bin *level*)."""
+        return self._load
+
+    @property
+    def free(self) -> float:
+        """Unused capacity (before any failover reservation)."""
+        return self.capacity - self._load
+
+    @property
+    def tenant_ids(self) -> set:
+        """Ids of tenants with a replica on this server."""
+        return {tenant_id for tenant_id, _ in self.replicas}
+
+    def hosts_tenant(self, tenant_id: int) -> bool:
+        """Whether any replica of ``tenant_id`` lives here."""
+        return any(tid == tenant_id for tid, _ in self.replicas)
+
+    def add(self, replica: Replica) -> None:
+        """Host ``replica``.
+
+        Raises
+        ------
+        PlacementError
+            If a replica of the same tenant is already hosted here (the
+            problem requires gamma *distinct* servers per tenant).
+        CapacityError
+            If hosting the replica would exceed the server capacity.
+        """
+        if self.hosts_tenant(replica.tenant_id):
+            raise PlacementError(
+                f"server {self.server_id} already hosts a replica of "
+                f"tenant {replica.tenant_id}")
+        if self._load + replica.load > self.capacity + LOAD_EPS:
+            raise CapacityError(
+                f"server {self.server_id}: load {self._load:.6f} + replica "
+                f"{replica.load:.6f} exceeds capacity {self.capacity}")
+        self.replicas[replica.key] = replica
+        self._load += replica.load
+
+    def remove(self, key: ReplicaKey) -> Replica:
+        """Remove and return the replica identified by ``key``.
+
+        Raises
+        ------
+        PlacementError
+            If no such replica is hosted here.
+        """
+        try:
+            replica = self.replicas.pop(key)
+        except KeyError:
+            raise PlacementError(
+                f"server {self.server_id} does not host replica {key}"
+            ) from None
+        self._load -= replica.load
+        if -1e-9 < self._load < 0.0:
+            # Clamp float drift; leave genuinely negative loads visible
+            # (they would indicate a bookkeeping bug upstream).
+            self._load = 0.0
+        return replica
+
+    def __iter__(self) -> Iterator[Replica]:
+        return iter(self.replicas.values())
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Server(id={self.server_id}, load={self._load:.4f}, "
+                f"replicas={len(self.replicas)}, tags={self.tags})")

@@ -1,0 +1,137 @@
+"""Tenant and replica value objects.
+
+A *tenant* is a client application with an associated **load**: the
+fraction of one server's capacity the tenant needs to meet its SLA
+(Section II of the paper).  Loads are normalized to ``(0, 1]`` and every
+server has unit capacity.
+
+Upon arrival a tenant of load ``x`` is split into ``gamma`` *replicas*,
+each of load ``x / gamma``, that must be placed on ``gamma`` distinct
+servers.  The analytic (read-mostly) workload of the tenant is shared
+evenly between its replicas, which is why replica load is an equal split
+of the tenant load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..errors import ConfigurationError
+
+#: Absolute tolerance used throughout the packing core when comparing
+#: floating-point loads against capacities and class boundaries.
+LOAD_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """A tenant identified by ``tenant_id`` with normalized ``load``.
+
+    Parameters
+    ----------
+    tenant_id:
+        Unique non-negative identifier.  The placement core treats ids as
+        opaque; generators hand them out sequentially.
+    load:
+        Total load in ``(0, 1]``, i.e. the minimum amount of in-memory
+        server compute resource the tenant needs to meet its SLA.
+    """
+
+    tenant_id: int
+    load: float
+
+    def __post_init__(self) -> None:
+        if self.tenant_id < 0:
+            raise ConfigurationError(
+                f"tenant_id must be non-negative, got {self.tenant_id}")
+        if not (0.0 < self.load <= 1.0 + LOAD_EPS):
+            raise ConfigurationError(
+                f"tenant load must be in (0, 1], got {self.load!r}")
+
+    def replica_load(self, gamma: int) -> float:
+        """Load of each of the tenant's ``gamma`` replicas."""
+        return self.load / gamma
+
+    def replicas(self, gamma: int) -> tuple["Replica", ...]:
+        """Materialize the ``gamma`` replicas of this tenant."""
+        share = self.replica_load(gamma)
+        return tuple(
+            Replica(tenant_id=self.tenant_id, index=j, load=share)
+            for j in range(gamma)
+        )
+
+
+@dataclass(frozen=True)
+class Replica:
+    """One of the ``gamma`` replicas of a tenant.
+
+    ``index`` is the replica's position ``0 .. gamma-1`` within its
+    tenant; the CUBEFIT cube machinery places replica ``j`` in cube
+    (group) ``j``.
+    """
+
+    tenant_id: int
+    index: int
+    load: float
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigurationError(
+                f"replica index must be non-negative, got {self.index}")
+        if self.load <= 0.0:
+            raise ConfigurationError(
+                f"replica load must be positive, got {self.load!r}")
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """Stable ``(tenant_id, index)`` identity of the replica."""
+        return (self.tenant_id, self.index)
+
+
+@dataclass
+class TenantSequence:
+    """An ordered, online sequence of tenants.
+
+    The consolidation problem is online: algorithms see tenants one at a
+    time, in arrival order, with no knowledge of future arrivals.  This
+    wrapper carries the arrival order plus provenance metadata (which
+    generator produced it, with which seed) so experiment outputs are
+    reproducible.
+    """
+
+    tenants: Sequence[Tenant]
+    description: str = ""
+    seed: int | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[Tenant]:
+        return iter(self.tenants)
+
+    def __len__(self) -> int:
+        return len(self.tenants)
+
+    def __getitem__(self, i: int) -> Tenant:
+        return self.tenants[i]
+
+    @property
+    def total_load(self) -> float:
+        """Sum of tenant loads — a trivial lower bound on servers needed."""
+        return sum(t.load for t in self.tenants)
+
+    @property
+    def loads(self) -> list[float]:
+        """The raw load values, in arrival order."""
+        return [t.load for t in self.tenants]
+
+
+def make_tenants(loads: Sequence[float], start_id: int = 0) -> list[Tenant]:
+    """Build a list of :class:`Tenant` from raw loads.
+
+    Convenience used pervasively by tests and examples::
+
+        >>> [t.load for t in make_tenants([0.6, 0.3])]
+        [0.6, 0.3]
+    """
+    return [Tenant(tenant_id=start_id + i, load=load)
+            for i, load in enumerate(loads)]

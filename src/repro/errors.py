@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration mistakes from invariant
+violations detected at run time.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter is outside its documented domain.
+
+    Examples: a replication factor below 2, a class count below 1, a
+    tenant load outside ``(0, 1]``.
+    """
+
+
+class PlacementError(ReproError):
+    """A placement operation could not be carried out.
+
+    Raised, for example, when a replica is placed twice on the same
+    server, when a rollback references a replica that is not present, or
+    when an algorithm produces an assignment that does not respect the
+    "gamma distinct servers per tenant" rule.
+    """
+
+
+class CapacityError(PlacementError):
+    """Placing a replica would exceed a server's unit capacity."""
+
+
+class RobustnessViolation(ReproError):
+    """A packing failed the failure-tolerance audit.
+
+    The audit checks the paper's condition: for every server ``S`` and
+    every set ``S*`` of at most ``gamma - 1`` other servers,
+    ``|S| + sum(|S ∩ T| for T in S*) <= 1``.
+    """
+
+    def __init__(self, message: str, server_id: int | None = None,
+                 failed_set: tuple[int, ...] | None = None,
+                 overload: float | None = None) -> None:
+        super().__init__(message)
+        #: Server that would be overloaded, if known.
+        self.server_id = server_id
+        #: The failure set that triggers the overload, if known.
+        self.failed_set = failed_set
+        #: Load in excess of capacity, if known.
+        self.overload = overload
+
+
+class SimulationError(ReproError):
+    """The discrete-event cluster simulation reached an invalid state."""
+
+
+class CalibrationError(ReproError):
+    """Load-model calibration could not find a separating line."""

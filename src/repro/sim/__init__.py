@@ -1,0 +1,39 @@
+"""Experiment harnesses reproducing the paper's evaluation section."""
+
+from .scenarios import (ScaleProfile, current_scale, FULL_SCALE,
+                        DEFAULT_SCALE, FULL_SCALE_ENV,
+                        figure6_distributions, table1_distributions,
+                        figure5_client_distributions,
+                        FIGURE6_UNIFORM_MAXES, FIGURE6_ZIPF_EXPONENTS)
+from .runner import (RunStats, ComparisonResult, run_once, compare,
+                     AlgorithmFactory)
+from .timing import ScalingPoint, ScalingStudy, scaling_study
+from .churn import (ChurnConfig, ChurnSample, ChurnResult, run_churn)
+from .sensitivity import (SensitivityPoint, SensitivityCurve,
+                          mu_sensitivity, k_sensitivity, DEFAULT_MUS,
+                          DEFAULT_KS)
+from .elasticity import (ElasticityConfig, ElasticityResult,
+                         run_elasticity)
+from .soak import SoakConfig, SoakResult, run_soak, DEFAULT_MIX
+from .figures import (figure5, figure6, table1, theorem2, fill_cluster,
+                      FilledCluster, Figure5Result, Figure6Result,
+                      Table1Result, Theorem2Result, Figure5Row,
+                      Figure6Row, Table1Row, Theorem2Row,
+                      figure5_configurations, THEOREM2_KS)
+
+__all__ = [
+    "ScaleProfile", "current_scale", "FULL_SCALE", "DEFAULT_SCALE",
+    "FULL_SCALE_ENV", "figure6_distributions", "table1_distributions",
+    "figure5_client_distributions", "FIGURE6_UNIFORM_MAXES",
+    "FIGURE6_ZIPF_EXPONENTS", "RunStats", "ComparisonResult", "run_once",
+    "compare", "AlgorithmFactory", "figure5", "figure6", "table1",
+    "theorem2", "fill_cluster", "FilledCluster", "Figure5Result",
+    "Figure6Result", "Table1Result", "Theorem2Result", "Figure5Row",
+    "Figure6Row", "Table1Row", "Theorem2Row", "figure5_configurations",
+    "THEOREM2_KS", "ScalingPoint", "ScalingStudy", "scaling_study",
+    "ChurnConfig", "ChurnSample", "ChurnResult", "run_churn",
+    "SensitivityPoint", "SensitivityCurve", "mu_sensitivity",
+    "k_sensitivity", "DEFAULT_MUS", "DEFAULT_KS", "ElasticityConfig",
+    "ElasticityResult", "run_elasticity", "SoakConfig", "SoakResult",
+    "run_soak", "DEFAULT_MIX",
+]

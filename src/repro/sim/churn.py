@@ -1,0 +1,175 @@
+"""Tenant churn simulation: arrivals and departures over time.
+
+The paper's model is arrival-only; real multi-tenant fleets also lose
+tenants.  This harness drives a placement algorithm with a birth-death
+workload — Poisson arrivals, exponential tenant lifetimes — and samples
+fleet statistics over time, exposing how well each algorithm's freed
+space is reclaimed (CUBEFIT's first stage and the checked baselines
+reuse departure holes through their normal candidate search).
+
+The simulation is event-driven in *logical* time: what matters to the
+placement question is the interleaving of arrivals and departures, not
+query-level dynamics (that is :mod:`repro.cluster`'s job).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..algorithms.base import OnlinePlacementAlgorithm
+from ..analysis.report import Table
+from ..core.tenant import Tenant
+from ..core.validation import audit
+from ..errors import ConfigurationError
+from ..workloads.distributions import LoadDistribution
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Birth-death workload parameters.
+
+    ``arrival_rate`` tenants arrive per unit time; each lives for an
+    exponential time with mean ``mean_lifetime``.  In steady state the
+    expected population is ``arrival_rate * mean_lifetime``.
+    """
+
+    arrival_rate: float = 10.0
+    mean_lifetime: float = 50.0
+    horizon: float = 200.0
+    sample_every: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0 or self.mean_lifetime <= 0:
+            raise ConfigurationError(
+                "arrival_rate and mean_lifetime must be positive")
+        if self.horizon <= 0 or self.sample_every <= 0:
+            raise ConfigurationError(
+                "horizon and sample_every must be positive")
+
+    @property
+    def expected_population(self) -> float:
+        return self.arrival_rate * self.mean_lifetime
+
+
+@dataclass
+class ChurnSample:
+    """Fleet state at one sample instant."""
+
+    time: float
+    tenants: int
+    servers_nonempty: int
+    servers_opened_total: int
+    utilization: float
+
+
+@dataclass
+class ChurnResult:
+    """Timeline of one churn run."""
+
+    algorithm: str
+    config: ChurnConfig
+    samples: List[ChurnSample] = field(default_factory=list)
+    arrivals: int = 0
+    departures: int = 0
+    final_robust: bool = True
+
+    def steady_state(self, skip_fraction: float = 0.5
+                     ) -> List[ChurnSample]:
+        """Samples after the warm-up portion of the horizon."""
+        cut = self.config.horizon * skip_fraction
+        return [s for s in self.samples if s.time >= cut]
+
+    @property
+    def mean_steady_servers(self) -> float:
+        steady = self.steady_state()
+        if not steady:
+            return 0.0
+        return sum(s.servers_nonempty for s in steady) / len(steady)
+
+    @property
+    def mean_steady_utilization(self) -> float:
+        steady = self.steady_state()
+        if not steady:
+            return 0.0
+        return sum(s.utilization for s in steady) / len(steady)
+
+    def to_table(self) -> Table:
+        table = Table(
+            title=f"Churn timeline — {self.algorithm} "
+                  f"(rate {self.config.arrival_rate}/t, "
+                  f"mean life {self.config.mean_lifetime}t)",
+            columns=["time", "tenants", "servers", "opened_total",
+                     "utilization"])
+        for s in self.samples:
+            table.add_row(round(s.time, 1), s.tenants, s.servers_nonempty,
+                          s.servers_opened_total, round(s.utilization, 3))
+        return table
+
+
+def run_churn(factory: Callable[[], OnlinePlacementAlgorithm],
+              distribution: LoadDistribution,
+              config: Optional[ChurnConfig] = None) -> ChurnResult:
+    """Drive one algorithm through a birth-death tenant workload."""
+    cfg = config if config is not None else ChurnConfig()
+    rng = np.random.default_rng(cfg.seed)
+    algorithm = factory()
+    result = ChurnResult(algorithm=algorithm.name, config=cfg)
+
+    # Event heap: (time, seq, kind, tenant_id); seq breaks ties FIFO.
+    events: List[tuple] = []
+    seq = 0
+    next_arrival = float(rng.exponential(1.0 / cfg.arrival_rate))
+    heapq.heappush(events, (next_arrival, seq, "arrive", None))
+    next_tenant_id = 0
+    next_sample = cfg.sample_every
+    alive: Dict[int, float] = {}
+
+    while events:
+        time, _seq, kind, tenant_id = heapq.heappop(events)
+        if time > cfg.horizon:
+            break
+        while next_sample <= time:
+            result.samples.append(_sample(next_sample, algorithm))
+            next_sample += cfg.sample_every
+        if kind == "arrive":
+            load = float(distribution.sample(rng, 1)[0])
+            tenant = Tenant(next_tenant_id, load)
+            algorithm.place(tenant)
+            alive[next_tenant_id] = load
+            result.arrivals += 1
+            lifetime = float(rng.exponential(cfg.mean_lifetime))
+            seq += 1
+            heapq.heappush(events,
+                           (time + lifetime, seq, "depart",
+                            next_tenant_id))
+            next_tenant_id += 1
+            seq += 1
+            gap = float(rng.exponential(1.0 / cfg.arrival_rate))
+            heapq.heappush(events, (time + gap, seq, "arrive", None))
+        else:
+            if tenant_id in alive:
+                algorithm.remove(tenant_id)
+                del alive[tenant_id]
+                result.departures += 1
+    while next_sample <= cfg.horizon:
+        result.samples.append(_sample(next_sample, algorithm))
+        next_sample += cfg.sample_every
+    result.final_robust = audit(algorithm.placement).ok
+    return result
+
+
+def _sample(time: float,
+            algorithm: OnlinePlacementAlgorithm) -> ChurnSample:
+    placement = algorithm.placement
+    return ChurnSample(
+        time=time,
+        tenants=placement.num_tenants,
+        servers_nonempty=placement.num_nonempty_servers,
+        servers_opened_total=placement.num_servers,
+        utilization=placement.utilization(),
+    )

@@ -1,0 +1,124 @@
+"""Elastic tenancy study: tenants whose load changes over time.
+
+The RTP baseline's setting is *elastic* in-memory clusters — a tenant's
+client count (and so its load) moves with demand.  This harness drives
+a placement algorithm with load-update events on a fixed tenant
+population and measures what elasticity costs:
+
+* **migrations** — load updates that moved the tenant to different
+  servers (data movement an operator must pay for);
+* **in-place updates** — updates absorbed by the tenant's current
+  servers (CUBEFIT's slot recycling makes same-class resizes in-place
+  whenever the robustness check admits them);
+* fleet size over time, under the invariant that robustness holds
+  after every single update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..algorithms.base import OnlinePlacementAlgorithm
+from ..analysis.report import Table
+from ..core.tenant import Tenant
+from ..core.validation import audit
+from ..errors import ConfigurationError
+from ..workloads.distributions import LoadDistribution
+
+
+@dataclass(frozen=True)
+class ElasticityConfig:
+    """Workload parameters for an elasticity run."""
+
+    n_tenants: int = 200
+    n_updates: int = 400
+    #: Multiplicative resize factor range (log-uniform).
+    min_factor: float = 0.5
+    max_factor: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_tenants < 1 or self.n_updates < 0:
+            raise ConfigurationError(
+                "n_tenants must be >= 1 and n_updates >= 0")
+        if not (0 < self.min_factor <= self.max_factor):
+            raise ConfigurationError(
+                "need 0 < min_factor <= max_factor")
+
+
+@dataclass
+class ElasticityResult:
+    """Outcome of one elasticity run."""
+
+    algorithm: str
+    config: ElasticityConfig
+    updates: int = 0
+    migrations: int = 0
+    in_place: int = 0
+    load_migrated: float = 0.0
+    servers_start: int = 0
+    servers_end: int = 0
+    robust_throughout: bool = True
+
+    @property
+    def migration_rate(self) -> float:
+        return self.migrations / self.updates if self.updates else 0.0
+
+    def to_table(self) -> Table:
+        table = Table(
+            title=f"Elasticity — {self.algorithm}",
+            columns=["updates", "migrations", "in_place",
+                     "migration_rate", "load_migrated",
+                     "servers_start", "servers_end"])
+        table.add_row(self.updates, self.migrations, self.in_place,
+                      round(self.migration_rate, 3),
+                      round(self.load_migrated, 2),
+                      self.servers_start, self.servers_end)
+        return table
+
+
+def run_elasticity(factory: Callable[[], OnlinePlacementAlgorithm],
+                   distribution: LoadDistribution,
+                   config: Optional[ElasticityConfig] = None,
+                   audit_every: int = 50) -> ElasticityResult:
+    """Place a population, then apply random resizes.
+
+    ``audit_every`` controls how often the full robustness audit runs
+    during the update stream (every update would be quadratic); the
+    final state is always audited.
+    """
+    cfg = config if config is not None else ElasticityConfig()
+    rng = np.random.default_rng(cfg.seed)
+    algorithm = factory()
+    loads = distribution.sample(rng, cfg.n_tenants)
+    for tid, load in enumerate(loads):
+        algorithm.place(Tenant(tid, float(load)))
+    result = ElasticityResult(algorithm=algorithm.name, config=cfg,
+                              servers_start=algorithm.placement
+                              .num_nonempty_servers)
+    current = {tid: float(load) for tid, load in enumerate(loads)}
+    log_lo, log_hi = np.log(cfg.min_factor), np.log(cfg.max_factor)
+    for step in range(cfg.n_updates):
+        tid = int(rng.integers(0, cfg.n_tenants))
+        factor = float(np.exp(rng.uniform(log_lo, log_hi)))
+        new_load = min(max(current[tid] * factor, 1e-4), 1.0)
+        before = set(algorithm.placement.tenant_servers(tid).values())
+        algorithm.update_load(tid, new_load)
+        after = set(algorithm.placement.tenant_servers(tid).values())
+        result.updates += 1
+        if after == before:
+            result.in_place += 1
+        else:
+            result.migrations += 1
+            result.load_migrated += new_load
+        current[tid] = new_load
+        if audit_every and (step + 1) % audit_every == 0:
+            if not audit(algorithm.placement).ok:
+                result.robust_throughout = False
+    if not audit(algorithm.placement).ok:
+        result.robust_throughout = False
+    result.servers_end = algorithm.placement.num_nonempty_servers
+    return result

@@ -1,0 +1,420 @@
+"""Reproduction entry points for every figure and table in the paper.
+
+* :func:`figure5`  — 99th-percentile latency of CUBEFIT (gamma = 2, 3;
+  K = 5) and RFI under worst-case 1- and 2-server failures, for uniform
+  and zipfian client populations, on the simulated cluster.
+* :func:`figure6`  — percentage server savings (relative difference) of
+  CUBEFIT over RFI across uniform and zipfian load distributions, with
+  95% confidence intervals over independent runs.
+* :func:`table1`   — yearly dollar savings for the uniform and zipfian
+  populations at 50,000 tenants (extrapolated when running scaled-down).
+* :func:`theorem2` — competitive-ratio upper bounds as a function of K
+  for gamma = 2 and gamma = 3.
+
+Each function returns a result object with ``rows()`` (machine-readable)
+and ``__str__`` (a table shaped like the paper's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..algorithms.base import OnlinePlacementAlgorithm
+from ..algorithms.rfi import RFI
+from ..analysis.competitive import competitive_ratio_upper_bound
+from ..analysis.cost import CostModel
+from ..analysis.stats import ConfidenceInterval
+from ..core.config import TINY_POLICY_ALPHA
+from ..core.cubefit import CubeFit
+from ..core.tenant import Tenant
+from ..cluster.experiment import ClusterConfig, ClusterExperiment
+from ..cluster.failures import worst_overload_failures
+from ..errors import ConfigurationError
+from ..workloads.distributions import ClientCountDistribution
+from ..workloads.loadmodel import LinearLoadModel, DEFAULT_LOAD_MODEL
+from .runner import compare
+from .scenarios import (ScaleProfile, current_scale,
+                        figure5_client_distributions,
+                        figure6_distributions, table1_distributions)
+
+# ---------------------------------------------------------------------------
+# Cluster filling (Section V-B: "We keep adding tenants until CUBEFIT
+# fills up all 69 data store servers.")
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FilledCluster:
+    """A placement produced by filling a fixed-size cluster."""
+
+    algorithm: OnlinePlacementAlgorithm
+    tenant_homes: Dict[int, List[int]]
+    tenant_clients: Dict[int, int]
+
+    @property
+    def num_tenants(self) -> int:
+        return len(self.tenant_homes)
+
+    @property
+    def total_clients(self) -> int:
+        return sum(self.tenant_clients.values())
+
+
+def fill_cluster(factory: Callable[[], OnlinePlacementAlgorithm],
+                 clients_distribution: ClientCountDistribution,
+                 load_model: LinearLoadModel = DEFAULT_LOAD_MODEL,
+                 max_servers: int = 69,
+                 seed: int = 0,
+                 max_tenants: int = 100_000,
+                 max_rejections: int = 30) -> FilledCluster:
+    """Add tenants online until the cluster is full.
+
+    Tenant loads come from the linear load model applied to sampled
+    client counts, exactly as in the system experiments.  A tenant whose
+    placement would exceed ``max_servers`` is removed again (admission
+    control at capacity); arrivals continue — later, smaller tenants may
+    still fit — until ``max_rejections`` consecutive tenants have been
+    turned away, at which point the cluster counts as full.
+    """
+    if max_servers < 1:
+        raise ConfigurationError(
+            f"max_servers must be >= 1, got {max_servers}")
+    algorithm = factory()
+    rng = np.random.default_rng(seed)
+    tenant_clients: Dict[int, int] = {}
+    consecutive_rejections = 0
+    for tenant_id in range(max_tenants):
+        clients = int(clients_distribution.sample(rng, 1)[0])
+        load = min(max(load_model.load(clients), 1e-6), 1.0)
+        tenant = Tenant(tenant_id=tenant_id, load=load)
+        algorithm.place(tenant)
+        if algorithm.placement.num_nonempty_servers > max_servers:
+            algorithm.placement.remove_tenant(tenant_id)
+            consecutive_rejections += 1
+            if consecutive_rejections >= max_rejections:
+                break
+            continue
+        consecutive_rejections = 0
+        tenant_clients[tenant_id] = clients
+    homes = {tid: sorted(algorithm.placement.tenant_servers(tid).values())
+             for tid in tenant_clients}
+    return FilledCluster(algorithm=algorithm, tenant_homes=homes,
+                         tenant_clients=tenant_clients)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure5Row:
+    """One bar of Figure 5."""
+
+    distribution: str
+    configuration: str
+    failures: int
+    p99: float
+    meets_sla: bool
+    dropped: int
+    tenants: int
+    failed_servers: Tuple[int, ...] = ()
+
+
+@dataclass
+class Figure5Result:
+    sla_seconds: float
+    rows_: List[Figure5Row] = field(default_factory=list)
+
+    def rows(self) -> List[Figure5Row]:
+        return list(self.rows_)
+
+    def row(self, distribution: str, configuration: str,
+            failures: int) -> Figure5Row:
+        for r in self.rows_:
+            if (r.distribution == distribution
+                    and r.configuration == configuration
+                    and r.failures == failures):
+                return r
+        raise KeyError((distribution, configuration, failures))
+
+    def __str__(self) -> str:
+        lines = [
+            "Figure 5: p99 latency under worst-case server failures "
+            f"(SLA = {self.sla_seconds:.0f} s at p99)",
+            f"{'distribution':<12} {'configuration':<22} {'fail':>4} "
+            f"{'p99 (s)':>8} {'SLA':>9} {'dropped':>8}",
+        ]
+        for r in self.rows_:
+            verdict = "meets" if r.meets_sla else "VIOLATES"
+            lines.append(
+                f"{r.distribution:<12} {r.configuration:<22} "
+                f"{r.failures:>4} {r.p99:>8.2f} {verdict:>9} "
+                f"{r.dropped:>8}")
+        return "\n".join(lines)
+
+
+def figure5_configurations() -> Dict[str, Callable[
+        [], OnlinePlacementAlgorithm]]:
+    """The three bars: CUBEFIT with 2 and 3 replicas (K = 5, as in the
+    system experiments) and RFI with 2 replicas (mu = 0.85)."""
+    return {
+        "CubeFit 2 replicas": lambda: CubeFit(gamma=2, num_classes=5),
+        "CubeFit 3 replicas": lambda: CubeFit(gamma=3, num_classes=5),
+        "RFI 2 replicas": lambda: RFI(gamma=2),
+    }
+
+
+def figure5(scale: Optional[ScaleProfile] = None,
+            failure_counts: Sequence[int] = (1, 2),
+            seed: int = 0,
+            configurations: Optional[Dict[str, Callable[
+                [], OnlinePlacementAlgorithm]]] = None) -> Figure5Result:
+    """Run the Section V-B failure experiments."""
+    profile = scale if scale is not None else current_scale()
+    if configurations is None:
+        configurations = figure5_configurations()
+    config = ClusterConfig(warmup=profile.cluster_warmup,
+                           measure=profile.cluster_measure,
+                           seed=seed)
+    result = Figure5Result(sla_seconds=config.sla_seconds)
+    for dist_name, clients_dist in figure5_client_distributions().items():
+        for conf_name, factory in configurations.items():
+            filled = fill_cluster(factory, clients_dist,
+                                  max_servers=profile.cluster_servers,
+                                  seed=seed)
+            experiment = ClusterExperiment(filled.tenant_homes,
+                                           filled.tenant_clients, config)
+            for f in failure_counts:
+                plan = worst_overload_failures(filled.tenant_homes,
+                                               filled.tenant_clients, f)
+                run = experiment.run(fail_servers=plan.failed)
+                result.rows_.append(Figure5Row(
+                    distribution=dist_name,
+                    configuration=conf_name,
+                    failures=f,
+                    p99=run.p99,
+                    meets_sla=run.meets_sla,
+                    dropped=run.dropped,
+                    tenants=filled.num_tenants,
+                    failed_servers=tuple(plan.failed),
+                ))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 6
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure6Row:
+    """One bar of Figure 6 (with its 95% CI whisker)."""
+
+    distribution: str
+    savings_percent: float
+    ci: ConfidenceInterval
+    rfi_servers: float
+    cubefit_servers: float
+
+
+@dataclass
+class Figure6Result:
+    tenants: int
+    runs: int
+    rows_: List[Figure6Row] = field(default_factory=list)
+
+    def rows(self) -> List[Figure6Row]:
+        return list(self.rows_)
+
+    def __str__(self) -> str:
+        lines = [
+            f"Figure 6: % server savings of CubeFit over RFI "
+            f"({self.tenants} tenants, {self.runs} runs, 95% CI)",
+            f"{'distribution':<22} {'savings %':>10} {'± CI':>7} "
+            f"{'RFI':>10} {'CubeFit':>10}",
+        ]
+        for r in self.rows_:
+            lines.append(
+                f"{r.distribution:<22} {r.savings_percent:>10.1f} "
+                f"{r.ci.half_width:>7.1f} {r.rfi_servers:>10.1f} "
+                f"{r.cubefit_servers:>10.1f}")
+        return "\n".join(lines)
+
+
+def figure6(scale: Optional[ScaleProfile] = None,
+            gamma: int = 2, num_classes: int = 10,
+            base_seed: int = 0) -> Figure6Result:
+    """Run the Section V-C consolidation comparison.
+
+    Uses K = 10 classes as the paper does for large tenant counts.
+    """
+    profile = scale if scale is not None else current_scale()
+    factories = {
+        "cubefit": lambda: CubeFit(gamma=gamma, num_classes=num_classes),
+        "rfi": lambda: RFI(gamma=gamma),
+    }
+    result = Figure6Result(tenants=profile.sim_tenants,
+                           runs=profile.sim_runs)
+    for distribution in figure6_distributions():
+        comparison = compare(factories, distribution,
+                             n_tenants=profile.sim_tenants,
+                             runs=profile.sim_runs, base_seed=base_seed)
+        result.rows_.append(Figure6Row(
+            distribution=distribution.name,
+            savings_percent=comparison.savings_percent("rfi", "cubefit"),
+            ci=comparison.savings_percent_ci("rfi", "cubefit"),
+            rfi_servers=comparison.mean_servers("rfi"),
+            cubefit_servers=comparison.mean_servers("cubefit"),
+        ))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table I
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table1Row:
+    distribution: str
+    rfi_servers: float
+    cubefit_servers: float
+    servers_saved: float
+    yearly_savings_usd: float
+    #: Extrapolation of the absolute columns to the paper's 50k tenants.
+    rfi_servers_50k: float
+    servers_saved_50k: float
+    yearly_savings_usd_50k: float
+
+
+@dataclass
+class Table1Result:
+    tenants: int
+    runs: int
+    rows_: List[Table1Row] = field(default_factory=list)
+
+    def rows(self) -> List[Table1Row]:
+        return list(self.rows_)
+
+    def __str__(self) -> str:
+        lines = [
+            f"Table I: yearly cost savings of CubeFit over RFI "
+            f"({self.tenants} tenants, {self.runs} runs; columns "
+            f"extrapolated to 50k tenants in parentheses)",
+            f"{'Distribution':<10} {'RFI servers':>12} {'Saved':>9} "
+            f"{'Dollar savings':>15}   {'(RFI@50k':>10} {'saved@50k':>10} "
+            f"{'$@50k)':>14}",
+        ]
+        for r in self.rows_:
+            lines.append(
+                f"{r.distribution:<10} {r.rfi_servers:>12,.0f} "
+                f"{r.servers_saved:>9,.0f} "
+                f"{r.yearly_savings_usd:>15,.0f}   "
+                f"{r.rfi_servers_50k:>10,.0f} {r.servers_saved_50k:>10,.0f} "
+                f"{r.yearly_savings_usd_50k:>14,.0f}")
+        return "\n".join(lines)
+
+
+def table1(scale: Optional[ScaleProfile] = None, gamma: int = 2,
+           num_classes: int = 10, base_seed: int = 0) -> Table1Result:
+    """Run the Table I cost computation."""
+    profile = scale if scale is not None else current_scale()
+    cost = CostModel()
+    factories = {
+        "cubefit": lambda: CubeFit(gamma=gamma, num_classes=num_classes),
+        "rfi": lambda: RFI(gamma=gamma),
+    }
+    result = Table1Result(tenants=profile.sim_tenants,
+                          runs=profile.sim_runs)
+    extrapolate = 1.0 / profile.tenant_scale
+    for name, distribution in table1_distributions().items():
+        comparison = compare(factories, distribution,
+                             n_tenants=profile.sim_tenants,
+                             runs=profile.sim_runs, base_seed=base_seed)
+        rfi_mean = comparison.mean_servers("rfi")
+        cube_mean = comparison.mean_servers("cubefit")
+        saved = rfi_mean - cube_mean
+        result.rows_.append(Table1Row(
+            distribution=name,
+            rfi_servers=rfi_mean,
+            cubefit_servers=cube_mean,
+            servers_saved=saved,
+            yearly_savings_usd=cost.yearly_savings(rfi_mean, cube_mean),
+            rfi_servers_50k=rfi_mean * extrapolate,
+            servers_saved_50k=saved * extrapolate,
+            yearly_savings_usd_50k=cost.yearly_savings(
+                rfi_mean, cube_mean) * extrapolate,
+        ))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Theorem 2
+# ---------------------------------------------------------------------------
+
+#: K values at which alpha_K increases (alpha(alpha+1) < K first holds),
+#: i.e. the interesting points of the bound-vs-K curve.
+THEOREM2_KS: Tuple[int, ...] = (13, 21, 31, 43, 57, 73, 91, 111, 133,
+                                157, 183, 211, 240)
+
+
+@dataclass
+class Theorem2Row:
+    gamma: int
+    num_classes: int
+    ratio: float
+    alpha: int
+
+
+@dataclass
+class Theorem2Result:
+    rows_: List[Theorem2Row] = field(default_factory=list)
+
+    def rows(self) -> List[Theorem2Row]:
+        return list(self.rows_)
+
+    def ratio_at(self, gamma: int, num_classes: int) -> float:
+        for r in self.rows_:
+            if r.gamma == gamma and r.num_classes == num_classes:
+                return r.ratio
+        raise KeyError((gamma, num_classes))
+
+    def __str__(self) -> str:
+        lines = [
+            "Theorem 2: competitive-ratio upper bound of CubeFit "
+            "(paper: approaches 1.59 for gamma=2, 1.625 for gamma=3)",
+            f"{'gamma':>5} {'K':>5} {'alpha_K':>8} {'bound':>8}",
+        ]
+        for r in self.rows_:
+            lines.append(f"{r.gamma:>5} {r.num_classes:>5} "
+                         f"{r.alpha:>8} {r.ratio:>8.4f}")
+        return "\n".join(lines)
+
+
+def theorem2(gammas: Sequence[int] = (2, 3),
+             class_counts: Optional[Sequence[int]] = None,
+             scale: Optional[ScaleProfile] = None) -> Theorem2Result:
+    """Sweep the exact competitive-ratio bound over K."""
+    from ..core.classes import SizeClassifier
+
+    profile = scale if scale is not None else current_scale()
+    if class_counts is None:
+        class_counts = [k for k in THEOREM2_KS
+                        if k <= profile.theorem2_max_k]
+    result = Theorem2Result()
+    for gamma in gammas:
+        for k in class_counts:
+            classifier = SizeClassifier(num_classes=k, gamma=gamma)
+            alpha = classifier.alpha()
+            if alpha < gamma:
+                continue  # alpha policy undefined at this K
+            bound = competitive_ratio_upper_bound(
+                gamma, k, TINY_POLICY_ALPHA)
+            result.rows_.append(Theorem2Row(
+                gamma=gamma, num_classes=k, ratio=float(bound.value),
+                alpha=alpha))
+    return result

@@ -1,0 +1,122 @@
+"""Experiment scale profiles and the paper's scenario definitions.
+
+Every figure/table harness reads its parameters from a
+:class:`ScaleProfile`.  The default profile is scaled down so the full
+benchmark suite completes in minutes on a laptop; setting the
+environment variable ``REPRO_FULL_SCALE=1`` selects the paper's actual
+parameters (50,000 tenants x 10 runs; 69 data-store servers;
+five-minute warm-up and measurement windows).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..workloads.distributions import (DiscreteUniformClients,
+                                       LoadDistribution, NormalizedClients,
+                                       UniformLoad, ZipfClients,
+                                       DEFAULT_MAX_CLIENTS)
+
+#: Environment variable selecting paper-scale experiments.
+FULL_SCALE_ENV = "REPRO_FULL_SCALE"
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """Knobs for every experiment, at one scale."""
+
+    name: str
+    # Figure 6 / Table I consolidation simulations
+    sim_tenants: int
+    sim_runs: int
+    # Figure 5 cluster experiments
+    cluster_servers: int
+    cluster_warmup: float
+    cluster_measure: float
+    # Theorem 2 sweep
+    theorem2_max_k: int
+
+    @property
+    def tenant_scale(self) -> float:
+        """Ratio to the paper's 50,000 tenants (for extrapolating
+        Table I's absolute server counts)."""
+        return self.sim_tenants / 50_000.0
+
+
+#: Paper-scale parameters (Section V).
+FULL_SCALE = ScaleProfile(
+    name="full",
+    sim_tenants=50_000,
+    sim_runs=10,
+    cluster_servers=69,
+    cluster_warmup=300.0,
+    cluster_measure=300.0,
+    theorem2_max_k=240,
+)
+
+#: Default laptop-scale parameters: same shapes, ~100x faster.
+DEFAULT_SCALE = ScaleProfile(
+    name="default",
+    sim_tenants=5_000,
+    sim_runs=3,
+    cluster_servers=23,
+    cluster_warmup=30.0,
+    cluster_measure=60.0,
+    theorem2_max_k=240,
+)
+
+
+def current_scale() -> ScaleProfile:
+    """Profile selected by the environment."""
+    if os.environ.get(FULL_SCALE_ENV, "").strip() in ("1", "true", "yes"):
+        return FULL_SCALE
+    return DEFAULT_SCALE
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 distributions: uniform max-loads and zipf exponents.
+# ---------------------------------------------------------------------------
+FIGURE6_UNIFORM_MAXES: Tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0)
+FIGURE6_ZIPF_EXPONENTS: Tuple[float, ...] = (2.0, 3.0, 4.0)
+
+
+def figure6_distributions() -> List[LoadDistribution]:
+    """The x-axis of Figure 6: uniform families then zipfian families."""
+    dists: List[LoadDistribution] = [
+        UniformLoad(max_load=m) for m in FIGURE6_UNIFORM_MAXES
+    ]
+    dists.extend(
+        NormalizedClients(ZipfClients(exponent=e,
+                                      max_clients=DEFAULT_MAX_CLIENTS))
+        for e in FIGURE6_ZIPF_EXPONENTS
+    )
+    return dists
+
+
+# ---------------------------------------------------------------------------
+# Table I distributions: the two populations priced in dollars.
+# ---------------------------------------------------------------------------
+def table1_distributions() -> Dict[str, LoadDistribution]:
+    """Uniform (1..15 clients) and zipfian (exponent 3) populations,
+    normalized by the cluster's C = 52 as in Section V-C."""
+    return {
+        "Uniform": NormalizedClients(DiscreteUniformClients(1, 15),
+                                     max_clients=DEFAULT_MAX_CLIENTS),
+        "Zipfian": NormalizedClients(ZipfClients(exponent=3.0,
+                                                 max_clients=DEFAULT_MAX_CLIENTS),
+                                     max_clients=DEFAULT_MAX_CLIENTS),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 client populations (cluster experiments).
+# ---------------------------------------------------------------------------
+def figure5_client_distributions() -> Dict[str, object]:
+    """Clients/tenant: discrete uniform 1..15 and zipf(3) over 1..52."""
+    return {
+        "uniform": DiscreteUniformClients(1, 15),
+        "zipfian": ZipfClients(exponent=3.0,
+                               max_clients=DEFAULT_MAX_CLIENTS),
+    }

@@ -1,0 +1,118 @@
+"""Parameter sensitivity studies.
+
+The paper inherits two magic numbers it never sweeps: RFI's
+interleaving threshold ``mu = 0.85`` ("as recommended in [12]") and its
+own class count K (it uses 5 on the cluster and 10 in simulation, with
+one sentence of guidance).  These harnesses sweep both so the choices
+are evidence instead of folklore:
+
+* :func:`mu_sensitivity` — servers used by RFI as a function of mu, per
+  distribution.  Too-low mu wastes primary capacity; mu = 1.0 removes
+  the interleaving headroom entirely.
+* :func:`k_sensitivity` — servers used by CUBEFIT as a function of K
+  (complements the ablation bench with a full curve).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..algorithms.rfi import RFI
+from ..analysis.report import Table
+from ..core.cubefit import CubeFit
+from ..errors import ConfigurationError
+from ..workloads.distributions import LoadDistribution
+from ..workloads.sequences import generate_sequence
+
+
+@dataclass
+class SensitivityPoint:
+    """One (parameter value, servers) measurement."""
+
+    parameter: float
+    servers: int
+    utilization: float
+
+
+@dataclass
+class SensitivityCurve:
+    """A full sweep for one distribution."""
+
+    parameter_name: str
+    distribution: str
+    tenants: int
+    points: List[SensitivityPoint] = field(default_factory=list)
+
+    def best(self) -> SensitivityPoint:
+        return min(self.points, key=lambda p: (p.servers, p.parameter))
+
+    def servers_at(self, parameter: float) -> int:
+        for point in self.points:
+            if abs(point.parameter - parameter) < 1e-12:
+                return point.servers
+        raise ConfigurationError(
+            f"{self.parameter_name}={parameter} was not swept")
+
+    def to_table(self) -> Table:
+        table = Table(
+            title=f"{self.parameter_name} sensitivity on "
+                  f"{self.distribution} ({self.tenants} tenants)",
+            columns=[self.parameter_name, "servers", "utilization"])
+        for p in self.points:
+            table.add_row(p.parameter, p.servers,
+                          round(p.utilization, 4))
+        return table
+
+    def __str__(self) -> str:
+        return self.to_table().to_text()
+
+
+DEFAULT_MUS: Sequence[float] = (0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 1.0)
+
+
+def mu_sensitivity(distribution: LoadDistribution,
+                   n_tenants: int = 2000,
+                   mus: Sequence[float] = DEFAULT_MUS,
+                   gamma: int = 2,
+                   seed: int = 0) -> SensitivityCurve:
+    """Sweep RFI's interleaving threshold over one workload."""
+    if not mus:
+        raise ConfigurationError("no mu values to sweep")
+    sequence = generate_sequence(distribution, n_tenants, seed=seed)
+    curve = SensitivityCurve(parameter_name="mu",
+                             distribution=distribution.name,
+                             tenants=n_tenants)
+    for mu in mus:
+        algo = RFI(gamma=gamma, mu=mu)
+        algo.consolidate(sequence)
+        curve.points.append(SensitivityPoint(
+            parameter=mu,
+            servers=algo.placement.num_servers,
+            utilization=algo.placement.utilization()))
+    return curve
+
+
+DEFAULT_KS: Sequence[int] = (2, 3, 5, 8, 10, 15, 20)
+
+
+def k_sensitivity(distribution: LoadDistribution,
+                  n_tenants: int = 2000,
+                  ks: Sequence[int] = DEFAULT_KS,
+                  gamma: int = 2,
+                  seed: int = 0) -> SensitivityCurve:
+    """Sweep CUBEFIT's class count over one workload."""
+    if not ks:
+        raise ConfigurationError("no K values to sweep")
+    sequence = generate_sequence(distribution, n_tenants, seed=seed)
+    curve = SensitivityCurve(parameter_name="K",
+                             distribution=distribution.name,
+                             tenants=n_tenants)
+    for k in ks:
+        algo = CubeFit(gamma=gamma, num_classes=k)
+        algo.consolidate(sequence)
+        curve.points.append(SensitivityPoint(
+            parameter=float(k),
+            servers=algo.placement.num_servers,
+            utilization=algo.placement.utilization()))
+    return curve

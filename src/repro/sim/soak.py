@@ -1,0 +1,168 @@
+"""Soak testing: a randomized operation stream with continuous audits.
+
+Unit and property tests exercise operations in isolation; the soak
+harness interleaves *everything* the library supports — arrivals,
+departures, elastic resizes, server failures with re-replication, and
+repacking passes — against one placement, auditing the robustness
+condition after every operation.  It is the closest thing to a chaos
+test a packing data structure can have, and it doubles as a throughput
+measurement for mixed workloads.
+
+Run via ``python -m repro soak`` or directly::
+
+    from repro.sim.soak import SoakConfig, run_soak
+    result = run_soak(lambda: CubeFit(gamma=2, num_classes=10))
+    assert result.violations == 0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..algorithms.base import OnlinePlacementAlgorithm
+from ..algorithms.repack import Repacker
+from ..core.recovery import RecoveryPlanner
+from ..core.tenant import Tenant
+from ..core.validation import audit
+from ..errors import ConfigurationError
+
+#: Operation mix weights (normalized at run time).
+DEFAULT_MIX = {
+    "place": 5.0,
+    "remove": 3.0,
+    "resize": 2.0,
+    "fail_and_recover": 0.3,
+    "repack": 0.1,
+}
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Parameters of a soak run."""
+
+    operations: int = 500
+    #: Operation mix; keys as in DEFAULT_MIX.
+    mix: Optional[Dict[str, float]] = None
+    #: Audit after every operation (True) or only at the end.
+    audit_each: bool = True
+    min_load: float = 0.02
+    max_load: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.operations < 1:
+            raise ConfigurationError("operations must be >= 1")
+        if not (0 < self.min_load <= self.max_load <= 1.0):
+            raise ConfigurationError(
+                "need 0 < min_load <= max_load <= 1")
+        if self.mix is not None:
+            unknown = set(self.mix) - set(DEFAULT_MIX)
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown soak operations: {sorted(unknown)}")
+
+
+@dataclass
+class SoakResult:
+    """Outcome of a soak run."""
+
+    algorithm: str
+    operations: int = 0
+    counts: Dict[str, int] = field(default_factory=dict)
+    violations: int = 0
+    first_violation_op: Optional[int] = None
+    final_tenants: int = 0
+    final_servers: int = 0
+    recovered_replicas: int = 0
+    repacked_servers: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.violations == 0
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else \
+            f"{self.violations} AUDIT VIOLATIONS " \
+            f"(first at op {self.first_violation_op})"
+        ops = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        return (f"SoakResult({self.algorithm}: {self.operations} ops "
+                f"[{ops}]; {self.final_tenants} tenants on "
+                f"{self.final_servers} servers; {status})")
+
+
+def run_soak(factory: Callable[[], OnlinePlacementAlgorithm],
+             config: Optional[SoakConfig] = None) -> SoakResult:
+    """Drive one algorithm through the randomized operation stream."""
+    cfg = config if config is not None else SoakConfig()
+    rng = np.random.default_rng(cfg.seed)
+    algorithm = factory()
+    placement = algorithm.placement
+    mix = dict(DEFAULT_MIX)
+    if cfg.mix:
+        mix.update(cfg.mix)
+    names = sorted(mix)
+    weights = np.array([mix[n] for n in names], dtype=float)
+    weights /= weights.sum()
+
+    result = SoakResult(algorithm=algorithm.name)
+    alive: List[int] = []
+    next_id = 0
+
+    budget = algorithm.guaranteed_failures
+
+    def check(op_index: int) -> None:
+        if not cfg.audit_each:
+            return
+        if not audit(placement, failures=budget).ok:
+            result.violations += 1
+            if result.first_violation_op is None:
+                result.first_violation_op = op_index
+
+    for op_index in range(cfg.operations):
+        op = str(rng.choice(names, p=weights))
+        if op in ("remove", "resize", "fail_and_recover") and not alive:
+            op = "place"
+        if op == "repack" and placement.num_nonempty_servers < 4:
+            op = "place"
+        result.counts[op] = result.counts.get(op, 0) + 1
+        result.operations += 1
+
+        if op == "place":
+            load = float(rng.uniform(cfg.min_load, cfg.max_load))
+            algorithm.place(Tenant(next_id, load))
+            alive.append(next_id)
+            next_id += 1
+        elif op == "remove":
+            victim = alive.pop(int(rng.integers(len(alive))))
+            algorithm.remove(victim)
+        elif op == "resize":
+            tenant_id = alive[int(rng.integers(len(alive)))]
+            load = float(rng.uniform(cfg.min_load, cfg.max_load))
+            algorithm.update_load(tenant_id, load)
+        elif op == "fail_and_recover":
+            nonempty = [s.server_id for s in placement if len(s) > 0]
+            if not nonempty:
+                continue
+            count = min(len(nonempty),
+                        int(rng.integers(1, placement.gamma)))
+            victims = [int(v) for v in rng.choice(nonempty, size=count,
+                                                  replace=False)]
+            plan = RecoveryPlanner(placement,
+                                   failures=budget).recover(victims)
+            result.recovered_replicas += plan.replicas_relocated
+        elif op == "repack":
+            plan = Repacker(placement,
+                            failures=budget).repack(max_drains=2)
+            result.repacked_servers += len(plan.drained_servers)
+        check(op_index)
+
+    if not cfg.audit_each and not audit(placement,
+                                        failures=budget).ok:
+        result.violations += 1
+        result.first_violation_op = cfg.operations - 1
+    result.final_tenants = placement.num_tenants
+    result.final_servers = placement.num_nonempty_servers
+    return result

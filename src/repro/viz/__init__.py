@@ -1,0 +1,22 @@
+"""Dependency-free SVG rendering of the paper's figures."""
+
+from .svg import Document, Element, rect, line, polyline, circle, text, \
+    group
+from .palette import (SURFACE, TEXT_PRIMARY, TEXT_SECONDARY, TEXT_MUTED,
+                      GRID, AXIS, SERIES, STATUS_SERIOUS, STATUS_GOOD,
+                      series_color)
+from .charts import (BarSeries, LineSeries, Threshold, grouped_bar_chart,
+                     line_chart)
+from .figures import (render_figure5, render_figure6, render_theorem2,
+                      render_scaling, render_sensitivity, render_churn,
+                      render_all)
+
+__all__ = [
+    "Document", "Element", "rect", "line", "polyline", "circle", "text",
+    "group", "SURFACE", "TEXT_PRIMARY", "TEXT_SECONDARY", "TEXT_MUTED",
+    "GRID", "AXIS", "SERIES", "STATUS_SERIOUS", "STATUS_GOOD",
+    "series_color", "BarSeries", "LineSeries", "Threshold",
+    "grouped_bar_chart", "line_chart", "render_figure5",
+    "render_figure6", "render_theorem2", "render_scaling",
+    "render_sensitivity", "render_churn", "render_all",
+]

@@ -1,0 +1,314 @@
+"""Generic bar and line charts rendered to SVG.
+
+Encodes the house rules: one y-axis only, thin marks with rounded data
+ends, 2px surface gaps between adjacent bars, recessive grid, a legend
+whenever there are two or more series plus selective direct labels,
+status colors reserved for thresholds (the SLA line), and text always
+in ink tokens.  Every mark carries a native ``<title>`` tooltip.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from . import palette
+from .svg import Document, circle, group, line, polyline, rect, text
+
+#: Layout constants (pixels).
+MARGIN_LEFT = 64
+MARGIN_RIGHT = 24
+MARGIN_TOP = 56
+MARGIN_BOTTOM = 64
+LEGEND_HEIGHT = 22
+BAR_GAP = 2          # surface gap between adjacent bars
+GROUP_GAP = 18
+BAR_ROUND = 2        # rounded data ends
+
+
+@dataclass
+class BarSeries:
+    """One bar per group; optional symmetric error whiskers (95% CI)."""
+
+    name: str
+    values: Sequence[float]
+    errors: Optional[Sequence[float]] = None
+
+
+@dataclass
+class LineSeries:
+    """A connected series of (x, y) points."""
+
+    name: str
+    points: Sequence[Tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class Threshold:
+    """A horizontal reference line (e.g. the 5 s SLA)."""
+
+    value: float
+    label: str
+    color: str = palette.STATUS_SERIOUS
+
+
+def _nice_ticks(upper: float, target: int = 5) -> List[float]:
+    """0-based axis ticks on a 1/2/5 ladder."""
+    if upper <= 0:
+        return [0.0, 1.0]
+    raw_step = upper / max(target - 1, 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiple in (1, 2, 5, 10):
+        step = multiple * magnitude
+        if step >= raw_step:
+            break
+    ticks = [0.0]
+    value = 0.0
+    while value < upper - 1e-12:
+        value += step
+        ticks.append(round(value, 10))
+    return ticks
+
+
+def _fmt_value(value: float) -> str:
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+def _legend(doc: Document, names: Sequence[str], y: float) -> None:
+    """Swatch + name per series, one row, ink-colored text."""
+    x = MARGIN_LEFT
+    for index, name in enumerate(names):
+        doc.add(rect(x, y - 9, 12, 12, fill=palette.series_color(index),
+                     rx=2))
+        label = text(x + 17, y + 1, name, size=12,
+                     fill=palette.TEXT_SECONDARY)
+        doc.add(label)
+        x += 17 + 7 * len(name) + 26
+
+
+def _frame(doc: Document, plot_left: float, plot_top: float,
+           plot_right: float, plot_bottom: float,
+           ticks: Sequence[float], scale_y, y_label: str) -> None:
+    """Grid lines, y tick labels, axis line, y-axis caption."""
+    for tick in ticks:
+        y = scale_y(tick)
+        doc.add(line(plot_left, y, plot_right, y, stroke=palette.GRID,
+                     width=1))
+        doc.add(text(plot_left - 8, y + 4, _fmt_value(tick), size=11,
+                     fill=palette.TEXT_SECONDARY, anchor="end"))
+    doc.add(line(plot_left, plot_bottom, plot_right, plot_bottom,
+                 stroke=palette.AXIS, width=1))
+    caption = text(16, plot_top - 10, y_label, size=12,
+                   fill=palette.TEXT_SECONDARY)
+    doc.add(caption)
+
+
+def _threshold(doc: Document, threshold: Threshold, plot_left: float,
+               plot_right: float, scale_y) -> None:
+    y = scale_y(threshold.value)
+    doc.add(line(plot_left, y, plot_right, y, stroke=threshold.color,
+                 width=1.5, dash="6,4"))
+    doc.add(text(plot_right, y - 6, threshold.label, size=11,
+                 fill=threshold.color, anchor="end"))
+
+
+def grouped_bar_chart(title: str, group_labels: Sequence[str],
+                      series: Sequence[BarSeries],
+                      y_label: str,
+                      threshold: Optional[Threshold] = None,
+                      width: int = 760, height: int = 400,
+                      direct_labels: bool = True) -> Document:
+    """Grouped vertical bars with optional CI whiskers and threshold."""
+    if not series:
+        raise ConfigurationError("need at least one series")
+    for s in series:
+        if len(s.values) != len(group_labels):
+            raise ConfigurationError(
+                f"series {s.name!r} has {len(s.values)} values for "
+                f"{len(group_labels)} groups")
+        if s.errors is not None and len(s.errors) != len(s.values):
+            raise ConfigurationError(
+                f"series {s.name!r}: errors/values length mismatch")
+    doc = Document(width, height, background=palette.SURFACE)
+    doc.add(text(MARGIN_LEFT, 24, title, size=14,
+                 fill=palette.TEXT_PRIMARY, weight="600"))
+    show_legend = len(series) >= 2
+    plot_top = MARGIN_TOP + (LEGEND_HEIGHT if show_legend else 0)
+    plot_left = MARGIN_LEFT
+    plot_right = width - MARGIN_RIGHT
+    plot_bottom = height - MARGIN_BOTTOM
+    if show_legend:
+        _legend(doc, [s.name for s in series], MARGIN_TOP)
+
+    peak = 0.0
+    trough = 0.0
+    for s in series:
+        for i, value in enumerate(s.values):
+            err = s.errors[i] if s.errors is not None else 0.0
+            peak = max(peak, value + err)
+            trough = min(trough, value - err)
+    if threshold is not None:
+        peak = max(peak, threshold.value)
+        trough = min(trough, threshold.value)
+    # Ticks span the positive side on the 1/2/5 ladder; the negative
+    # side (if any) mirrors the same step below zero.
+    ticks = _nice_ticks(peak * 1.08 if peak > 0 else 1.0)
+    top_value = ticks[-1]
+    step = ticks[1] - ticks[0] if len(ticks) > 1 else 1.0
+    bottom_value = 0.0
+    while bottom_value > trough * 1.08:
+        bottom_value -= step
+        ticks.insert(0, round(bottom_value, 10))
+
+    def scale_y(value: float) -> float:
+        span = plot_bottom - plot_top
+        return plot_bottom - ((value - bottom_value)
+                              / (top_value - bottom_value)) * span
+
+    _frame(doc, plot_left, plot_top, plot_right, plot_bottom, ticks,
+           scale_y, y_label)
+    if bottom_value < 0:
+        # Emphasize the zero baseline when bars extend below it.
+        zero_y = scale_y(0.0)
+        doc.add(line(plot_left, zero_y, plot_right, zero_y,
+                     stroke=palette.AXIS, width=1))
+
+    n_groups = len(group_labels)
+    n_series = len(series)
+    group_width = (plot_right - plot_left - GROUP_GAP * (n_groups + 1)) \
+        / n_groups
+    # Thin marks: cap the bar width and center the bars in their group.
+    bar_width = min((group_width - BAR_GAP * (n_series - 1)) / n_series,
+                    56.0)
+    content = bar_width * n_series + BAR_GAP * (n_series - 1)
+    marks = doc.add(group())
+    for gi, label in enumerate(group_labels):
+        group_x = plot_left + GROUP_GAP + gi * (group_width + GROUP_GAP)
+        gx = group_x + (group_width - content) / 2
+        baseline = scale_y(0.0)
+        for si, s in enumerate(series):
+            value = s.values[gi]
+            x = gx + si * (bar_width + BAR_GAP)
+            y = scale_y(value)
+            top = min(y, baseline)
+            bar = rect(x, top, bar_width, max(abs(baseline - y), 0.5),
+                       fill=palette.series_color(si), rx=BAR_ROUND)
+            bar.title(f"{s.name} — {label}: {_fmt_value(value)}")
+            marks.add(bar)
+            if s.errors is not None and s.errors[gi] > 0:
+                err = s.errors[gi]
+                cx = x + bar_width / 2
+                y_hi, y_lo = scale_y(value + err), scale_y(value - err)
+                marks.add(line(cx, y_hi, cx, y_lo,
+                               stroke=palette.TEXT_PRIMARY, width=1.2))
+                for wy in (y_hi, y_lo):
+                    marks.add(line(cx - 4, wy, cx + 4, wy,
+                                   stroke=palette.TEXT_PRIMARY,
+                                   width=1.2))
+            if direct_labels:
+                if value >= 0:
+                    label_y = scale_y(value) - 5
+                    if s.errors is not None and s.errors[gi] > 0:
+                        label_y = scale_y(value + s.errors[gi]) - 5
+                else:
+                    label_y = scale_y(value) + 13
+                    if s.errors is not None and s.errors[gi] > 0:
+                        label_y = scale_y(value - s.errors[gi]) + 13
+                marks.add(text(x + bar_width / 2, label_y,
+                               _fmt_value(value), size=10,
+                               fill=palette.TEXT_SECONDARY,
+                               anchor="middle"))
+        doc.add(text(group_x + group_width / 2, plot_bottom + 18, label,
+                     size=11, fill=palette.TEXT_SECONDARY,
+                     anchor="middle"))
+    if threshold is not None:
+        _threshold(doc, threshold, plot_left, plot_right, scale_y)
+    return doc
+
+
+def line_chart(title: str, series: Sequence[LineSeries],
+               x_label: str, y_label: str,
+               threshold: Optional[Threshold] = None,
+               width: int = 760, height: int = 400,
+               y_from_zero: bool = False) -> Document:
+    """Multi-series line chart with round markers and direct end labels."""
+    if not series or not any(s.points for s in series):
+        raise ConfigurationError("need at least one non-empty series")
+    doc = Document(width, height, background=palette.SURFACE)
+    doc.add(text(MARGIN_LEFT, 24, title, size=14,
+                 fill=palette.TEXT_PRIMARY, weight="600"))
+    show_legend = len(series) >= 2
+    plot_top = MARGIN_TOP + (LEGEND_HEIGHT if show_legend else 0)
+    plot_left = MARGIN_LEFT
+    plot_right = width - MARGIN_RIGHT - 40  # room for direct end labels
+    plot_bottom = height - MARGIN_BOTTOM
+    if show_legend:
+        _legend(doc, [s.name for s in series], MARGIN_TOP)
+
+    xs = [x for s in series for x, _ in s.points]
+    ys = [y for s in series for _, y in s.points]
+    x_min, x_max = min(xs), max(xs)
+    y_min = 0.0 if y_from_zero else min(ys)
+    y_max = max(ys)
+    if threshold is not None:
+        y_min = min(y_min, threshold.value)
+        y_max = max(y_max, threshold.value)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    pad = (y_max - y_min) * 0.08 or 1.0
+    y_min = 0.0 if y_from_zero and y_min >= 0 else y_min - pad
+    y_max += pad
+
+    def scale_x(value: float) -> float:
+        return plot_left + (value - x_min) / (x_max - x_min) \
+            * (plot_right - plot_left)
+
+    def scale_y(value: float) -> float:
+        return plot_bottom - (value - y_min) / (y_max - y_min) \
+            * (plot_bottom - plot_top)
+
+    # Grid from nice ticks over the [y_min, y_max] span.
+    span_ticks = _nice_ticks(y_max - y_min)
+    ticks = [round(y_min + t, 10) for t in span_ticks
+             if y_min + t <= y_max]
+    for tick in ticks:
+        y = scale_y(tick)
+        doc.add(line(plot_left, y, plot_right, y, stroke=palette.GRID,
+                     width=1))
+        doc.add(text(plot_left - 8, y + 4, _fmt_value(tick), size=11,
+                     fill=palette.TEXT_SECONDARY, anchor="end"))
+    doc.add(line(plot_left, plot_bottom, plot_right, plot_bottom,
+                 stroke=palette.AXIS, width=1))
+    doc.add(text(16, plot_top - 10, y_label, size=12,
+                 fill=palette.TEXT_SECONDARY))
+    doc.add(text((plot_left + plot_right) / 2, height - 16, x_label,
+                 size=12, fill=palette.TEXT_SECONDARY, anchor="middle"))
+    for x in sorted({x for s in series for x, _ in s.points}):
+        doc.add(text(scale_x(x), plot_bottom + 18, _fmt_value(x),
+                     size=10, fill=palette.TEXT_MUTED, anchor="middle"))
+
+    for si, s in enumerate(series):
+        color = palette.series_color(si)
+        pts = [(scale_x(x), scale_y(y)) for x, y in sorted(s.points)]
+        if len(pts) >= 2:
+            doc.add(polyline(pts, stroke=color, width=2))
+        for (x, y), (px, py) in zip(sorted(s.points), pts):
+            dot = circle(px, py, 4, fill=color,
+                         stroke=palette.SURFACE, stroke_width=2)
+            dot.title(f"{s.name}: ({_fmt_value(x)}, {_fmt_value(y)})")
+            doc.add(dot)
+        # Direct label at the series' last point, ink-colored.
+        end_x, end_y = pts[-1]
+        doc.add(text(end_x + 8, end_y + 4, s.name, size=11,
+                     fill=palette.TEXT_SECONDARY))
+    if threshold is not None:
+        _threshold(doc, threshold, plot_left, plot_right, scale_y)
+    return doc

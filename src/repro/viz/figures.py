@@ -1,0 +1,160 @@
+"""SVG renderings of the paper's figures from result objects.
+
+Each function takes the corresponding result object from
+:mod:`repro.sim.figures` and returns an :class:`repro.viz.svg.Document`;
+``render_all`` writes the full set into a directory (what the CLI's
+``--svg`` flag calls).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..errors import ConfigurationError
+from .charts import (BarSeries, LineSeries, Threshold, grouped_bar_chart,
+                     line_chart)
+from .svg import Document
+
+PathLike = Union[str, Path]
+
+
+def render_figure5(result) -> Document:
+    """Figure 5: p99 bars per (distribution, failures) group, one series
+    per configuration, with the SLA as a status threshold line."""
+    rows = result.rows()
+    if not rows:
+        raise ConfigurationError("empty Figure 5 result")
+    configurations = list(dict.fromkeys(r.configuration for r in rows))
+    groups = list(dict.fromkeys(
+        (r.distribution, r.failures) for r in rows))
+    group_labels = [f"{dist}, {f} failure{'s' if f != 1 else ''}"
+                    for dist, f in groups]
+    by_key: Dict[tuple, float] = {
+        (r.configuration, r.distribution, r.failures): r.p99
+        for r in rows}
+    series = [
+        BarSeries(name=conf,
+                  values=[by_key[(conf, dist, f)] for dist, f in groups])
+        for conf in configurations
+    ]
+    return grouped_bar_chart(
+        title="Figure 5 — 99th-percentile latency under worst-case "
+              "failures",
+        group_labels=group_labels,
+        series=series,
+        y_label="p99 latency (s)",
+        threshold=Threshold(value=result.sla_seconds,
+                            label=f"SLA {result.sla_seconds:g}s"),
+        width=940)
+
+
+def render_figure6(result) -> Document:
+    """Figure 6: one savings bar per distribution with 95% CI whiskers."""
+    rows = result.rows()
+    if not rows:
+        raise ConfigurationError("empty Figure 6 result")
+    series = [BarSeries(
+        name="CubeFit savings over RFI",
+        values=[r.savings_percent for r in rows],
+        errors=[r.ci.half_width for r in rows])]
+    return grouped_bar_chart(
+        title=f"Figure 6 — % server savings of CubeFit over RFI "
+              f"({result.tenants} tenants, {result.runs} runs, 95% CI)",
+        group_labels=[r.distribution for r in rows],
+        series=series,
+        y_label="savings (%)",
+        width=940)
+
+
+def render_theorem2(result) -> Document:
+    """Theorem 2: bound versus K, one line per gamma."""
+    rows = result.rows()
+    if not rows:
+        raise ConfigurationError("empty Theorem 2 result")
+    by_gamma: Dict[int, List[tuple]] = {}
+    for r in rows:
+        by_gamma.setdefault(r.gamma, []).append((r.num_classes, r.ratio))
+    series = [LineSeries(name=f"gamma = {gamma}", points=points)
+              for gamma, points in sorted(by_gamma.items())]
+    return line_chart(
+        title="Theorem 2 — competitive-ratio upper bound vs K",
+        series=series,
+        x_label="number of classes K",
+        y_label="competitive-ratio bound",
+        width=820)
+
+
+def render_scaling(study) -> Document:
+    """Scaling study: savings% versus n (the asymptotic claim)."""
+    savings = study.savings_series("rfi", "cubefit")
+    if not savings:
+        raise ConfigurationError(
+            "scaling study lacks rfi/cubefit series")
+    series = [LineSeries(name="savings vs RFI",
+                         points=[(float(n), s) for n, s in savings])]
+    return line_chart(
+        title=f"CubeFit savings vs RFI as tenants scale "
+              f"({study.distribution})",
+        series=series,
+        x_label="tenants",
+        y_label="savings (%)",
+        width=720)
+
+
+def render_sensitivity(curve) -> Document:
+    """Sensitivity sweep (mu or K): servers vs parameter value."""
+    if not curve.points:
+        raise ConfigurationError("empty sensitivity curve")
+    series = [LineSeries(
+        name="servers",
+        points=[(p.parameter, float(p.servers)) for p in curve.points])]
+    return line_chart(
+        title=f"{curve.parameter_name} sensitivity — "
+              f"{curve.distribution} ({curve.tenants} tenants)",
+        series=series,
+        x_label=curve.parameter_name,
+        y_label="servers used",
+        width=720)
+
+
+def render_churn(result) -> Document:
+    """Churn timeline: live tenants and non-empty servers over time."""
+    if not result.samples:
+        raise ConfigurationError("churn result has no samples")
+    series = [
+        LineSeries(name="tenants",
+                   points=[(s.time, float(s.tenants))
+                           for s in result.samples]),
+        LineSeries(name="servers",
+                   points=[(s.time, float(s.servers_nonempty))
+                           for s in result.samples]),
+    ]
+    return line_chart(
+        title=f"Churn timeline — {result.algorithm} "
+              f"(rate {result.config.arrival_rate:g}/t, mean life "
+              f"{result.config.mean_lifetime:g}t)",
+        series=series,
+        x_label="time",
+        y_label="count",
+        width=760,
+        y_from_zero=True)
+
+
+def render_all(figure5_result=None, figure6_result=None,
+               theorem2_result=None,
+               directory: PathLike = ".") -> List[Path]:
+    """Write SVGs for whichever results are provided; returns paths."""
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    if figure5_result is not None:
+        written.append(render_figure5(figure5_result)
+                       .save(out_dir / "figure5.svg"))
+    if figure6_result is not None:
+        written.append(render_figure6(figure6_result)
+                       .save(out_dir / "figure6.svg"))
+    if theorem2_result is not None:
+        written.append(render_theorem2(theorem2_result)
+                       .save(out_dir / "theorem2.svg"))
+    return written

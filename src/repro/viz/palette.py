@@ -1,0 +1,62 @@
+"""Chart color roles (validated reference palette, light mode).
+
+Colors come from a pre-validated categorical palette: lightness band,
+chroma floor, CVD adjacent separation and surface contrast were checked
+with the standard six-checks validator.  Slots 2 and 3 sit below 3:1
+contrast on the light surface, so every chart here carries visible text
+labels in ink colors (the relief rule) — identity is never color-alone.
+
+Rules encoded by these roles:
+
+* categorical hues are assigned to series in fixed slot order, never
+  cycled or generated;
+* status colors (the SLA line) are reserved and never reused as series
+  colors;
+* text always wears ink tokens, never a series color.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ConfigurationError
+
+#: Chart surface (light mode).
+SURFACE = "#fcfcfb"
+
+#: Ink tokens for text.
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+TEXT_MUTED = "#8a8984"
+
+#: Recessive grid and axis strokes.
+GRID = "#e4e3df"
+AXIS = "#b9b8b2"
+
+#: Categorical series slots, fixed order (validated set).
+SERIES: List[str] = [
+    "#2a78d6",  # 1 blue
+    "#1baf7a",  # 2 aqua
+    "#eda100",  # 3 yellow
+    "#008300",  # 4 green
+    "#4a3aa7",  # 5 violet
+]
+
+#: Reserved status colors (never used for series).
+STATUS_SERIOUS = "#e34948"   # the SLA threshold line
+STATUS_GOOD = "#008300"
+
+
+def series_color(index: int) -> str:
+    """Color of series ``index`` (0-based, fixed order).
+
+    More series than slots is a design error — fold extras into
+    "Other" or use small multiples instead of generating hues.
+    """
+    if index < 0:
+        raise ConfigurationError(f"series index must be >= 0: {index}")
+    if index >= len(SERIES):
+        raise ConfigurationError(
+            f"only {len(SERIES)} categorical slots; fold series "
+            f"{index + 1}+ into 'Other' or use small multiples")
+    return SERIES[index]

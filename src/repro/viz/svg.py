@@ -1,0 +1,159 @@
+"""Minimal SVG document builder.
+
+No plotting dependency ships in this environment, so chart rendering is
+built on a tiny, dependency-free SVG element tree: enough primitives
+(rect, line, polyline, circle, text, group, title) for the bar and line
+charts the experiment figures need, with correct XML escaping and
+deterministic attribute ordering (stable output diffs).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+
+Number = Union[int, float]
+PathLike = Union[str, Path]
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def _fmt(value: Number) -> str:
+    """Compact numeric formatting: drop trailing zeros."""
+    if isinstance(value, int):
+        return str(value)
+    text = f"{value:.2f}".rstrip("0").rstrip(".")
+    return text if text else "0"
+
+
+class Element:
+    """One SVG element with attributes, children, and optional text."""
+
+    def __init__(self, tag: str, text: Optional[str] = None,
+                 **attrs) -> None:
+        self.tag = tag
+        self.text = text
+        self.attrs: Dict[str, str] = {}
+        for key, value in attrs.items():
+            self.set(key, value)
+        self.children: List["Element"] = []
+
+    def set(self, key: str, value) -> "Element":
+        # Pythonic snake_case / reserved-word-safe names to SVG names.
+        name = key.rstrip("_").replace("_", "-")
+        if isinstance(value, (int, float)):
+            self.attrs[name] = _fmt(value)
+        else:
+            self.attrs[name] = str(value)
+        return self
+
+    def add(self, child: "Element") -> "Element":
+        """Append a child; returns the *child* for chaining."""
+        self.children.append(child)
+        return child
+
+    def title(self, text: str) -> "Element":
+        """Attach a native SVG tooltip."""
+        self.children.insert(0, Element("title", text=text))
+        return self
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        attrs = "".join(f' {k}="{_escape(v)}"'
+                        for k, v in self.attrs.items())
+        if not self.children and self.text is None:
+            return f"{pad}<{self.tag}{attrs}/>"
+        parts = [f"{pad}<{self.tag}{attrs}>"]
+        if self.text is not None:
+            if self.children:
+                parts.append("  " * (indent + 1) + _escape(self.text))
+            else:
+                return (f"{pad}<{self.tag}{attrs}>{_escape(self.text)}"
+                        f"</{self.tag}>")
+        for child in self.children:
+            parts.append(child.render(indent + 1))
+        parts.append(f"{pad}</{self.tag}>")
+        return "\n".join(parts)
+
+
+class Document(Element):
+    """Root ``<svg>`` element with width/height and a surface fill."""
+
+    def __init__(self, width: Number, height: Number,
+                 background: Optional[str] = None) -> None:
+        if width <= 0 or height <= 0:
+            raise ConfigurationError(
+                f"SVG dimensions must be positive, got {width}x{height}")
+        super().__init__("svg", xmlns="http://www.w3.org/2000/svg",
+                         width=width, height=height,
+                         viewBox=f"0 0 {_fmt(width)} {_fmt(height)}")
+        self.width = float(width)
+        self.height = float(height)
+        if background is not None:
+            self.add(Element("rect", x=0, y=0, width=width, height=height,
+                             fill=background))
+
+    def to_string(self) -> str:
+        header = '<?xml version="1.0" encoding="UTF-8"?>'
+        return header + "\n" + self.render() + "\n"
+
+    def save(self, path: PathLike) -> Path:
+        out = Path(path)
+        out.write_text(self.to_string())
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+def rect(x: Number, y: Number, width: Number, height: Number,
+         fill: str, rx: Number = 0, **attrs) -> Element:
+    el = Element("rect", x=x, y=y, width=width, height=height, fill=fill,
+                 **attrs)
+    if rx:
+        el.set("rx", rx)
+    return el
+
+
+def line(x1: Number, y1: Number, x2: Number, y2: Number, stroke: str,
+         width: Number = 1, dash: Optional[str] = None,
+         **attrs) -> Element:
+    el = Element("line", x1=x1, y1=y1, x2=x2, y2=y2, stroke=stroke,
+                 stroke_width=width, **attrs)
+    if dash:
+        el.set("stroke_dasharray", dash)
+    return el
+
+
+def polyline(points: Sequence[Tuple[Number, Number]], stroke: str,
+             width: Number = 2, **attrs) -> Element:
+    if len(points) < 2:
+        raise ConfigurationError("polyline needs at least two points")
+    joined = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+    return Element("polyline", points=joined, fill="none", stroke=stroke,
+                   stroke_width=width, stroke_linejoin="round",
+                   stroke_linecap="round", **attrs)
+
+
+def circle(cx: Number, cy: Number, r: Number, fill: str,
+           **attrs) -> Element:
+    return Element("circle", cx=cx, cy=cy, r=r, fill=fill, **attrs)
+
+
+def text(x: Number, y: Number, content: str, size: Number = 12,
+         fill: str = "#0b0b0b", anchor: str = "start",
+         weight: str = "normal", **attrs) -> Element:
+    return Element(
+        "text", text=content, x=x, y=y, font_size=size, fill=fill,
+        text_anchor=anchor, font_weight=weight,
+        font_family="system-ui, -apple-system, 'Segoe UI', sans-serif",
+        **attrs)
+
+
+def group(**attrs) -> Element:
+    return Element("g", **attrs)

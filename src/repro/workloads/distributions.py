@@ -1,0 +1,198 @@
+"""Tenant population distributions used in the paper's evaluation.
+
+Two families appear in Section V:
+
+* **client-count distributions** — a tenant is characterized by its
+  number of concurrent clients: discrete uniform 1..15 (system
+  experiments) or zipfian with exponent 3 over 1..52 (both experiments).
+  Client counts become loads either through the linear load model
+  ``delta*c + beta`` (cluster experiments) or by normalizing by the
+  cluster's per-server client capacity ``C = 52`` (simulations:
+  "we sample a zipfian distribution with values 1 to C and divide by C").
+* **direct load distributions** — continuous uniform on ``(0, max_load]``
+  for ``max_load`` in 0.2 .. 1.0 (Figure 6's x-axis).
+
+All distributions are driven by a ``numpy.random.Generator`` supplied by
+the caller, so experiment harnesses control seeding and reproducibility.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+#: The paper's empirically derived per-server client capacity.
+DEFAULT_MAX_CLIENTS = 52
+
+#: Smallest load a direct load distribution may emit; loads must be
+#: strictly positive.
+MIN_LOAD = 1e-6
+
+
+class LoadDistribution(ABC):
+    """Produces tenant loads in ``(0, 1]``."""
+
+    #: Human-readable label used on report axes.
+    name: str = "abstract"
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` loads."""
+
+    def sample_one(self, rng: np.random.Generator) -> float:
+        return float(self.sample(rng, 1)[0])
+
+
+class ClientCountDistribution(ABC):
+    """Produces integer concurrent-client counts (>= 1)."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` client counts (dtype int64)."""
+
+    def sample_one(self, rng: np.random.Generator) -> int:
+        return int(self.sample(rng, 1)[0])
+
+
+class UniformLoad(LoadDistribution):
+    """Continuous uniform loads on ``(lo, hi]`` (Figure 6)."""
+
+    def __init__(self, max_load: float, min_load: float = MIN_LOAD) -> None:
+        if not (0.0 < max_load <= 1.0):
+            raise ConfigurationError(
+                f"max_load must be in (0, 1], got {max_load}")
+        if not (0.0 < min_load <= max_load):
+            raise ConfigurationError(
+                f"min_load must be in (0, max_load], got {min_load}")
+        self.min_load = min_load
+        self.max_load = max_load
+        self.name = f"uniform(0,{max_load:g}]"
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        # Half-open on the low side: U[lo, hi) mirrored to (lo, hi].
+        draws = rng.uniform(self.min_load, self.max_load, size=n)
+        return self.max_load + self.min_load - draws
+
+
+class DiscreteUniformClients(ClientCountDistribution):
+    """Clients/tenant chosen with equiprobability from ``lo..hi``
+    (the paper's first system experiment uses 1..15)."""
+
+    def __init__(self, lo: int = 1, hi: int = 15) -> None:
+        if not (1 <= lo <= hi):
+            raise ConfigurationError(
+                f"need 1 <= lo <= hi, got lo={lo}, hi={hi}")
+        self.lo = lo
+        self.hi = hi
+        self.name = f"uniform-clients[{lo},{hi}]"
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.integers(self.lo, self.hi + 1, size=n, dtype=np.int64)
+
+
+class ZipfClients(ClientCountDistribution):
+    """Zipfian client counts over ``1..max_clients``.
+
+    ``P[c = k] ∝ k^-exponent`` — the paper uses exponent 3 with
+    ``max_clients = 52``.  (A bounded zipfian, not numpy's unbounded
+    ``zipf``, because client counts must not exceed what one server can
+    serve.)
+    """
+
+    def __init__(self, exponent: float = 3.0,
+                 max_clients: int = DEFAULT_MAX_CLIENTS) -> None:
+        if exponent <= 0:
+            raise ConfigurationError(
+                f"exponent must be positive, got {exponent}")
+        if max_clients < 1:
+            raise ConfigurationError(
+                f"max_clients must be >= 1, got {max_clients}")
+        self.exponent = exponent
+        self.max_clients = max_clients
+        self.name = f"zipf({exponent:g})[1,{max_clients}]"
+        weights = np.arange(1, max_clients + 1, dtype=np.float64) \
+            ** (-exponent)
+        self._pmf = weights / weights.sum()
+        self._values = np.arange(1, max_clients + 1, dtype=np.int64)
+
+    @property
+    def pmf(self) -> np.ndarray:
+        """Probability mass over 1..max_clients (copies for safety)."""
+        return self._pmf.copy()
+
+    def mean(self) -> float:
+        """Expected client count."""
+        return float((self._values * self._pmf).sum())
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.choice(self._values, size=n, p=self._pmf)
+
+
+class NormalizedClients(LoadDistribution):
+    """Loads obtained by dividing client counts by capacity ``C``.
+
+    This is how Section V-C turns client-count distributions into loads
+    in ``(0, 1]`` for the consolidation simulations.
+    """
+
+    def __init__(self, clients: ClientCountDistribution,
+                 max_clients: int = DEFAULT_MAX_CLIENTS) -> None:
+        if max_clients < 1:
+            raise ConfigurationError(
+                f"max_clients must be >= 1, got {max_clients}")
+        self.clients = clients
+        self.max_clients = max_clients
+        self.name = f"{clients.name}/{max_clients}"
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        counts = self.clients.sample(rng, n)
+        loads = counts.astype(np.float64) / self.max_clients
+        return np.clip(loads, MIN_LOAD, 1.0)
+
+
+class ModelLoad(LoadDistribution):
+    """Loads obtained from client counts through a linear load model.
+
+    This is the cluster-experiment path: a tenant with ``c`` clients
+    places ``delta*c + beta`` load on its server (Section IV).  The model
+    object just needs a ``load(clients)`` method
+    (:class:`repro.workloads.loadmodel.LinearLoadModel`).
+    """
+
+    def __init__(self, clients: ClientCountDistribution, model) -> None:
+        self.clients = clients
+        self.model = model
+        self.name = f"{clients.name}@model"
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        counts = self.clients.sample(rng, n)
+        loads = np.array([self.model.load(int(c)) for c in counts],
+                         dtype=np.float64)
+        return np.clip(loads, MIN_LOAD, 1.0)
+
+
+class TraceLoads(LoadDistribution):
+    """Replays a fixed list of loads (for regression tests and replaying
+    recorded experiments); wraps around when exhausted."""
+
+    def __init__(self, loads: List[float], name: str = "trace") -> None:
+        if not loads:
+            raise ConfigurationError("trace must contain at least one load")
+        for load in loads:
+            if not (0.0 < load <= 1.0):
+                raise ConfigurationError(
+                    f"trace loads must be in (0, 1], got {load}")
+        self._loads = np.asarray(loads, dtype=np.float64)
+        self._cursor = 0
+        self.name = name
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        idx = (self._cursor + np.arange(n)) % len(self._loads)
+        self._cursor = int((self._cursor + n) % len(self._loads))
+        return self._loads[idx]

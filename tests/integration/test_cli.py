@@ -1,0 +1,122 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+import repro.cli as cli
+from repro.sim.figures import Theorem2Result, Theorem2Row
+
+
+class TestArgumentParsing:
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["bogus"])
+
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+
+class TestDispatch:
+    def test_theorem2_stub(self, monkeypatch, capsys):
+        stub = Theorem2Result(rows_=[Theorem2Row(2, 21, 5 / 3, 4)])
+        monkeypatch.setattr(cli, "theorem2", lambda: stub)
+        assert cli.main(["theorem2"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 2" in out
+        assert "scale profile" in out
+
+    def test_all_runs_every_command(self, monkeypatch, capsys):
+        calls = []
+        for name in list(cli._COMMANDS):
+            monkeypatch.setitem(cli._COMMANDS, name,
+                                lambda args, n=name: calls.append(n))
+        assert cli.main(["all"]) == 0
+        assert sorted(calls) == sorted(cli._COMMANDS)
+
+    def test_seed_forwarded(self, monkeypatch):
+        seen = {}
+
+        def fake_figure6(base_seed):
+            seen["seed"] = base_seed
+
+            class R:
+                def __str__(self):
+                    return "ok"
+            return R()
+
+        monkeypatch.setattr(cli, "figure6",
+                            lambda base_seed: fake_figure6(base_seed))
+        cli.main(["figure6", "--seed", "42"])
+        assert seen["seed"] == 42
+
+
+class TestCalibrateCommand:
+    def test_calibrate_prints_model(self, monkeypatch, capsys):
+        from repro.cluster.calibration import CalibrationResult
+        from repro.workloads.loadmodel import BoundaryPoint, \
+            LinearLoadModel
+
+        stub = CalibrationResult(
+            model=LinearLoadModel(delta=0.019, beta=0.012),
+            boundary=[BoundaryPoint(1, 52), BoundaryPoint(4, 50)])
+        monkeypatch.setattr(cli, "calibrate_load_model", lambda: stub)
+        cli.main(["calibrate"])
+        out = capsys.readouterr().out
+        assert "C (max clients, one tenant) = 52" in out
+
+
+class TestExtensionCommands:
+    def test_churn_runs_quickly(self, monkeypatch, capsys):
+        from repro.sim.churn import ChurnConfig, ChurnResult
+
+        def fake_run_churn(factory, dist, config):
+            algo = factory()
+            return ChurnResult(algorithm=algo.name, config=config,
+                               arrivals=10, departures=5)
+
+        import repro.sim.churn as churn_mod
+        monkeypatch.setattr(churn_mod, "run_churn", fake_run_churn)
+        cli.main(["churn"])
+        out = capsys.readouterr().out
+        assert "Churn study" in out
+        assert "cubefit" in out and "rfi" in out
+
+    def test_explain_without_trace(self, monkeypatch, capsys):
+        # Shrink the default workload through the generate function.
+        import repro.workloads.sequences as seq_mod
+        original = seq_mod.generate_sequence
+
+        def small(dist, n, seed=None, start_id=0):
+            return original(dist, min(n, 120), seed=seed,
+                            start_id=start_id)
+
+        monkeypatch.setattr(seq_mod, "generate_sequence", small)
+        cli.main(["explain"])
+        out = capsys.readouterr().out
+        assert "capacity split" in out
+        assert "cubefit" in out and "rfi" in out
+
+    def test_explain_with_trace(self, tmp_path, capsys):
+        from repro.core.tenant import TenantSequence, make_tenants
+        from repro.workloads.trace_io import save_trace
+
+        path = tmp_path / "trace.json"
+        save_trace(TenantSequence(tenants=make_tenants([0.4] * 30)),
+                   path)
+        cli.main(["explain", "--trace", str(path)])
+        out = capsys.readouterr().out
+        assert "loaded 30 tenants" in out
+
+    def test_scaling_prints_savings_evolution(self, monkeypatch,
+                                              capsys):
+        import repro.sim.timing as timing_mod
+        original = timing_mod.scaling_study
+
+        def small(factories, dist, counts, seed=0):
+            return original(factories, dist, [60, 200], seed=seed)
+
+        monkeypatch.setattr(timing_mod, "scaling_study", small)
+        cli.main(["scaling"])
+        out = capsys.readouterr().out
+        assert "Scaling study" in out
+        assert "savings over RFI by scale" in out

@@ -1,0 +1,67 @@
+"""Integration: the figure harnesses end-to-end at miniature scale.
+
+The benchmarks run these at the default profile; here a tiny profile
+exercises the same code paths quickly enough for the test suite.
+"""
+
+import pytest
+
+from repro.sim.figures import figure5, figure6
+from repro.sim.scenarios import ScaleProfile
+from repro.viz import render_figure5, render_figure6
+
+
+TINY = ScaleProfile(
+    name="tiny", sim_tenants=250, sim_runs=2, cluster_servers=6,
+    cluster_warmup=5.0, cluster_measure=12.0, theorem2_max_k=31)
+
+
+@pytest.fixture(scope="module")
+def figure6_result():
+    return figure6(scale=TINY, base_seed=0)
+
+
+@pytest.fixture(scope="module")
+def figure5_result():
+    return figure5(scale=TINY, failure_counts=(1,), seed=0)
+
+
+class TestFigure6Miniature:
+    def test_all_eight_distributions_present(self, figure6_result):
+        assert len(figure6_result.rows()) == 8
+
+    def test_rows_have_cis(self, figure6_result):
+        for row in figure6_result.rows():
+            assert row.ci.n == 2
+            assert row.rfi_servers > 0
+            assert row.cubefit_servers > 0
+
+    def test_renders_to_svg(self, figure6_result, tmp_path):
+        path = render_figure6(figure6_result).save(tmp_path / "f6.svg")
+        assert path.stat().st_size > 1000
+
+    def test_str_table(self, figure6_result):
+        assert "Figure 6" in str(figure6_result)
+
+
+class TestFigure5Miniature:
+    def test_all_six_bars_present(self, figure5_result):
+        rows = figure5_result.rows()
+        assert len(rows) == 6  # 2 distributions x 3 configs x 1 failure
+        configs = {r.configuration for r in rows}
+        assert len(configs) == 3
+
+    def test_latencies_positive(self, figure5_result):
+        for row in figure5_result.rows():
+            assert row.p99 > 0
+            assert row.tenants > 0
+
+    def test_row_lookup(self, figure5_result):
+        row = figure5_result.row("uniform", "RFI 2 replicas", 1)
+        assert row.failures == 1
+        with pytest.raises(KeyError):
+            figure5_result.row("uniform", "RFI 2 replicas", 9)
+
+    def test_renders_to_svg(self, figure5_result, tmp_path):
+        path = render_figure5(figure5_result).save(tmp_path / "f5.svg")
+        assert path.stat().st_size > 1000

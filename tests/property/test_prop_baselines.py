@@ -1,0 +1,80 @@
+"""Property-based tests for the baseline algorithms and failure planner."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.naive import RobustBestFit, RobustFirstFit
+from repro.algorithms.rfi import RFI
+from repro.cluster.failures import (project_client_counts,
+                                    worst_overload_failures)
+from repro.core.tenant import make_tenants
+from repro.core.validation import audit
+
+loads_strategy = st.lists(
+    st.floats(min_value=0.001, max_value=1.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=50)
+
+
+@given(loads=loads_strategy, gamma=st.sampled_from([2, 3]),
+       mu=st.floats(min_value=0.5, max_value=1.0))
+@settings(max_examples=40, deadline=None)
+def test_rfi_always_single_failure_robust(loads, gamma, mu):
+    algo = RFI(gamma=gamma, mu=mu)
+    algo.consolidate(make_tenants(loads))
+    assert audit(algo.placement, failures=1).ok
+
+
+@given(loads=loads_strategy,
+       cls=st.sampled_from([RobustBestFit, RobustFirstFit]),
+       gamma=st.sampled_from([2, 3]))
+@settings(max_examples=40, deadline=None)
+def test_baselines_robust_at_their_budget(loads, cls, gamma):
+    algo = cls(gamma=gamma)
+    algo.consolidate(make_tenants(loads))
+    assert audit(algo.placement, failures=algo.failures).ok
+
+
+tenant_maps = st.integers(min_value=2, max_value=12).flatmap(
+    lambda n_tenants: st.tuples(
+        st.just(n_tenants),
+        st.lists(st.integers(min_value=1, max_value=20),
+                 min_size=n_tenants, max_size=n_tenants),
+        st.lists(st.permutations(range(6)), min_size=n_tenants,
+                 max_size=n_tenants),
+    ))
+
+
+@given(data=tenant_maps, f=st.sampled_from([1, 2]))
+@settings(max_examples=50, deadline=None)
+def test_exhaustive_failure_planner_is_optimal(data, f):
+    """The planner's chosen failure set is at least as bad as every
+    other candidate set."""
+    n_tenants, clients, perms = data
+    homes = {tid: list(perms[tid][:2]) for tid in range(n_tenants)}
+    counts = {tid: clients[tid] for tid in range(n_tenants)}
+    plan = worst_overload_failures(homes, counts, f)
+    servers = sorted({h for hs in homes.values() for h in hs})
+    for failed in itertools.combinations(servers, f):
+        projected = project_client_counts(homes, counts, failed)
+        for fid in failed:
+            projected.pop(fid, None)
+        value = max(projected.values()) if projected else 0.0
+        assert plan.projected_max_clients >= value - 1e-9
+
+
+@given(data=tenant_maps)
+@settings(max_examples=50, deadline=None)
+def test_client_mass_conserved_unless_tenants_die(data):
+    """Redistribution conserves total clients except for tenants whose
+    every replica failed."""
+    n_tenants, clients, perms = data
+    homes = {tid: list(perms[tid][:2]) for tid in range(n_tenants)}
+    counts = {tid: clients[tid] for tid in range(n_tenants)}
+    failed = (0, 1)
+    projected = project_client_counts(homes, counts, failed)
+    dead = sum(counts[tid] for tid, hs in homes.items()
+               if set(hs) <= set(failed))
+    assert abs(sum(projected.values()) - (sum(counts.values()) - dead)) \
+        < 1e-9

@@ -1,0 +1,93 @@
+"""Property-based tests for the cluster substrate.
+
+The invariant under chaos: queries are conserved — everything a client
+issues is eventually completed, dropped (no surviving replica), or
+still in flight when the clock stops — across arbitrary failure and
+recovery schedules.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.datastore import DataStore
+from repro.cluster.engine import Simulator
+from repro.cluster.latency import LatencyRecorder
+from repro.cluster.machine import Machine
+from repro.cluster.client import TenantClient
+from repro.cluster.routing import ReplicaRouter
+from repro.workloads.tpch import QueryStream
+
+
+@st.composite
+def topologies(draw):
+    n_machines = draw(st.integers(min_value=2, max_value=5))
+    n_tenants = draw(st.integers(min_value=1, max_value=6))
+    homes = {}
+    for tid in range(n_tenants):
+        gamma = draw(st.integers(min_value=1,
+                                 max_value=min(2, n_machines)))
+        ids = draw(st.permutations(range(n_machines)))
+        homes[tid] = list(ids[:gamma])
+    events = draw(st.lists(
+        st.tuples(st.floats(min_value=1.0, max_value=25.0),
+                  st.integers(min_value=0, max_value=n_machines - 1)),
+        max_size=4))
+    return n_machines, homes, events
+
+
+@given(topology=topologies(), seed=st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_query_conservation_under_failures(topology, seed):
+    n_machines, homes, failure_events = topology
+    sim = Simulator()
+    machines = {m: Machine(sim, m, cores=2) for m in range(n_machines)}
+    router = ReplicaRouter(sim, machines, homes,
+                           DataStore(warm_after=0))
+    recorder = LatencyRecorder()
+    rng = np.random.default_rng(seed)
+    clients = []
+    for tid in homes:
+        client = TenantClient(sim, tid, tenant_id=tid, router=router,
+                              stream=QueryStream(rng), recorder=recorder,
+                              rng=rng, think_mean=0.2)
+        client.start(initial_delay=0.0)
+        clients.append(client)
+    for at, machine_id in failure_events:
+        sim.schedule_at(at, lambda m=machine_id: router.fail_machine(m))
+    sim.run_until(30.0)
+
+    issued = sum(c.queries_issued for c in clients)
+    accounted = (recorder.total_completed + recorder.dropped
+                 + router.total_inflight())
+    # Re-issued reads are the same logical query, so they do not add to
+    # `issued`; conservation must hold exactly.
+    assert accounted == issued, (
+        f"issued={issued} completed={recorder.total_completed} "
+        f"dropped={recorder.dropped} inflight={router.total_inflight()}")
+
+
+@given(topology=topologies(), seed=st.integers(0, 100))
+@settings(max_examples=25, deadline=None)
+def test_no_completions_from_failed_machines(topology, seed):
+    n_machines, homes, failure_events = topology
+    sim = Simulator()
+    machines = {m: Machine(sim, m, cores=2) for m in range(n_machines)}
+    router = ReplicaRouter(sim, machines, homes,
+                           DataStore(warm_after=0))
+    recorder = LatencyRecorder()
+    rng = np.random.default_rng(seed)
+    for tid in homes:
+        TenantClient(sim, tid, tenant_id=tid, router=router,
+                     stream=QueryStream(rng), recorder=recorder,
+                     rng=rng, think_mean=0.2).start(initial_delay=0.0)
+    fail_times = {}
+    for at, machine_id in failure_events:
+        fail_times.setdefault(machine_id, at)
+        sim.schedule_at(at, lambda m=machine_id: router.fail_machine(m))
+    sim.run_until(30.0)
+    for sample in recorder._samples:
+        failed_at = fail_times.get(sample.server_id)
+        if failed_at is not None:
+            # A query attributed to a machine must have completed
+            # before that machine failed.
+            assert sample.completed_at <= failed_at + 1e-9

@@ -1,0 +1,91 @@
+"""Property-based tests of cube addressing and size classes."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.classes import SizeClassifier
+from repro.core.cube import ClassCubes, from_digits, rotate_right, to_digits
+
+
+@given(value=st.integers(min_value=0, max_value=10_000),
+       base=st.integers(min_value=2, max_value=9),
+       extra_width=st.integers(min_value=0, max_value=3))
+@settings(max_examples=100)
+def test_digit_roundtrip(value, base, extra_width):
+    width = 1
+    while base ** width <= value:
+        width += 1
+    width += extra_width
+    assert from_digits(to_digits(value, base, width), base) == value
+
+
+@given(digits=st.lists(st.integers(min_value=0, max_value=5),
+                       min_size=1, max_size=6),
+       shifts=st.integers(min_value=0, max_value=12))
+@settings(max_examples=100)
+def test_rotation_is_cyclic_group(digits, shifts):
+    digits = tuple(digits)
+    n = len(digits)
+    assert rotate_right(digits, shifts) == rotate_right(digits, shifts % n)
+    assert rotate_right(rotate_right(digits, 1), n - 1) == digits
+
+
+@given(tau=st.integers(min_value=1, max_value=4),
+       gamma=st.sampled_from([2, 3]))
+@settings(max_examples=30, deadline=None)
+def test_cube_addressing_is_bijective(tau, gamma):
+    """Every (group, bin, slot) triple is used exactly once per
+    generation — no slot collisions, no waste."""
+    cubes = ClassCubes(tau=tau, gamma=gamma)
+    seen = set()
+    for _ in range(cubes.period):
+        for addr in cubes.current_addresses():
+            seen.add((addr.group, addr.bin_index, addr.slot))
+        cubes.advance()
+    assert len(seen) == gamma * tau ** gamma
+
+
+@given(tau=st.integers(min_value=2, max_value=4),
+       gamma=st.sampled_from([2, 3]))
+@settings(max_examples=20, deadline=None)
+def test_lemma1_property(tau, gamma):
+    """No two bins host replicas of more than one common tenant."""
+    cubes = ClassCubes(tau=tau, gamma=gamma)
+    bins_of = {}
+    for tenant in range(cubes.period):
+        bins_of[tenant] = {(a.group, a.bin_index)
+                           for a in cubes.current_addresses()}
+        cubes.advance()
+    for a, b in itertools.combinations(bins_of, 2):
+        assert len(bins_of[a] & bins_of[b]) <= 1
+
+
+@given(size=st.floats(min_value=1e-6, max_value=0.5,
+                      allow_nan=False, allow_infinity=False),
+       gamma=st.sampled_from([2, 3]),
+       num_classes=st.integers(min_value=2, max_value=15))
+@settings(max_examples=150)
+def test_classification_respects_bounds(size, gamma, num_classes):
+    classifier = SizeClassifier(num_classes=num_classes, gamma=gamma)
+    if size > 1.0 / gamma:
+        return  # not a valid replica size for this gamma
+    tau = classifier.replica_class(size)
+    lo, hi = classifier.class_bounds(tau)
+    assert lo - 1e-9 <= size <= hi + 1e-9
+
+
+@given(gamma=st.sampled_from([2, 3]),
+       num_classes=st.integers(min_value=2, max_value=20))
+@settings(max_examples=60)
+def test_classes_partition_the_size_range(gamma, num_classes):
+    """Class intervals tile (0, 1/gamma] without gaps or overlaps."""
+    classifier = SizeClassifier(num_classes=num_classes, gamma=gamma)
+    bounds = [classifier.class_bounds(tau)
+              for tau in range(1, num_classes + 1)]
+    # Descending order of sizes: class 1 is the largest.
+    assert bounds[0][1] == 1.0 / gamma
+    for (lo_prev, _hi_prev), (_lo_next, hi_next) in zip(bounds,
+                                                        bounds[1:]):
+        assert abs(lo_prev - hi_next) < 1e-12
+    assert bounds[-1][0] == 0.0

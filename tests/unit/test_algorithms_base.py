@@ -1,0 +1,177 @@
+"""Unit tests for the algorithm base layer: registry, ServerIndex,
+feasibility primitives."""
+
+import pytest
+
+from repro.algorithms.base import (ServerIndex, available_algorithms,
+                                   make_algorithm, robust_after_placement,
+                                   worst_shared_sum)
+from repro.core.placement import PlacementState
+from repro.core.tenant import Tenant
+from repro.errors import ConfigurationError
+
+
+def placed(gamma=2, servers=4):
+    ps = PlacementState(gamma=gamma)
+    for _ in range(servers):
+        ps.open_server()
+    return ps
+
+
+class TestRegistry:
+    def test_known_algorithms_registered(self):
+        names = available_algorithms()
+        for expected in ("cubefit", "rfi", "bestfit", "firstfit",
+                         "nextfit"):
+            assert expected in names
+
+    def test_make_algorithm(self):
+        algo = make_algorithm("rfi", gamma=2)
+        assert algo.name == "rfi"
+        assert algo.gamma == 2
+
+    def test_make_algorithm_with_kwargs(self):
+        algo = make_algorithm("cubefit", gamma=3, num_classes=5)
+        assert algo.config.num_classes == 5
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_algorithm("nope", gamma=2)
+
+    def test_gamma_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_algorithm("rfi", gamma=1)
+
+
+class TestWorstSharedSum:
+    def test_plain_topk(self):
+        ps = placed(gamma=3, servers=5)
+        ps.place_tenant(Tenant(0, 0.3), [0, 1, 2])
+        ps.place_tenant(Tenant(1, 0.6), [0, 3, 4])
+        assert worst_shared_sum(ps, 0, failures=2) == pytest.approx(0.4)
+        assert worst_shared_sum(ps, 0, failures=1) == pytest.approx(0.2)
+
+    def test_bumps_extend_existing_partner(self):
+        ps = placed(gamma=2, servers=3)
+        ps.place_tenant(Tenant(0, 0.4), [0, 1])
+        value = worst_shared_sum(ps, 0, failures=1, bumps={1: 0.1})
+        assert value == pytest.approx(0.3)
+
+    def test_bumps_add_new_partner(self):
+        ps = placed(gamma=2, servers=3)
+        ps.place_tenant(Tenant(0, 0.4), [0, 1])
+        value = worst_shared_sum(ps, 0, failures=1, bumps={2: 0.5})
+        assert value == pytest.approx(0.5)
+
+    def test_extra_partners_anticipate_future_siblings(self):
+        ps = placed(gamma=2, servers=2)
+        value = worst_shared_sum(ps, 0, failures=1, extra_partners=[0.25])
+        assert value == pytest.approx(0.25)
+
+    def test_self_bump_ignored(self):
+        ps = placed(gamma=2, servers=2)
+        assert worst_shared_sum(ps, 0, failures=1, bumps={0: 0.9}) == 0.0
+
+    def test_zero_failures(self):
+        ps = placed(gamma=2, servers=2)
+        ps.place_tenant(Tenant(0, 0.4), [0, 1])
+        assert worst_shared_sum(ps, 0, failures=0) == 0.0
+
+
+class TestRobustAfterPlacement:
+    def test_accepts_safe_placement(self):
+        ps = placed(gamma=2, servers=2)
+        assert robust_after_placement(ps, 0, 0.3, chosen=[], failures=1,
+                                      future_siblings=1)
+
+    def test_rejects_when_reserve_would_break(self):
+        ps = placed(gamma=2, servers=3)
+        ps.place_tenant(Tenant(0, 0.8), [0, 1])  # server 0: load .4 shared .4
+        # Placing 0.25 on server 0 leaves empty 0.35 < worst shared
+        # 0.4 + anticipated sibling 0.25 -> max(0.4+... ) = 0.4? The
+        # anticipated sibling adds a *new* partner of 0.25; top-1 is
+        # still 0.4 > 0.35 -> reject.
+        assert not robust_after_placement(ps, 0, 0.25, chosen=[],
+                                          failures=1, future_siblings=1)
+
+    def test_checks_chosen_siblings(self):
+        ps = placed(gamma=2, servers=3)
+        # Server 1 nearly full: load 0.9, no shared yet.
+        ps.place(Tenant(9, 1.0).replicas(2)[0], 1)
+        ps.place(Tenant(9, 1.0).replicas(2)[1], 2)
+        ps.place(Tenant(8, 0.8).replicas(2)[0], 1)
+        ps.place(Tenant(8, 0.8).replicas(2)[1], 2)
+        # server 1 load = 0.9, shared(1,2) = 0.9: already at the brink.
+        # Placing a replica on server 0 with sibling on server 1 bumps
+        # shared(1,0) by the replica load; server 1 has no room left.
+        assert not robust_after_placement(ps, 0, 0.2, chosen=[1],
+                                          failures=1)
+
+    def test_extra_reserve_demands_headroom(self):
+        ps = placed(gamma=2, servers=1)
+        assert robust_after_placement(ps, 0, 0.5, chosen=[], failures=1,
+                                      extra_reserve=0.4)
+        assert not robust_after_placement(ps, 0, 0.5, chosen=[],
+                                          failures=1, extra_reserve=0.6)
+
+
+class TestServerIndex:
+    def test_candidates_sorted_by_level_desc(self):
+        ps = placed(gamma=2, servers=3)
+        idx = ServerIndex(ps, failures=1)
+        for sid in (0, 1, 2):
+            idx.track(sid)
+        ps.place_tenant(Tenant(0, 0.4), [0, 1])   # levels .2/.2/0
+        ps.place_tenant(Tenant(1, 0.6), [1, 2])   # levels .2/.5/.3
+        idx.refresh([0, 1, 2])
+        assert idx.candidates(min_avail=0.01) == [1, 2, 0]
+
+    def test_min_avail_filters(self):
+        ps = placed(gamma=2, servers=2)
+        idx = ServerIndex(ps, failures=1)
+        idx.track(0)
+        idx.track(1)
+        ps.place_tenant(Tenant(0, 0.9), [0, 1])  # avail = 1-.45-.45 = .1
+        idx.refresh([0, 1])
+        assert idx.candidates(min_avail=0.2) == []
+        assert set(idx.candidates(min_avail=0.05)) == {0, 1}
+
+    def test_max_level_filter(self):
+        ps = placed(gamma=2, servers=2)
+        idx = ServerIndex(ps, failures=1)
+        idx.track(0)
+        idx.track(1)
+        ps.place(Tenant(0, 0.8).replicas(2)[0], 0)
+        idx.refresh([0])
+        assert idx.candidates(min_avail=0.0, max_level=0.3) == [1]
+
+    def test_exclude(self):
+        ps = placed(gamma=2, servers=2)
+        idx = ServerIndex(ps, failures=1)
+        idx.track(0)
+        idx.track(1)
+        assert idx.candidates(min_avail=0.0, exclude=[0]) == [1]
+
+    def test_eligibility_gating(self):
+        ps = placed(gamma=2, servers=2)
+        idx = ServerIndex(ps, failures=1)
+        idx.track(0, eligible=False)
+        idx.track(1, eligible=True)
+        assert idx.candidates(min_avail=0.0) == [1]
+        idx.set_eligible(0, True)
+        assert set(idx.candidates(min_avail=0.0)) == {0, 1}
+
+    def test_untracked_servers_invisible(self):
+        ps = placed(gamma=2, servers=2)
+        idx = ServerIndex(ps, failures=1)
+        idx.track(0)
+        assert idx.candidates(min_avail=0.0) == [0]
+
+    def test_growth_beyond_initial_capacity(self):
+        ps = PlacementState(gamma=2)
+        idx = ServerIndex(ps, failures=1)
+        for _ in range(1500):
+            s = ps.open_server()
+            idx.track(s.server_id)
+        assert idx.level(1400) == 0.0
+        assert len(idx.candidates(min_avail=0.5)) == 1500

@@ -1,0 +1,47 @@
+"""Unit tests for chart layout internals (ticks, formatting)."""
+
+import pytest
+
+from repro.viz.charts import _fmt_value, _nice_ticks
+
+
+class TestNiceTicks:
+    def test_ladder_steps(self):
+        # Steps snap to the 1/2/5 ladder.
+        assert _nice_ticks(10.0) == [0.0, 5.0, 10.0]
+        assert _nice_ticks(4.0) == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert _nice_ticks(0.3) == [0.0, 0.1, 0.2, 0.3]
+
+    def test_covers_upper(self):
+        for upper in (0.3, 7.0, 123.0, 9999.0):
+            ticks = _nice_ticks(upper)
+            assert ticks[0] == 0.0
+            assert ticks[-1] >= upper
+
+    def test_tick_count_reasonable(self):
+        for upper in (1.0, 37.0, 501.0):
+            assert 3 <= len(_nice_ticks(upper)) <= 8
+
+    def test_ticks_evenly_spaced(self):
+        for upper in (0.7, 6.0, 88.0):
+            ticks = _nice_ticks(upper)
+            steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+            assert len(steps) == 1
+
+    def test_degenerate_upper(self):
+        assert _nice_ticks(0.0) == [0.0, 1.0]
+        assert _nice_ticks(-5.0) == [0.0, 1.0]
+
+
+class TestFmtValue:
+    @pytest.mark.parametrize("value,expected", [
+        (1234.0, "1,234"),
+        (150.0, "150"),
+        (42.0, "42"),
+        (4.5, "4.5"),
+        (0.25, "0.25"),
+        (0.0, "0"),
+        (-7.0, "-7"),
+    ])
+    def test_formatting(self, value, expected):
+        assert _fmt_value(value) == expected

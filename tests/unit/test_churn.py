@@ -1,0 +1,107 @@
+"""Unit tests for the churn simulator and slot recycling."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.rfi import RFI
+from repro.core.cubefit import CubeFit
+from repro.core.tenant import Tenant
+from repro.core.validation import audit
+from repro.sim.churn import ChurnConfig, run_churn
+from repro.workloads.distributions import UniformLoad
+from repro.errors import ConfigurationError
+
+
+CFG = ChurnConfig(arrival_rate=6.0, mean_lifetime=15.0, horizon=60.0,
+                  sample_every=10.0, seed=2)
+
+
+class TestChurnConfig:
+    def test_expected_population(self):
+        assert CFG.expected_population == pytest.approx(90.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(arrival_rate=0.0), dict(mean_lifetime=-1.0),
+        dict(horizon=0.0), dict(sample_every=0.0)])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(**kwargs)
+
+
+class TestRunChurn:
+    def test_population_near_steady_state(self):
+        result = run_churn(lambda: RFI(gamma=2), UniformLoad(0.3), CFG)
+        steady = result.steady_state()
+        assert steady
+        mean_tenants = sum(s.tenants for s in steady) / len(steady)
+        # within a loose band of arrival_rate * mean_lifetime = 90
+        assert 45 <= mean_tenants <= 150
+
+    def test_departures_happen_and_robustness_holds(self):
+        result = run_churn(lambda: CubeFit(gamma=2, num_classes=10),
+                           UniformLoad(0.3), CFG)
+        assert result.departures > 0
+        assert result.arrivals >= result.departures
+        assert result.final_robust
+
+    def test_samples_cover_horizon(self):
+        result = run_churn(lambda: RFI(gamma=2), UniformLoad(0.3), CFG)
+        times = [s.time for s in result.samples]
+        assert times == sorted(times)
+        assert times[-1] == pytest.approx(60.0)
+
+    def test_reproducible(self):
+        a = run_churn(lambda: RFI(gamma=2), UniformLoad(0.3), CFG)
+        b = run_churn(lambda: RFI(gamma=2), UniformLoad(0.3), CFG)
+        assert a.arrivals == b.arrivals
+        assert a.mean_steady_servers == b.mean_steady_servers
+
+    def test_table(self):
+        result = run_churn(lambda: RFI(gamma=2), UniformLoad(0.3), CFG)
+        assert "Churn timeline" in result.to_table().to_text()
+
+
+class TestSlotRecycling:
+    def test_recycles_departed_cube_slots(self):
+        algo = CubeFit(gamma=2, num_classes=5)
+        # Three class-1 tenants (replicas > 1/3): cube tenants.
+        for tid in range(3):
+            algo.place(Tenant(tid, 0.9))
+        servers_before = algo.placement.num_servers
+        algo.remove(1)
+        algo.place(Tenant(3, 0.9))
+        assert algo.stats.get("recycled_slots", 0) == 1
+        assert algo.placement.num_servers == servers_before
+
+    def test_recycle_respects_robustness(self):
+        """If the first stage consumed the freed space, the slot set is
+        not force-reused."""
+        rng = np.random.default_rng(5)
+        algo = CubeFit(gamma=2, num_classes=5)
+        tid = 0
+        alive = []
+        for _ in range(250):
+            if alive and rng.random() < 0.5:
+                victim = alive.pop(int(rng.integers(len(alive))))
+                algo.remove(victim)
+            else:
+                algo.place(Tenant(tid, float(rng.uniform(0.02, 1.0))))
+                alive.append(tid)
+                tid += 1
+        assert audit(algo.placement).ok
+
+    def test_recycling_reduces_server_growth_under_churn(self):
+        """Replace-one-tenant loops must not leak servers."""
+        algo = CubeFit(gamma=2, num_classes=5)
+        algo.place(Tenant(0, 0.9))
+        baseline = algo.placement.num_servers
+        for step in range(1, 30):
+            algo.remove(step - 1)
+            algo.place(Tenant(step, 0.9))
+        assert algo.placement.num_servers == baseline
+
+    def test_tiny_tenants_not_slot_tracked(self):
+        algo = CubeFit(gamma=2, num_classes=10)
+        algo.place(Tenant(0, 0.05))
+        algo.remove(0)
+        assert not algo._free_slots  # tiny path uses multi-replicas

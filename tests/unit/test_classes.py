@@ -1,0 +1,107 @@
+"""Unit tests for the size-class machinery."""
+
+import pytest
+
+from repro.core.classes import SizeClassifier
+from repro.errors import ConfigurationError
+
+
+class TestClassification:
+    def test_class_one_upper_boundary_is_max_replica(self):
+        c = SizeClassifier(num_classes=5, gamma=2)
+        assert c.replica_class(0.5) == 1          # exactly 1/gamma
+        assert c.replica_class(0.5 - 1e-12) == 1
+
+    def test_oversized_replica_rejected(self):
+        c = SizeClassifier(num_classes=5, gamma=2)
+        with pytest.raises(ConfigurationError):
+            c.replica_class(0.51)
+
+    def test_non_positive_rejected(self):
+        c = SizeClassifier(num_classes=5, gamma=2)
+        with pytest.raises(ConfigurationError):
+            c.replica_class(0.0)
+
+    @pytest.mark.parametrize("gamma,K", [(2, 5), (2, 10), (3, 5), (3, 10)])
+    def test_boundaries_exact(self, gamma, K):
+        """The interval (1/(tau+gamma), 1/(tau+gamma-1)] maps to tau."""
+        c = SizeClassifier(num_classes=K, gamma=gamma)
+        for tau in range(1, K):
+            hi = 1.0 / (tau + gamma - 1)
+            lo = 1.0 / (tau + gamma)
+            assert c.replica_class(hi) == tau           # inclusive top
+            assert c.replica_class(lo + 1e-9) == tau    # just above bottom
+            # exactly the bottom boundary belongs to the NEXT class
+            assert c.replica_class(lo) == min(tau + 1, K)
+
+    def test_tiny_class(self):
+        c = SizeClassifier(num_classes=5, gamma=2)
+        threshold = c.tiny_threshold()
+        assert threshold == pytest.approx(1.0 / 6.0)
+        assert c.replica_class(threshold) == 5
+        assert c.is_tiny(0.001)
+        assert not c.is_tiny(0.4)
+
+    def test_tenant_class_divides_by_gamma(self):
+        c = SizeClassifier(num_classes=5, gamma=2)
+        # load 0.9 -> replica 0.45 in (1/3, 1/2] -> class 1
+        assert c.tenant_class(0.9) == 1
+        # load 0.5 -> replica 0.25: exactly the top of (1/5, 1/4], so
+        # class 3 (intervals are half-open on the low side)
+        assert c.tenant_class(0.5) == 3
+        # load 0.52 -> replica 0.26 in (1/4, 1/3] -> class 2
+        assert c.tenant_class(0.52) == 2
+
+    def test_class_bounds_roundtrip(self):
+        c = SizeClassifier(num_classes=10, gamma=3)
+        for tau in range(1, 11):
+            lo, hi = c.class_bounds(tau)
+            mid = (lo + hi) / 2 if lo > 0 else hi / 2
+            assert c.replica_class(mid) == tau
+
+
+class TestGeometry:
+    def test_slot_layout(self):
+        c = SizeClassifier(num_classes=10, gamma=3)
+        assert c.slots_per_bin(4) == 6
+        assert c.data_slots(4) == 4
+        assert c.reserved_slots == 2
+        assert c.slot_size(4) == pytest.approx(1.0 / 6.0)
+
+    def test_slots_cover_capacity(self):
+        c = SizeClassifier(num_classes=10, gamma=2)
+        for tau in range(1, 10):
+            total = c.slots_per_bin(tau) * c.slot_size(tau)
+            assert total == pytest.approx(1.0)
+
+    def test_tiny_class_has_no_bin_geometry(self):
+        c = SizeClassifier(num_classes=5, gamma=2)
+        with pytest.raises(ConfigurationError):
+            c.slots_per_bin(5)
+
+    def test_class_out_of_range(self):
+        c = SizeClassifier(num_classes=5, gamma=2)
+        with pytest.raises(ConfigurationError):
+            c.class_bounds(0)
+        with pytest.raises(ConfigurationError):
+            c.class_bounds(6)
+
+
+class TestAlpha:
+    @pytest.mark.parametrize("K,expected", [
+        (3, 1), (5, 1), (7, 2), (10, 2), (12, 2), (13, 3), (20, 3),
+        (21, 4), (31, 5), (43, 6), (211, 14),
+    ])
+    def test_alpha_is_largest_with_alpha_sq_plus_alpha_below_k(
+            self, K, expected):
+        c = SizeClassifier(num_classes=K, gamma=2)
+        alpha = c.alpha()
+        assert alpha == expected
+        assert alpha * alpha + alpha < K
+        assert (alpha + 1) ** 2 + alpha + 1 >= K
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SizeClassifier(num_classes=1, gamma=2)
+        with pytest.raises(ConfigurationError):
+            SizeClassifier(num_classes=5, gamma=1)

@@ -1,0 +1,143 @@
+"""Unit tests for closed-loop clients, maintenance tasks, datastore."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.background import MaintenanceTask
+from repro.cluster.client import TenantClient
+from repro.cluster.datastore import DataStore
+from repro.cluster.engine import Simulator
+from repro.cluster.latency import LatencyRecorder
+from repro.cluster.machine import Machine
+from repro.cluster.routing import ReplicaRouter
+from repro.errors import SimulationError
+from repro.workloads.tpch import QueryStream
+
+
+def build_single_machine():
+    sim = Simulator()
+    machines = {0: Machine(sim, 0, cores=4)}
+    router = ReplicaRouter(sim, machines, {0: [0]},
+                           DataStore(warm_after=0))
+    recorder = LatencyRecorder()
+    return sim, machines, router, recorder
+
+
+class TestTenantClient:
+    def test_closed_loop_issues_queries(self):
+        sim, machines, router, recorder = build_single_machine()
+        rng = np.random.default_rng(0)
+        client = TenantClient(sim, 0, tenant_id=0, router=router,
+                              stream=QueryStream(rng), recorder=recorder,
+                              rng=rng, think_mean=0.1)
+        client.start(initial_delay=0.0)
+        sim.run_until(30.0)
+        assert client.queries_issued > 10
+        assert recorder.count > 10
+
+    def test_stop_halts_issuing(self):
+        sim, machines, router, recorder = build_single_machine()
+        rng = np.random.default_rng(0)
+        client = TenantClient(sim, 0, tenant_id=0, router=router,
+                              stream=QueryStream(rng), recorder=recorder,
+                              rng=rng, think_mean=0.1)
+        client.start(initial_delay=0.0)
+        sim.run_until(5.0)
+        client.stop()
+        issued = client.queries_issued
+        sim.run_until(30.0)
+        assert client.queries_issued == issued
+
+    def test_negative_think_rejected(self):
+        sim, machines, router, recorder = build_single_machine()
+        rng = np.random.default_rng(0)
+        with pytest.raises(SimulationError):
+            TenantClient(sim, 0, 0, router, QueryStream(rng), recorder,
+                         rng, think_mean=-1.0)
+
+    def test_dropped_recorded_when_unavailable(self):
+        sim, machines, router, recorder = build_single_machine()
+        rng = np.random.default_rng(0)
+        client = TenantClient(sim, 0, tenant_id=0, router=router,
+                              stream=QueryStream(rng), recorder=recorder,
+                              rng=rng, think_mean=0.5)
+        router.fail_machine(0)
+        client.start(initial_delay=0.0)
+        sim.run_until(5.0)
+        assert recorder.dropped > 0
+
+
+class TestMaintenanceTask:
+    def test_recurring_runs(self):
+        sim = Simulator()
+        machine = Machine(sim, 0, cores=4)
+        rng = np.random.default_rng(0)
+        task = MaintenanceTask(sim, machine, tenant_id=0, rng=rng,
+                               interval=1.0, demand=0.1)
+        task.start()
+        sim.run_until(20.0)
+        assert 10 <= task.runs <= 40
+
+    def test_alive_homes_divisor_slows_cycle(self):
+        sim = Simulator()
+        machine = Machine(sim, 0, cores=4)
+        rng = np.random.default_rng(0)
+        slow = MaintenanceTask(sim, machine, 0, rng, interval=1.0,
+                               demand=0.01, alive_homes=lambda: 3)
+        fast = MaintenanceTask(sim, machine, 1,
+                               np.random.default_rng(0), interval=1.0,
+                               demand=0.01, alive_homes=lambda: 1)
+        slow.start()
+        fast.start()
+        sim.run_until(60.0)
+        assert fast.runs > 1.5 * slow.runs
+
+    def test_stops_on_machine_failure(self):
+        sim = Simulator()
+        machine = Machine(sim, 0, cores=4)
+        rng = np.random.default_rng(0)
+        task = MaintenanceTask(sim, machine, 0, rng, interval=0.5,
+                               demand=0.1)
+        task.start()
+        sim.run_until(5.0)
+        machine.fail()
+        runs = task.runs
+        sim.run_until(20.0)
+        assert task.runs <= runs + 1  # at most one already-scheduled run
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        machine = Machine(sim, 0)
+        rng = np.random.default_rng(0)
+        with pytest.raises(SimulationError):
+            MaintenanceTask(sim, machine, 0, rng, interval=0.0)
+        with pytest.raises(SimulationError):
+            MaintenanceTask(sim, machine, 0, rng, demand=0.0)
+
+
+class TestDataStore:
+    def test_cold_then_warm(self):
+        store = DataStore(cold_penalty=2.0, warm_after=2)
+        assert store.demand_multiplier(0, 7) == 2.0
+        assert store.demand_multiplier(0, 7) == 2.0
+        assert store.demand_multiplier(0, 7) == 1.0
+        assert store.is_warm(0, 7)
+
+    def test_warmth_is_per_machine(self):
+        store = DataStore(cold_penalty=2.0, warm_after=1)
+        store.demand_multiplier(0, 7)
+        assert not store.is_warm(1, 7)
+
+    def test_evict_machine(self):
+        store = DataStore(cold_penalty=2.0, warm_after=1)
+        store.demand_multiplier(0, 7)
+        store.demand_multiplier(0, 7)
+        assert store.is_warm(0, 7)
+        store.evict_machine(0)
+        assert not store.is_warm(0, 7)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            DataStore(cold_penalty=0.5)
+        with pytest.raises(SimulationError):
+            DataStore(warm_after=-1)

@@ -1,0 +1,45 @@
+"""Unit tests for the Table I cost model."""
+
+import pytest
+
+from repro.analysis.cost import (C4_4XLARGE_HOURLY_USD, HOURS_PER_YEAR,
+                                 CostModel)
+from repro.errors import ConfigurationError
+
+
+class TestConstants:
+    def test_paper_price(self):
+        assert C4_4XLARGE_HOURLY_USD == 0.822
+
+    def test_hours_per_year(self):
+        assert HOURS_PER_YEAR == 8760
+
+
+class TestCostModel:
+    def test_yearly_cost(self):
+        model = CostModel()
+        assert model.yearly_cost(1) == pytest.approx(0.822 * 8760)
+
+    def test_paper_uniform_row(self):
+        """Table I: 2,506 servers saved -> $18,045,004 per year."""
+        model = CostModel()
+        savings = model.yearly_savings(10951, 10951 - 2506)
+        assert savings == pytest.approx(18_045_000, abs=5_000)
+
+    def test_paper_zipfian_row(self):
+        """Table I: 496 servers saved -> $3,571,557 per year."""
+        model = CostModel()
+        savings = model.yearly_savings(2218, 2218 - 496)
+        assert savings == pytest.approx(3_571_600, abs=5_000)
+
+    def test_negative_savings_when_candidate_worse(self):
+        model = CostModel()
+        assert model.yearly_savings(10, 12) < 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(hourly_usd=0.0)
+        with pytest.raises(ConfigurationError):
+            CostModel(hours_per_year=0)
+        with pytest.raises(ConfigurationError):
+            CostModel().yearly_cost(-1)

@@ -1,0 +1,135 @@
+"""Unit tests for the cube addressing machinery (Lemma 1)."""
+
+import itertools
+
+import pytest
+
+from repro.core.cube import (ClassCubes, SlotAddress, from_digits,
+                             rotate_right, to_digits)
+from repro.errors import ConfigurationError
+
+
+class TestDigits:
+    def test_roundtrip(self):
+        for base in (1, 2, 3, 5):
+            width = 3
+            for value in range(base ** width):
+                digits = to_digits(value, base, width)
+                assert from_digits(digits, base) == value
+
+    def test_msb_first(self):
+        assert to_digits(7, 3, 2) == (2, 1)   # 7 = 2*3 + 1
+        assert to_digits(1, 3, 3) == (0, 0, 1)
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            to_digits(9, 3, 2)
+        with pytest.raises(ConfigurationError):
+            to_digits(-1, 3, 2)
+
+    def test_base_one(self):
+        assert to_digits(0, 1, 2) == (0, 0)
+        with pytest.raises(ConfigurationError):
+            to_digits(1, 1, 2)
+
+    def test_rotate_right(self):
+        assert rotate_right((2, 1), 1) == (1, 2)
+        assert rotate_right((0, 0, 1), 1) == (1, 0, 0)
+        assert rotate_right((0, 0, 1), 2) == (0, 1, 0)
+        assert rotate_right((1, 2, 3), 0) == (1, 2, 3)
+        assert rotate_right((1, 2, 3), 3) == (1, 2, 3)
+
+
+class TestPaperExamples:
+    def test_tau3_gamma2_counter7(self):
+        """Paper: tau=3, gamma=2, I=(21)_3: first replica at slot (2,1)
+        of cube 1, second at (1,2) of cube 2."""
+        cubes = ClassCubes(tau=3, gamma=2)
+        cubes.counter = 7  # (2,1) in base 3
+        addrs = cubes.current_addresses()
+        assert addrs[0] == SlotAddress(group=0, bin_index=2, slot=1)
+        assert addrs[1] == SlotAddress(group=1, bin_index=1, slot=2)
+
+    def test_tau3_gamma3_counter1(self):
+        """Paper: tau=3, gamma=3, I=(001)_3: replicas at (0,0,1),
+        (1,0,0), (0,1,0) of cubes 1..3."""
+        cubes = ClassCubes(tau=3, gamma=3)
+        cubes.counter = 1
+        addrs = cubes.current_addresses()
+        # (0,0,1): bin (0,0)=0, slot 1
+        assert addrs[0] == SlotAddress(group=0, bin_index=0, slot=1)
+        # rotated (1,0,0): bin (1,0)=3, slot 0
+        assert addrs[1] == SlotAddress(group=1, bin_index=3, slot=0)
+        # rotated (0,1,0): bin (0,1)=1, slot 0
+        assert addrs[2] == SlotAddress(group=2, bin_index=1, slot=0)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("tau,gamma", [(1, 2), (2, 2), (3, 2),
+                                           (2, 3), (3, 3), (4, 3)])
+    def test_each_slot_visited_exactly_once_per_generation(self, tau, gamma):
+        cubes = ClassCubes(tau=tau, gamma=gamma)
+        seen = set()
+        for _ in range(cubes.period):
+            for addr in cubes.current_addresses():
+                key = (addr.group, addr.bin_index, addr.slot)
+                assert key not in seen, "slot reused within a generation"
+                assert 0 <= addr.bin_index < cubes.bins_per_group
+                assert 0 <= addr.slot < tau
+                seen.add(key)
+            cubes.advance()
+        assert len(seen) == gamma * cubes.period
+
+    @pytest.mark.parametrize("tau,gamma", [(2, 2), (3, 2), (2, 3), (3, 3)])
+    def test_lemma1_no_two_bins_share_two_tenants(self, tau, gamma):
+        """Two tenants sharing one bin must not share another bin."""
+        cubes = ClassCubes(tau=tau, gamma=gamma)
+        # tenant -> set of (group, bin_index) bins
+        bins_of = {}
+        for tenant in range(cubes.period):
+            bins_of[tenant] = {(a.group, a.bin_index)
+                               for a in cubes.current_addresses()}
+            cubes.advance()
+        for a, b in itertools.combinations(bins_of, 2):
+            shared = bins_of[a] & bins_of[b]
+            assert len(shared) <= 1, (
+                f"tenants {a} and {b} share bins {shared}")
+
+    def test_generation_wrap_allocates_fresh_bins(self):
+        cubes = ClassCubes(tau=2, gamma=2)
+        addr = cubes.current_addresses()[0]
+        cubes.assign_bin(addr, server_id=99)
+        wrapped = False
+        for _ in range(cubes.period):
+            wrapped = cubes.advance() or wrapped
+        assert wrapped
+        assert cubes.generation == 1
+        assert cubes.bin_id(addr) is None  # fresh groups
+
+    def test_assign_bin_twice_rejected(self):
+        cubes = ClassCubes(tau=2, gamma=2)
+        addr = cubes.current_addresses()[0]
+        cubes.assign_bin(addr, 1)
+        with pytest.raises(ConfigurationError):
+            cubes.assign_bin(addr, 2)
+
+    def test_tau1_single_slot_cube(self):
+        cubes = ClassCubes(tau=1, gamma=3)
+        assert cubes.period == 1
+        addrs = cubes.current_addresses()
+        assert [a.bin_index for a in addrs] == [0, 0, 0]
+        assert [a.slot for a in addrs] == [0, 0, 0]
+        assert cubes.advance()  # wraps immediately
+
+    def test_open_bin_ids(self):
+        cubes = ClassCubes(tau=2, gamma=2)
+        addrs = cubes.current_addresses()
+        cubes.assign_bin(addrs[0], 10)
+        cubes.assign_bin(addrs[1], 11)
+        assert sorted(cubes.open_bin_ids()) == [10, 11]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ClassCubes(tau=0, gamma=2)
+        with pytest.raises(ConfigurationError):
+            ClassCubes(tau=2, gamma=1)

@@ -1,0 +1,85 @@
+"""Unit tests for tenant departures (dynamic tenancy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cubefit import CubeFit
+from repro.core.tenant import Tenant, make_tenants
+from repro.core.validation import audit
+from repro.algorithms.rfi import RFI
+from repro.errors import PlacementError
+
+
+class TestBaseRemoval:
+    def test_rfi_departure_frees_capacity(self):
+        algo = RFI(gamma=2)
+        algo.consolidate(make_tenants([0.5, 0.5]))
+        algo.remove(0)
+        assert algo.placement.num_tenants == 1
+        assert algo.placement.tenant_load(0) == 0.0
+        assert audit(algo.placement, failures=1).ok
+
+    def test_freed_space_is_reused(self):
+        algo = RFI(gamma=2)
+        algo.consolidate(make_tenants([0.6, 0.6]))
+        servers_full = algo.placement.num_servers
+        algo.remove(0)
+        algo.place(Tenant(2, 0.6))
+        # The departed tenant's slots should absorb the newcomer.
+        assert algo.placement.num_servers == servers_full
+
+    def test_remove_unknown_tenant(self):
+        algo = RFI(gamma=2)
+        with pytest.raises(PlacementError):
+            algo.remove(7)
+
+
+class TestCubeFitRemoval:
+    def test_robustness_preserved_under_churn(self):
+        rng = np.random.default_rng(91)
+        algo = CubeFit(gamma=2, num_classes=10)
+        alive = set()
+        next_id = 0
+        for step in range(300):
+            if alive and rng.random() < 0.4:
+                tid = int(rng.choice(sorted(alive)))
+                algo.remove(tid)
+                alive.discard(tid)
+            else:
+                load = float(rng.uniform(0.01, 1.0))
+                algo.place(Tenant(next_id, load))
+                alive.add(next_id)
+                next_id += 1
+        report = audit(algo.placement)
+        assert report.ok, str(report)
+        assert algo.placement.num_tenants == len(alive)
+
+    def test_departed_tiny_tenant_space_reclaimed_in_active_multi(self):
+        algo = CubeFit(gamma=2, num_classes=10)
+        # Two tiny tenants fill most of the active multi-replica.
+        algo.consolidate(make_tenants([0.08, 0.08]))
+        active = algo._active_multi
+        assert active is not None
+        size_before = active.size
+        algo.remove(0)
+        assert active.size == pytest.approx(size_before - 0.04)
+        assert 0 not in active.tenant_ids
+        # The next tiny tenant reuses the same multi-replica.
+        algo.place(Tenant(2, 0.08))
+        assert algo._active_multi is active
+
+    def test_departures_counted(self):
+        algo = CubeFit(gamma=2, num_classes=5)
+        algo.consolidate(make_tenants([0.5, 0.5]))
+        algo.remove(1)
+        assert algo.stats["departures"] == 1
+
+    def test_gamma3_churn(self):
+        rng = np.random.default_rng(93)
+        algo = CubeFit(gamma=3, num_classes=5)
+        for tid in range(60):
+            algo.place(Tenant(tid, float(rng.uniform(0.05, 0.9))))
+        for tid in range(0, 60, 3):
+            algo.remove(tid)
+        assert audit(algo.placement).ok
+        assert algo.placement.num_tenants == 40

@@ -1,0 +1,131 @@
+"""Unit tests for the workload distributions."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.distributions import (DiscreteUniformClients,
+                                           ModelLoad, NormalizedClients,
+                                           TraceLoads, UniformLoad,
+                                           ZipfClients)
+from repro.workloads.loadmodel import LinearLoadModel
+from repro.errors import ConfigurationError
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestUniformLoad:
+    def test_range(self):
+        dist = UniformLoad(max_load=0.4)
+        samples = dist.sample(rng(), 5000)
+        assert samples.min() > 0.0
+        assert samples.max() <= 0.4
+        assert samples.mean() == pytest.approx(0.2, abs=0.01)
+
+    def test_name(self):
+        assert UniformLoad(0.2).name == "uniform(0,0.2]"
+
+    @pytest.mark.parametrize("bad", [0.0, 1.5, -0.3])
+    def test_invalid_max(self, bad):
+        with pytest.raises(ConfigurationError):
+            UniformLoad(max_load=bad)
+
+    def test_sample_one(self):
+        assert 0 < UniformLoad(1.0).sample_one(rng()) <= 1.0
+
+
+class TestDiscreteUniformClients:
+    def test_range_and_coverage(self):
+        dist = DiscreteUniformClients(1, 15)
+        samples = dist.sample(rng(), 5000)
+        assert samples.min() == 1
+        assert samples.max() == 15
+        assert set(np.unique(samples)) == set(range(1, 16))
+
+    def test_equiprobable(self):
+        samples = DiscreteUniformClients(1, 4).sample(rng(), 40000)
+        counts = np.bincount(samples)[1:]
+        assert counts.min() > 0.9 * counts.max()
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            DiscreteUniformClients(5, 4)
+        with pytest.raises(ConfigurationError):
+            DiscreteUniformClients(0, 4)
+
+
+class TestZipfClients:
+    def test_bounded_support(self):
+        dist = ZipfClients(exponent=3.0, max_clients=52)
+        samples = dist.sample(rng(), 5000)
+        assert samples.min() >= 1
+        assert samples.max() <= 52
+
+    def test_heavy_skew_toward_one(self):
+        dist = ZipfClients(exponent=3.0, max_clients=52)
+        samples = dist.sample(rng(), 10000)
+        assert (samples == 1).mean() > 0.7  # 1/zeta(3) ~ 0.83
+
+    def test_pmf_normalized_and_decreasing(self):
+        dist = ZipfClients(exponent=2.0, max_clients=10)
+        pmf = dist.pmf
+        assert pmf.sum() == pytest.approx(1.0)
+        assert all(a > b for a, b in zip(pmf, pmf[1:]))
+
+    def test_mean_matches_pmf(self):
+        dist = ZipfClients(exponent=3.0, max_clients=52)
+        samples = dist.sample(rng(), 50000)
+        assert samples.mean() == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ZipfClients(exponent=0.0)
+        with pytest.raises(ConfigurationError):
+            ZipfClients(exponent=2.0, max_clients=0)
+
+
+class TestNormalizedClients:
+    def test_divides_by_capacity(self):
+        """Section V-C: sample 1..C and divide by C."""
+        dist = NormalizedClients(DiscreteUniformClients(1, 52),
+                                 max_clients=52)
+        samples = dist.sample(rng(), 2000)
+        assert samples.min() >= 1 / 52 - 1e-12
+        assert samples.max() <= 1.0
+
+    def test_loads_are_multiples_of_1_over_c(self):
+        dist = NormalizedClients(DiscreteUniformClients(1, 10),
+                                 max_clients=10)
+        samples = dist.sample(rng(), 100)
+        scaled = samples * 10
+        assert np.allclose(scaled, np.round(scaled))
+
+
+class TestModelLoad:
+    def test_applies_linear_model(self):
+        model = LinearLoadModel(delta=0.02, beta=0.01)
+        dist = ModelLoad(DiscreteUniformClients(5, 5), model)
+        samples = dist.sample(rng(), 10)
+        assert np.allclose(samples, 0.02 * 5 + 0.01)
+
+    def test_clipped_to_unit(self):
+        model = LinearLoadModel(delta=0.5, beta=0.9)
+        dist = ModelLoad(DiscreteUniformClients(5, 5), model)
+        assert dist.sample(rng(), 3).max() <= 1.0
+
+
+class TestTraceLoads:
+    def test_replays_in_order(self):
+        dist = TraceLoads([0.1, 0.2, 0.3])
+        assert list(dist.sample(rng(), 3)) == [0.1, 0.2, 0.3]
+
+    def test_wraps_around(self):
+        dist = TraceLoads([0.1, 0.2])
+        assert list(dist.sample(rng(), 5)) == [0.1, 0.2, 0.1, 0.2, 0.1]
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            TraceLoads([])
+        with pytest.raises(ConfigurationError):
+            TraceLoads([0.0])

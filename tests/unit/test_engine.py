@@ -1,0 +1,110 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.cluster.engine import Simulator
+from repro.errors import SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.run_until(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_fifo(self):
+        sim = Simulator()
+        fired = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: fired.append(n))
+        sim.run_until(2.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.run_until(5.0)
+        assert times == [1.5]
+        assert sim.now == 5.0
+
+    def test_run_until_leaves_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append("late"))
+        sim.run_until(5.0)
+        assert fired == []
+        sim.run_until(10.0)
+        assert fired == ["late"]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(1.0, lambda: fired.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run_until(3.0)
+        assert fired == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_past_schedule_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(2.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run_until(2.0)
+        assert fired == []
+
+    def test_pending_counts_cancelled(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        assert sim.pending == 1
+        sim.run_until(2.0)
+        assert sim.pending == 0
+
+
+class TestRunAll:
+    def test_drains_heap(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run_all()
+        assert fired == [1, 2]
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(0.1, rearm)
+
+        sim.schedule(0.1, rearm)
+        with pytest.raises(SimulationError):
+            sim.run_all(max_events=100)
+
+    def test_events_dispatched_counter(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        assert sim.events_dispatched == 1

@@ -1,0 +1,29 @@
+"""Snapshot regression tests against committed expected outputs.
+
+Theorem 2's sweep is pure exact arithmetic — any change to its values
+is either a bug or an intentional analysis change that must be made
+consciously (regenerate ``benchmarks/expected/theorem2.csv`` via the
+snippet in this file's docstring)::
+
+    python - <<'EOF'
+    from repro.sim.figures import theorem2
+    from repro.analysis.report import theorem2_table
+    theorem2_table(theorem2()).to_csv("benchmarks/expected/theorem2.csv")
+    EOF
+"""
+
+from pathlib import Path
+
+from repro.analysis.report import theorem2_table
+from repro.sim.figures import theorem2
+
+EXPECTED = Path(__file__).resolve().parents[2] / "benchmarks" / \
+    "expected" / "theorem2.csv"
+
+
+def test_theorem2_sweep_matches_snapshot():
+    result = theorem2()
+    fresh = theorem2_table(result).to_csv()
+    assert fresh == EXPECTED.read_text(), (
+        "Theorem 2 sweep changed; if intentional, regenerate "
+        "benchmarks/expected/theorem2.csv")

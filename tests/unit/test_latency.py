@@ -1,0 +1,108 @@
+"""Unit tests for the latency recorder and SLA evaluation."""
+
+import pytest
+
+from repro.cluster.latency import LatencyRecorder
+from repro.errors import ConfigurationError
+
+
+def filled_recorder():
+    rec = LatencyRecorder(window_start=10.0, window_end=20.0)
+    # 100 in-window samples on server 0 (tenant 0): latencies 1..100 ms
+    for i in range(100):
+        rec.record(completed_at=10.0 + i * 0.05, tenant_id=0,
+                   query_name="Q1", latency=(i + 1) / 100.0,
+                   server_id=0)
+    return rec
+
+
+class TestWindowing:
+    def test_out_of_window_samples_excluded(self):
+        rec = LatencyRecorder(window_start=10.0, window_end=20.0)
+        rec.record(5.0, 0, "Q1", 1.0, server_id=0)    # warm-up
+        rec.record(25.0, 0, "Q1", 1.0, server_id=0)   # drain
+        rec.record(15.0, 0, "Q1", 1.0, server_id=0)   # measured
+        assert rec.count == 1
+        assert rec.total_completed == 3
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            LatencyRecorder(window_start=5.0, window_end=1.0)
+
+
+class TestPercentiles:
+    def test_p99(self):
+        rec = filled_recorder()
+        assert rec.p99() == pytest.approx(0.9901)
+
+    def test_mean(self):
+        rec = filled_recorder()
+        assert rec.mean_latency() == pytest.approx(0.505)
+
+    def test_throughput(self):
+        rec = filled_recorder()
+        assert rec.throughput() == pytest.approx(10.0)
+
+    def test_empty_window_raises(self):
+        rec = LatencyRecorder()
+        with pytest.raises(ConfigurationError):
+            rec.p99()
+
+
+class TestPerTenantAndServer:
+    def test_per_tenant_p99(self):
+        rec = LatencyRecorder()
+        for lat in (1.0, 2.0):
+            rec.record(0.0, 1, "Q1", lat, server_id=0)
+        rec.record(0.0, 2, "Q1", 9.0, server_id=0)
+        per = rec.per_tenant_p99()
+        assert per[2] == pytest.approx(9.0)
+        assert per[1] < 2.01
+
+    def test_min_samples_filter(self):
+        rec = LatencyRecorder()
+        rec.record(0.0, 1, "Q1", 9.0, server_id=0)
+        for _ in range(10):
+            rec.record(0.0, 2, "Q1", 1.0, server_id=1)
+        assert 1 not in rec.per_tenant_p99(min_samples=5)
+        assert rec.worst_tenant_p99(min_samples=5) == pytest.approx(1.0)
+
+    def test_worst_tenant_falls_back_when_all_filtered(self):
+        rec = LatencyRecorder()
+        rec.record(0.0, 1, "Q1", 9.0, server_id=0)
+        assert rec.worst_tenant_p99(min_samples=100) == pytest.approx(9.0)
+
+    def test_per_server_p99_and_violations(self):
+        rec = LatencyRecorder()
+        for _ in range(300):
+            rec.record(0.0, 1, "Q1", 1.0, server_id=0)
+        for _ in range(300):
+            rec.record(0.0, 2, "Q1", 8.0, server_id=1)
+        per = rec.per_server_p99(min_samples=200)
+        assert per[0] == pytest.approx(1.0)
+        assert per[1] == pytest.approx(8.0)
+        assert rec.worst_server_p99() == pytest.approx(8.0)
+        assert rec.violating_servers(sla_seconds=5.0) == [1]
+
+
+class TestSla:
+    def test_meets_sla_true(self):
+        rec = LatencyRecorder()
+        for _ in range(300):
+            rec.record(0.0, 1, "Q1", 1.0, server_id=0)
+        assert rec.meets_sla(sla_seconds=5.0)
+
+    def test_violation_by_latency(self):
+        rec = LatencyRecorder()
+        for _ in range(300):
+            rec.record(0.0, 1, "Q1", 6.0, server_id=0)
+        assert not rec.meets_sla(sla_seconds=5.0)
+
+    def test_dropped_queries_violate_sla(self):
+        """An unavailable tenant violates its SLA regardless of latency."""
+        rec = LatencyRecorder()
+        for _ in range(300):
+            rec.record(0.0, 1, "Q1", 0.1, server_id=0)
+        rec.record_dropped()
+        assert not rec.meets_sla(sla_seconds=5.0)
+        assert rec.dropped == 1

@@ -1,0 +1,86 @@
+"""Unit tests for the linear load model and its boundary fit."""
+
+import pytest
+
+from repro.workloads.loadmodel import (BoundaryPoint, DEFAULT_LOAD_MODEL,
+                                       LinearLoadModel, fit_boundary)
+from repro.errors import CalibrationError, ConfigurationError
+
+
+class TestModel:
+    def test_load_formula(self):
+        model = LinearLoadModel(delta=0.02, beta=0.01)
+        assert model.load(10) == pytest.approx(0.21)
+
+    def test_zero_clients_zero_load(self):
+        model = LinearLoadModel(delta=0.02, beta=0.01)
+        assert model.load(0) == 0.0
+
+    def test_load_may_exceed_one(self):
+        """Loads above 1.0 signal over-utilization (Section IV)."""
+        model = LinearLoadModel(delta=0.02, beta=0.01)
+        assert model.load(60) > 1.0
+
+    def test_server_load_additive(self):
+        model = LinearLoadModel(delta=0.02, beta=0.01)
+        assert model.server_load([5, 10]) == pytest.approx(
+            model.load(5) + model.load(10))
+
+    def test_max_clients(self):
+        model = LinearLoadModel(delta=0.019, beta=0.012)
+        assert model.max_clients() == 52
+
+    def test_max_clients_multiple_tenants(self):
+        model = LinearLoadModel(delta=0.019, beta=0.012)
+        assert model.max_clients(tenants=10) < model.max_clients(tenants=1)
+
+    def test_max_clients_overhead_exceeds_capacity(self):
+        model = LinearLoadModel(delta=0.02, beta=0.3)
+        assert model.max_clients(tenants=4) == 0
+
+    def test_clients_for_load_inverts(self):
+        model = LinearLoadModel(delta=0.02, beta=0.01)
+        assert model.clients_for_load(model.load(25)) == 25
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LinearLoadModel(delta=0.0, beta=0.01)
+        with pytest.raises(ConfigurationError):
+            LinearLoadModel(delta=0.02, beta=-0.1)
+        with pytest.raises(ConfigurationError):
+            LinearLoadModel(delta=0.02, beta=0.01).load(-1)
+
+
+class TestFitBoundary:
+    def test_recovers_exact_model(self):
+        truth = LinearLoadModel(delta=0.018, beta=0.01)
+        points = []
+        for tenants in (1, 4, 8, 12):
+            clients = truth.max_clients(tenants=tenants)
+            points.append(BoundaryPoint(tenants=tenants, clients=clients))
+        fitted = fit_boundary(points)
+        assert fitted.delta == pytest.approx(truth.delta, rel=0.05)
+        assert fitted.beta == pytest.approx(truth.beta, abs=0.005)
+
+    def test_needs_two_tenant_counts(self):
+        with pytest.raises(CalibrationError):
+            fit_boundary([BoundaryPoint(1, 50), BoundaryPoint(1, 51)])
+
+    def test_needs_two_points(self):
+        with pytest.raises(CalibrationError):
+            fit_boundary([BoundaryPoint(1, 50)])
+
+    def test_nonphysical_fit_rejected(self):
+        # A boundary where more tenants allow far more clients forces a
+        # negative delta in the least-squares solution.
+        points = [BoundaryPoint(tenants=1, clients=10),
+                  BoundaryPoint(tenants=2, clients=100)]
+        with pytest.raises(CalibrationError):
+            fit_boundary(points)
+
+
+class TestDefault:
+    def test_default_model_prices_conservatively(self):
+        """The shipped model keeps headroom below the raw simulated
+        boundary (C ≈ 52): see the module docstring."""
+        assert 35 <= DEFAULT_LOAD_MODEL.max_clients() <= 52

@@ -1,0 +1,131 @@
+"""Unit tests for the processor-sharing machine model."""
+
+import pytest
+
+from repro.cluster.engine import Simulator
+from repro.cluster.machine import Machine
+from repro.errors import SimulationError
+
+
+def make(cores=2):
+    sim = Simulator()
+    return sim, Machine(sim, machine_id=0, cores=cores)
+
+
+class TestSingleJob:
+    def test_runs_at_full_speed(self):
+        sim, m = make(cores=2)
+        done = []
+        m.submit(3.0, lambda: done.append(sim.now))
+        sim.run_until(10.0)
+        assert done == [pytest.approx(3.0)]
+
+    def test_invalid_demand(self):
+        sim, m = make()
+        with pytest.raises(SimulationError):
+            m.submit(0.0, lambda: None)
+
+
+class TestProcessorSharing:
+    def test_jobs_below_cores_run_full_speed(self):
+        sim, m = make(cores=2)
+        done = []
+        m.submit(2.0, lambda: done.append(("a", sim.now)))
+        m.submit(3.0, lambda: done.append(("b", sim.now)))
+        sim.run_until(10.0)
+        assert done == [("a", pytest.approx(2.0)),
+                        ("b", pytest.approx(3.0))]
+
+    def test_sharing_beyond_cores(self):
+        """4 equal jobs on 2 cores: each runs at rate 1/2, so 1-second
+        jobs complete together at t=2."""
+        sim, m = make(cores=2)
+        done = []
+        for i in range(4):
+            m.submit(1.0, lambda i=i: done.append((i, sim.now)))
+        sim.run_until(10.0)
+        assert [t for _, t in done] == [pytest.approx(2.0)] * 4
+
+    def test_rate_rises_when_jobs_depart(self):
+        """Jobs: one of demand 1 and one of demand 2 on a single core.
+        Until t=2 both share (rate 1/2 each): job A finishes at 2 having
+        1 unit done; job B then runs alone and finishes at 3."""
+        sim, m = make(cores=1)
+        done = {}
+        m.submit(1.0, lambda: done.setdefault("a", sim.now))
+        m.submit(2.0, lambda: done.setdefault("b", sim.now))
+        sim.run_until(10.0)
+        assert done["a"] == pytest.approx(2.0)
+        assert done["b"] == pytest.approx(3.0)
+
+    def test_late_arrival_shares_remaining_work(self):
+        """Job A (demand 2) starts at 0 on 1 core; job B (demand 1)
+        arrives at t=1.  From t=1 both run at 1/2.  A has 1 unit left ->
+        A and B finish at t=3."""
+        sim, m = make(cores=1)
+        done = {}
+        m.submit(2.0, lambda: done.setdefault("a", sim.now))
+        sim.schedule(1.0, lambda: m.submit(
+            1.0, lambda: done.setdefault("b", sim.now)))
+        sim.run_until(10.0)
+        assert done["a"] == pytest.approx(3.0)
+        assert done["b"] == pytest.approx(3.0)
+
+
+class TestAbortAndFailure:
+    def test_abort_removes_job(self):
+        sim, m = make(cores=1)
+        done = []
+        job = m.submit(5.0, lambda: done.append("x"))
+        assert m.abort(job)
+        sim.run_until(10.0)
+        assert done == []
+        assert not m.abort(job)  # second abort is a no-op
+
+    def test_abort_speeds_up_survivors(self):
+        sim, m = make(cores=1)
+        done = {}
+        a = m.submit(4.0, lambda: done.setdefault("a", sim.now))
+        m.submit(4.0, lambda: done.setdefault("b", sim.now))
+        sim.schedule(2.0, lambda: m.abort(a))
+        sim.run_until(20.0)
+        # b had 3 units left at t=2 (rate 1/2 for 2s), then full speed.
+        assert done["b"] == pytest.approx(5.0)
+
+    def test_fail_aborts_everything(self):
+        sim, m = make(cores=1)
+        done = []
+        m.submit(5.0, lambda: done.append("x"))
+        m.submit(5.0, lambda: done.append("y"))
+        aborted = m.fail()
+        assert len(aborted) == 2
+        assert m.failed
+        sim.run_until(20.0)
+        assert done == []
+
+    def test_submit_to_failed_machine_rejected(self):
+        sim, m = make()
+        m.fail()
+        with pytest.raises(SimulationError):
+            m.submit(1.0, lambda: None)
+
+
+class TestStatistics:
+    def test_utilization_single_job(self):
+        sim, m = make(cores=2)
+        m.submit(2.0, lambda: None)
+        sim.run_until(4.0)
+        # 1 core busy for 2s out of 2 cores * 4s = 0.25
+        assert m.utilization() == pytest.approx(0.25)
+
+    def test_completed_jobs_counter(self):
+        sim, m = make(cores=2)
+        m.submit(1.0, lambda: None)
+        m.submit(1.0, lambda: None)
+        sim.run_until(5.0)
+        assert m.completed_jobs == 2
+
+    def test_active_jobs(self):
+        sim, m = make(cores=2)
+        m.submit(10.0, lambda: None)
+        assert m.active_jobs == 1

@@ -1,0 +1,74 @@
+"""Unit tests for multi-replica policies and CubeFitConfig."""
+
+import pytest
+
+from repro.core.config import (CubeFitConfig, TINY_POLICY_ALPHA,
+                               TINY_POLICY_LAST_CLASS)
+from repro.core.multireplica import MultiReplica, MultiReplicaPolicy
+from repro.errors import ConfigurationError
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = CubeFitConfig()
+        assert cfg.gamma == 2
+        assert cfg.num_classes == 10
+        assert cfg.tiny_policy == TINY_POLICY_LAST_CLASS
+        assert cfg.first_stage
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(gamma=1),
+        dict(num_classes=1),
+        dict(tiny_policy="bogus"),
+        dict(capacity=0.0),
+        dict(tiny_policy=TINY_POLICY_ALPHA, num_classes=6),   # K <= g^2+g
+        dict(gamma=3, tiny_policy=TINY_POLICY_ALPHA, num_classes=12),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CubeFitConfig(**kwargs)
+
+    def test_alpha_policy_minimum_k(self):
+        # gamma=2: K must be > 6
+        CubeFitConfig(tiny_policy=TINY_POLICY_ALPHA, num_classes=7)
+        # gamma=3: K must be > 12
+        CubeFitConfig(gamma=3, tiny_policy=TINY_POLICY_ALPHA,
+                      num_classes=13)
+
+
+class TestMultiReplicaPolicy:
+    def test_last_class_threshold_is_slot_size(self):
+        policy = MultiReplicaPolicy(CubeFitConfig(gamma=2, num_classes=10))
+        assert policy.target_class == 9
+        assert policy.threshold == pytest.approx(1.0 / 10.0)
+
+    def test_alpha_threshold(self):
+        policy = MultiReplicaPolicy(CubeFitConfig(
+            gamma=2, num_classes=13, tiny_policy=TINY_POLICY_ALPHA))
+        # alpha_13 = 3 -> threshold 1/3, target class 3-2+1 = 2
+        assert policy.threshold == pytest.approx(1.0 / 3.0)
+        assert policy.target_class == 2
+
+    def test_fits(self):
+        policy = MultiReplicaPolicy(CubeFitConfig(gamma=2, num_classes=10))
+        multi = MultiReplica(server_ids=(0, 1))
+        multi.add(0, 0.05)
+        assert policy.fits(multi, 0.04)
+        assert not policy.fits(multi, 0.06)
+        assert not policy.fits(None, 0.01)
+
+    def test_sealed_rejects_fit_and_add(self):
+        policy = MultiReplicaPolicy(CubeFitConfig(gamma=2, num_classes=10))
+        multi = MultiReplica(server_ids=(0, 1))
+        multi.sealed = True
+        assert not policy.fits(multi, 0.01)
+        with pytest.raises(ConfigurationError):
+            multi.add(0, 0.01)
+
+    def test_multireplica_tracks_members(self):
+        multi = MultiReplica(server_ids=(0, 1, 2))
+        multi.add(5, 0.02)
+        multi.add(6, 0.03)
+        assert len(multi) == 2
+        assert multi.size == pytest.approx(0.05)
+        assert multi.tenant_ids == [5, 6]

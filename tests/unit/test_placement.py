@@ -1,0 +1,159 @@
+"""Unit tests for repro.core.placement (shared-load accounting)."""
+
+import pytest
+
+from repro.core.placement import PlacementState
+from repro.core.tenant import Tenant, Replica
+from repro.errors import ConfigurationError, PlacementError
+
+
+def fresh(gamma=2, servers=0):
+    ps = PlacementState(gamma=gamma)
+    for _ in range(servers):
+        ps.open_server()
+    return ps
+
+
+class TestConstruction:
+    def test_invalid_gamma(self):
+        with pytest.raises(ConfigurationError):
+            PlacementState(gamma=0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            PlacementState(gamma=2, capacity=0.0)
+
+    def test_server_ids_sequential(self):
+        ps = fresh(servers=3)
+        assert ps.server_ids == [0, 1, 2]
+        assert ps.num_servers == 3
+
+
+class TestPlaceUnplace:
+    def test_place_tenant_updates_shared(self):
+        ps = fresh(gamma=2, servers=2)
+        ps.place_tenant(Tenant(0, 0.6), [0, 1])
+        assert ps.shared_load(0, 1) == pytest.approx(0.3)
+        assert ps.shared_load(1, 0) == pytest.approx(0.3)
+        assert ps.server(0).load == pytest.approx(0.3)
+
+    def test_shared_accumulates_over_tenants(self):
+        ps = fresh(gamma=2, servers=2)
+        ps.place_tenant(Tenant(0, 0.4), [0, 1])
+        ps.place_tenant(Tenant(1, 0.2), [0, 1])
+        assert ps.shared_load(0, 1) == pytest.approx(0.3)
+
+    def test_unplace_restores_shared(self):
+        ps = fresh(gamma=2, servers=2)
+        ps.place_tenant(Tenant(0, 0.6), [0, 1])
+        ps.remove_tenant(0)
+        assert ps.shared_load(0, 1) == 0.0
+        assert ps.server(0).load == pytest.approx(0.0)
+        assert ps.num_tenants == 0
+
+    def test_place_requires_distinct_servers(self):
+        ps = fresh(gamma=2, servers=2)
+        with pytest.raises(PlacementError):
+            ps.place_tenant(Tenant(0, 0.5), [0, 0])
+
+    def test_place_requires_gamma_servers(self):
+        ps = fresh(gamma=3, servers=3)
+        with pytest.raises(PlacementError):
+            ps.place_tenant(Tenant(0, 0.5), [0, 1])
+
+    def test_atomic_rollback_on_failure(self):
+        from repro.errors import CapacityError
+        ps = fresh(gamma=2, servers=3)
+        ps.place_tenant(Tenant(0, 0.9), [0, 1])   # 0.45 on each
+        ps.place_tenant(Tenant(1, 0.9), [1, 2])   # server 1 now at 0.90
+        # Tenant 2's first replica (0.5) fits on server 0 (free 0.55) but
+        # the second cannot fit on server 1 (free 0.10): the whole
+        # placement must roll back, leaving server 0 untouched.
+        with pytest.raises(CapacityError):
+            ps.place_tenant(Tenant(2, 1.0), [0, 1])
+        assert ps.tenant_load(2) == 0.0
+        assert ps.server(0).load == pytest.approx(0.45)
+        assert ps.shared_load(0, 1) == pytest.approx(0.45)
+
+    def test_duplicate_replica_placement_rejected(self):
+        ps = fresh(gamma=2, servers=2)
+        ps.place(Replica(0, 0, 0.2), 0)
+        with pytest.raises(PlacementError):
+            ps.place(Replica(0, 0, 0.2), 1)
+
+    def test_unplace_unknown_tenant(self):
+        ps = fresh(gamma=2, servers=1)
+        with pytest.raises(PlacementError):
+            ps.remove_tenant(42)
+
+
+class TestQueries:
+    def test_tenant_servers_mapping(self):
+        ps = fresh(gamma=3, servers=3)
+        ps.place_tenant(Tenant(5, 0.3), [2, 0, 1])
+        assert ps.tenant_servers(5) == {0: 2, 1: 0, 2: 1}
+
+    def test_worst_failover_is_top_k_shared(self):
+        ps = fresh(gamma=3, servers=5)
+        # Tenant a on (0,1,2); tenant b on (0,3,4): server 0 shares 0.1
+        # with each of 1,2 (a) and 0.2 with each of 3,4 (b).
+        ps.place_tenant(Tenant(0, 0.3), [0, 1, 2])
+        ps.place_tenant(Tenant(1, 0.6), [0, 3, 4])
+        # gamma-1 = 2 worst partners of server 0: 3 and 4 (0.2 each)
+        assert ps.worst_failover_load(0) == pytest.approx(0.4)
+        assert ps.worst_failover_load(0, failures=1) == pytest.approx(0.2)
+        assert ps.worst_failover_load(0, failures=0) == 0.0
+
+    def test_slack_and_is_robust(self):
+        ps = fresh(gamma=2, servers=2)
+        ps.place_tenant(Tenant(0, 0.8), [0, 1])
+        # load 0.4, worst failover 0.4 -> slack 0.2
+        assert ps.slack(0) == pytest.approx(0.2)
+        assert ps.is_robust(0)
+
+    def test_failover_specific_set_conservative(self):
+        ps = fresh(gamma=3, servers=4)
+        ps.place_tenant(Tenant(0, 0.6), [0, 1, 2])
+        assert ps.failover_load(0, [1]) == pytest.approx(0.2)
+        assert ps.failover_load(0, [1, 2]) == pytest.approx(0.4)
+        assert ps.failover_load(0, [3]) == 0.0
+
+    def test_exact_failover_splits_between_survivors(self):
+        ps = fresh(gamma=3, servers=4)
+        ps.place_tenant(Tenant(0, 0.6), [0, 1, 2])
+        # one failure: tenant re-shares over 2 survivors: 0.3 each,
+        # extra on server 0 = 0.3 - 0.2 = 0.1 (< conservative 0.2)
+        assert ps.exact_failover_load(0, [1]) == pytest.approx(0.1)
+        # both partners fail: server 0 takes everything: extra 0.4
+        assert ps.exact_failover_load(0, [1, 2]) == pytest.approx(0.4)
+
+    def test_exact_never_exceeds_conservative(self):
+        ps = fresh(gamma=3, servers=5)
+        ps.place_tenant(Tenant(0, 0.3), [0, 1, 2])
+        ps.place_tenant(Tenant(1, 0.6), [0, 3, 4])
+        for failed in ([1], [3], [1, 3], [2, 4], [3, 4]):
+            assert ps.exact_failover_load(0, failed) <= \
+                ps.failover_load(0, failed) + 1e-12
+
+    def test_utilization_counts_only_nonempty(self):
+        ps = fresh(gamma=2, servers=3)
+        ps.place_tenant(Tenant(0, 0.8), [0, 1])
+        assert ps.utilization() == pytest.approx(0.4)
+
+    def test_total_load(self):
+        ps = fresh(gamma=2, servers=2)
+        ps.place_tenant(Tenant(0, 0.5), [0, 1])
+        assert ps.total_load() == pytest.approx(0.5)
+
+    def test_snapshot(self):
+        ps = fresh(gamma=2, servers=2)
+        ps.place_tenant(Tenant(3, 0.5), [0, 1])
+        snap = ps.snapshot()
+        assert snap[0] == [(3, 0)]
+        assert snap[1] == [(3, 1)]
+
+    def test_num_nonempty_servers(self):
+        ps = fresh(gamma=2, servers=4)
+        ps.place_tenant(Tenant(0, 0.5), [0, 2])
+        assert ps.num_nonempty_servers == 2
+        assert ps.num_servers == 4

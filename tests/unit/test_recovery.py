@@ -1,0 +1,125 @@
+"""Unit tests for post-failure re-replication."""
+
+import numpy as np
+import pytest
+
+from repro.core.cubefit import CubeFit
+from repro.core.recovery import RecoveryPlanner
+from repro.core.tenant import make_tenants
+from repro.core.validation import audit
+from repro.algorithms.rfi import RFI
+from repro.errors import PlacementError
+
+
+def packed_cubefit(n=120, gamma=2, seed=87):
+    rng = np.random.default_rng(seed)
+    loads = list(rng.uniform(0.02, 0.6, n))
+    algo = CubeFit(gamma=gamma, num_classes=10)
+    algo.consolidate(make_tenants(loads))
+    return algo
+
+
+class TestRecover:
+    def test_failed_servers_emptied(self):
+        algo = packed_cubefit()
+        placement = algo.placement
+        victim = max((s for s in placement if len(s) > 0),
+                     key=lambda s: len(s)).server_id
+        planner = RecoveryPlanner(placement)
+        plan = planner.recover([victim])
+        assert len(placement.server(victim)) == 0
+        assert plan.replicas_relocated > 0
+        assert all(m.source == victim for m in plan.moves)
+
+    def test_replication_factor_restored(self):
+        algo = packed_cubefit()
+        placement = algo.placement
+        victim = next(s.server_id for s in placement if len(s) > 0)
+        RecoveryPlanner(placement).recover([victim])
+        for tid in placement.tenant_ids:
+            homes = placement.tenant_servers(tid)
+            assert len(homes) == 2
+            assert victim not in homes.values()
+
+    def test_recovered_packing_still_robust(self):
+        algo = packed_cubefit()
+        placement = algo.placement
+        nonempty = [s.server_id for s in placement if len(s) > 0]
+        plan = RecoveryPlanner(placement).recover(nonempty[:2])
+        report = audit(placement)
+        assert report.ok, str(plan)
+
+    def test_no_moves_for_empty_failed_server(self):
+        algo = packed_cubefit()
+        placement = algo.placement
+        empty = [s.server_id for s in placement if len(s) == 0]
+        if not empty:
+            fresh = placement.open_server()
+            empty = [fresh.server_id]
+        plan = RecoveryPlanner(placement).recover([empty[0]])
+        assert plan.replicas_relocated == 0
+        assert plan.servers_opened == 0
+
+    def test_targets_never_host_tenant_twice(self):
+        algo = packed_cubefit(gamma=3)
+        placement = algo.placement
+        victim = next(s.server_id for s in placement if len(s) > 2)
+        plan = RecoveryPlanner(placement).recover([victim])
+        for move in plan.moves:
+            homes = list(placement.tenant_servers(
+                move.tenant_id).values())
+            assert len(homes) == len(set(homes)) == 3
+
+    def test_unknown_server_rejected(self):
+        algo = packed_cubefit()
+        with pytest.raises(PlacementError):
+            RecoveryPlanner(algo.placement).recover([99999])
+
+    def test_plan_str(self):
+        algo = packed_cubefit()
+        placement = algo.placement
+        victim = next(s.server_id for s in placement if len(s) > 0)
+        plan = RecoveryPlanner(placement).recover([victim])
+        assert "RecoveryPlan" in str(plan)
+
+    def test_recovery_after_rfi_packing(self):
+        rng = np.random.default_rng(89)
+        loads = list(rng.uniform(0.05, 0.5, 100))
+        algo = RFI(gamma=2)
+        algo.consolidate(make_tenants(loads))
+        placement = algo.placement
+        victim = next(s.server_id for s in placement if len(s) > 0)
+        RecoveryPlanner(placement, failures=1).recover([victim])
+        assert audit(placement, failures=1).ok
+
+    def test_load_relocated_accounting(self):
+        algo = packed_cubefit()
+        placement = algo.placement
+        victim = next(s.server_id for s in placement if len(s) > 0)
+        before = placement.server(victim).load
+        plan = RecoveryPlanner(placement).recover([victim])
+        assert plan.load_relocated == pytest.approx(before)
+
+
+class TestImmatureBinOwnership:
+    """Regression: generic movers (recovery, repack) must not place
+    replicas into CUBEFIT's immature cube bins — their unfilled slots
+    are handed to future second-stage tenants without re-checking.
+    Found by the soak harness at op 512 of seed 0."""
+
+    def test_recovery_avoids_immature_bins(self):
+        algo = packed_cubefit(n=40, seed=101)
+        placement = algo.placement
+        immature = {s.server_id for s in placement
+                    if s.tags.get("mature") is False and len(s) > 0}
+        victim = next(s.server_id for s in placement if len(s) > 0)
+        plan = RecoveryPlanner(placement).recover([victim])
+        for move in plan.moves:
+            assert move.target not in immature
+
+    def test_soak_mix_stays_robust(self):
+        """The original failing scenario, pinned."""
+        from repro.sim.soak import SoakConfig, run_soak
+        result = run_soak(lambda: CubeFit(gamma=2, num_classes=10),
+                          SoakConfig(operations=600, seed=0))
+        assert result.ok, str(result)

@@ -1,0 +1,127 @@
+"""Unit tests for repacking and elastic load updates."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.repack import Repacker
+from repro.algorithms.rfi import RFI
+from repro.core.cubefit import CubeFit
+from repro.core.tenant import Tenant
+from repro.core.validation import audit
+from repro.errors import ConfigurationError
+
+
+def churned_cubefit(seed=3, steps=500, gamma=2):
+    rng = np.random.default_rng(seed)
+    algo = CubeFit(gamma=gamma, num_classes=10)
+    alive, tid = [], 0
+    for _ in range(steps):
+        if alive and rng.random() < 0.45:
+            algo.remove(alive.pop(int(rng.integers(len(alive)))))
+        else:
+            algo.place(Tenant(tid, float(rng.uniform(0.02, 0.6))))
+            alive.append(tid)
+            tid += 1
+    return algo
+
+
+class TestRepacker:
+    def test_saves_servers_after_churn(self):
+        algo = churned_cubefit()
+        before = algo.placement.num_nonempty_servers
+        plan = Repacker(algo.placement).repack()
+        assert plan.servers_before == before
+        assert plan.servers_after < before
+        assert plan.servers_saved >= len(plan.drained_servers)
+
+    def test_robustness_preserved(self):
+        algo = churned_cubefit(seed=7)
+        Repacker(algo.placement).repack()
+        assert audit(algo.placement).ok
+
+    def test_drained_servers_are_empty(self):
+        algo = churned_cubefit(seed=11)
+        plan = Repacker(algo.placement).repack()
+        for sid in plan.drained_servers:
+            assert len(algo.placement.server(sid)) == 0
+
+    def test_replication_factor_preserved(self):
+        algo = churned_cubefit(seed=13)
+        tenants_before = set(algo.placement.tenant_ids)
+        Repacker(algo.placement).repack()
+        assert set(algo.placement.tenant_ids) == tenants_before
+        for tid in tenants_before:
+            homes = algo.placement.tenant_servers(tid)
+            assert len(set(homes.values())) == 2
+
+    def test_migration_budget_respected(self):
+        algo = churned_cubefit(seed=17)
+        plan = Repacker(algo.placement).repack(max_migrations=3)
+        assert len(plan.migrations) <= 3
+
+    def test_max_drains_respected(self):
+        algo = churned_cubefit(seed=19)
+        plan = Repacker(algo.placement).repack(max_drains=1)
+        assert len(plan.drained_servers) <= 1
+
+    def test_noop_on_tight_packing(self):
+        """A fresh, dense packing has nothing worth draining."""
+        algo = RFI(gamma=2)
+        for tid in range(40):
+            algo.place(Tenant(tid, 0.5))
+        before = algo.placement.num_nonempty_servers
+        plan = Repacker(algo.placement, failures=1).repack()
+        assert audit(algo.placement, failures=1).ok
+        assert plan.servers_after <= before
+
+    def test_plan_str(self):
+        algo = churned_cubefit(seed=23)
+        plan = Repacker(algo.placement).repack(max_drains=1)
+        assert "RepackPlan" in str(plan)
+
+
+class TestElasticUpdates:
+    def test_update_load_changes_load(self):
+        algo = RFI(gamma=2)
+        algo.place(Tenant(0, 0.3))
+        homes = algo.update_load(0, 0.6)
+        assert algo.placement.tenant_load(0) == pytest.approx(0.6)
+        assert len(homes) == 2
+        assert audit(algo.placement, failures=1).ok
+
+    def test_update_load_shrink(self):
+        algo = CubeFit(gamma=2, num_classes=10)
+        algo.place(Tenant(0, 0.8))
+        algo.update_load(0, 0.1)
+        assert algo.placement.tenant_load(0) == pytest.approx(0.1)
+        assert audit(algo.placement).ok
+
+    def test_unknown_tenant_rejected(self):
+        algo = RFI(gamma=2)
+        with pytest.raises(ConfigurationError):
+            algo.update_load(5, 0.2)
+
+    def test_invalid_load_rejected(self):
+        algo = RFI(gamma=2)
+        algo.place(Tenant(0, 0.3))
+        with pytest.raises(ConfigurationError):
+            algo.update_load(0, 0.0)
+
+    def test_random_elastic_churn_stays_robust(self):
+        rng = np.random.default_rng(29)
+        algo = CubeFit(gamma=3, num_classes=5)
+        for tid in range(40):
+            algo.place(Tenant(tid, float(rng.uniform(0.05, 0.9))))
+        for _ in range(60):
+            tid = int(rng.integers(0, 40))
+            algo.update_load(tid, float(rng.uniform(0.05, 0.9)))
+        assert audit(algo.placement).ok
+        assert algo.placement.num_tenants == 40
+
+    def test_cubefit_same_class_update_often_recycles(self):
+        algo = CubeFit(gamma=2, num_classes=5)
+        algo.place(Tenant(0, 0.9))
+        servers = algo.placement.num_servers
+        algo.update_load(0, 0.95)  # same class 1
+        assert algo.placement.num_servers == servers
+        assert algo.stats.get("recycled_slots", 0) >= 1

@@ -1,0 +1,66 @@
+"""Unit tests for the report/table rendering helpers."""
+
+import pytest
+
+from repro.analysis.report import (Table, figure6_table, theorem2_table)
+from repro.analysis.stats import ConfidenceInterval
+from repro.sim.figures import (Figure6Result, Figure6Row, Theorem2Result,
+                               Theorem2Row)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def table():
+    t = Table(title="demo", columns=["name", "count", "ratio"])
+    t.add_row("alpha", 1200, 1.5)
+    t.add_row("beta", 7, 0.25)
+    return t
+
+
+class TestTable:
+    def test_text_rendering(self, table):
+        text = table.to_text()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert "1,200" in text
+        assert "0.25" in text
+
+    def test_markdown_rendering(self, table):
+        md = table.to_markdown()
+        assert md.splitlines()[0] == "**demo**"
+        assert "| alpha | 1,200 | 1.50 |" in md
+
+    def test_csv_rendering(self, table, tmp_path):
+        path = tmp_path / "out.csv"
+        text = table.to_csv(path)
+        assert text.splitlines()[0] == "name,count,ratio"
+        assert path.read_text() == text
+        # raw values, not display formatting
+        assert "1200" in text
+
+    def test_row_arity_checked(self, table):
+        with pytest.raises(ConfigurationError):
+            table.add_row("only-one")
+
+    def test_str_is_text(self, table):
+        assert str(table) == table.to_text()
+
+
+class TestResultTables:
+    def test_figure6_table(self):
+        result = Figure6Result(tenants=100, runs=2, rows_=[
+            Figure6Row(distribution="uniform(0,0.2]",
+                       savings_percent=30.61,
+                       ci=ConfidenceInterval(mean=30.61, half_width=1.1,
+                                             n=2),
+                       rfi_servers=751.0, cubefit_servers=575.0)])
+        table = figure6_table(result)
+        csv_text = table.to_csv()
+        assert "uniform(0,0.2]" in csv_text
+        assert "30.61" in csv_text
+
+    def test_theorem2_table(self):
+        result = Theorem2Result(rows_=[Theorem2Row(2, 21, 5 / 3, 4)])
+        table = theorem2_table(result)
+        assert "1.666667" in table.to_csv()

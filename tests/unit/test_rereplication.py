@@ -1,0 +1,109 @@
+"""Unit tests for in-simulation re-replication (router + experiment)."""
+
+import pytest
+
+from repro.cluster.datastore import DataStore
+from repro.cluster.engine import Simulator
+from repro.cluster.experiment import ClusterConfig, ClusterExperiment
+from repro.cluster.failures import plan_replacement_homes
+from repro.cluster.machine import Machine
+from repro.cluster.routing import ReplicaRouter
+from repro.errors import ConfigurationError, SimulationError
+
+
+def build_router(homes, machines_n=4):
+    sim = Simulator()
+    machines = {m: Machine(sim, m, cores=4) for m in range(machines_n)}
+    router = ReplicaRouter(sim, machines, homes,
+                           DataStore(warm_after=0))
+    return sim, machines, router
+
+
+class TestRouterHomes:
+    def test_add_home_extends_routing(self):
+        sim, machines, router = build_router({0: [0, 1]})
+        router.add_home(0, 2)
+        assert router.tenant_homes(0) == [0, 1, 2]
+        assert 2 in router.alive_homes(0)
+
+    def test_add_home_validations(self):
+        sim, machines, router = build_router({0: [0, 1]})
+        with pytest.raises(SimulationError):
+            router.add_home(9, 2)          # unknown tenant
+        with pytest.raises(SimulationError):
+            router.add_home(0, 99)         # unknown machine
+        with pytest.raises(SimulationError):
+            router.add_home(0, 1)          # already a home
+        router.fail_machine(2)
+        with pytest.raises(SimulationError):
+            router.add_home(0, 2)          # failed machine
+
+    def test_remove_home(self):
+        sim, machines, router = build_router({0: [0, 1, 2]})
+        router.remove_home(0, 1)
+        assert router.tenant_homes(0) == [0, 2]
+
+    def test_remove_home_validations(self):
+        sim, machines, router = build_router({0: [0, 1]})
+        with pytest.raises(SimulationError):
+            router.remove_home(0, 3)       # not a home
+        router.remove_home(0, 1)
+        with pytest.raises(SimulationError):
+            router.remove_home(0, 0)       # last home
+
+
+class TestPlanReplacementHomes:
+    HOMES = {0: [0, 1], 1: [1, 2], 2: [2, 3]}
+    CLIENTS = {0: 10, 1: 10, 2: 10}
+
+    def test_only_affected_tenants_planned(self):
+        plan = plan_replacement_homes(self.HOMES, self.CLIENTS,
+                                      failed=[1], candidates=range(5))
+        assert set(plan) == {0, 1}
+        for tenant_id, targets in plan.items():
+            assert len(targets) == 1
+            assert targets[0] not in (1,)
+            assert targets[0] not in self.HOMES[tenant_id]
+
+    def test_prefers_least_loaded(self):
+        plan = plan_replacement_homes(self.HOMES, self.CLIENTS,
+                                      failed=[1], candidates=range(5))
+        # Server 4 is empty; it should absorb at least one replica.
+        targets = [t for targets in plan.values() for t in targets]
+        assert 4 in targets
+
+    def test_no_healthy_candidate_raises(self):
+        with pytest.raises(ConfigurationError):
+            plan_replacement_homes({0: [0, 1]}, {0: 5}, failed=[1],
+                                   candidates=[0, 1])
+
+    def test_double_failure_two_replacements(self):
+        plan = plan_replacement_homes({0: [0, 1]}, {0: 6},
+                                      failed=[0, 1],
+                                      candidates=range(4))
+        assert sorted(plan[0]) == [2, 3]
+
+
+class TestExperimentRecovery:
+    def scenario(self, recovery_delay):
+        homes = {0: [0, 1], 1: [0, 2], 2: [1, 2], 3: [2, 3], 4: [3, 0]}
+        clients = {t: 8 for t in homes}
+        cfg = ClusterConfig(warmup=10.0, measure=25.0, seed=0,
+                            recovery_delay=recovery_delay)
+        return ClusterExperiment(homes, clients, cfg)
+
+    def test_recovery_reduces_drops_under_double_failure(self):
+        # Fail both homes of tenant 0: without recovery it stays
+        # unavailable for the whole window.
+        without = self.scenario(None).run(fail_servers=[0, 1])
+        with_rec = self.scenario(2.0).run(fail_servers=[0, 1])
+        assert with_rec.recovered_replicas > 0
+        assert with_rec.dropped < without.dropped
+
+    def test_recovered_tenants_complete_queries(self):
+        result = self.scenario(2.0).run(fail_servers=[0, 1])
+        assert result.completed > 0
+
+    def test_no_recovery_without_failures(self):
+        result = self.scenario(2.0).run()
+        assert result.recovered_replicas == 0

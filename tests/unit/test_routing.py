@@ -1,0 +1,157 @@
+"""Unit tests for replica routing and failover."""
+
+import pytest
+
+from repro.cluster.datastore import DataStore
+from repro.cluster.engine import Simulator
+from repro.cluster.machine import Machine
+from repro.cluster.routing import ReplicaRouter
+from repro.errors import SimulationError
+from repro.workloads.tpch import QueryExecution, QueryTemplate
+
+
+READ = QueryTemplate(name="R", mean_demand=1.0)
+UPDATE = QueryTemplate(name="W", mean_demand=1.0, is_update=True)
+
+
+def build(homes, cores=4, cold_penalty=1.0):
+    sim = Simulator()
+    machine_ids = sorted({m for hs in homes.values() for m in hs})
+    machines = {mid: Machine(sim, mid, cores=cores) for mid in machine_ids}
+    store = DataStore(cold_penalty=cold_penalty, warm_after=0)
+    router = ReplicaRouter(sim, machines, homes, store)
+    return sim, machines, router
+
+
+def read(demand=1.0):
+    return QueryExecution(template=READ, demand=demand)
+
+
+def update(demand=1.0):
+    return QueryExecution(template=UPDATE, demand=demand)
+
+
+class TestReads:
+    def test_round_robin_across_replicas(self):
+        sim, machines, router = build({0: [0, 1]})
+        servers = []
+        for _ in range(4):
+            router.execute(0, read(),
+                           lambda lat, sid: servers.append(sid))
+        sim.run_until(10.0)
+        assert sorted(servers) == [0, 0, 1, 1]
+
+    def test_latency_reported(self):
+        sim, machines, router = build({0: [0]})
+        out = []
+        router.execute(0, read(2.0), lambda lat, sid: out.append(lat))
+        sim.run_until(10.0)
+        assert out == [pytest.approx(2.0)]
+
+    def test_unknown_tenant(self):
+        sim, machines, router = build({0: [0]})
+        with pytest.raises(SimulationError):
+            router.execute(99, read(), lambda lat, sid: None)
+
+
+class TestUpdates:
+    def test_update_fans_out_to_all_replicas(self):
+        sim, machines, router = build({0: [0, 1, 2]})
+        out = []
+        router.execute(0, update(1.0), lambda lat, sid: out.append(lat))
+        sim.run_until(10.0)
+        assert len(out) == 1
+        for mid in (0, 1, 2):
+            assert machines[mid].completed_jobs == 1
+
+    def test_update_latency_is_slowest_replica(self):
+        sim, machines, router = build({0: [0, 1]}, cores=1)
+        # Preload machine 1 so its copy of the update finishes later.
+        machines[1].submit(3.0, lambda: None)
+        out = []
+        router.execute(0, update(1.0), lambda lat, sid: out.append(lat))
+        sim.run_until(20.0)
+        assert out[0] == pytest.approx(2.0)  # shared at rate 1/2 until 2
+
+
+class TestFailover:
+    def test_reads_route_around_failed_server(self):
+        sim, machines, router = build({0: [0, 1]})
+        router.fail_machine(0)
+        servers = []
+        for _ in range(3):
+            router.execute(0, read(), lambda lat, sid: servers.append(sid))
+        sim.run_until(10.0)
+        assert servers == [1, 1, 1]
+
+    def test_inflight_read_reissued_on_failure(self):
+        sim, machines, router = build({0: [0, 1]})
+        out = []
+        router.execute(0, read(5.0), lambda lat, sid: out.append((lat, sid)))
+        first_target = 0 if machines[0].active_jobs else 1
+        sim.schedule(1.0, lambda: router.fail_machine(first_target))
+        sim.run_until(20.0)
+        # Re-executed on the survivor: total latency 1 (wasted) + 5.
+        assert out[0][0] == pytest.approx(6.0)
+        assert router.reissued == 1
+
+    def test_no_surviving_replica_reports_none(self):
+        sim, machines, router = build({0: [0, 1]})
+        router.fail_machine(0)
+        router.fail_machine(1)
+        out = []
+        router.execute(0, read(), lambda lat, sid: out.append((lat, sid)))
+        assert out == [(None, -1)]
+        assert router.unavailable == 1
+
+    def test_update_part_lost_completes_with_survivors(self):
+        sim, machines, router = build({0: [0, 1]}, cores=1)
+        # Slow down machine 1 so the update's copy there is still
+        # running when machine 1 fails.
+        machines[1].submit(10.0, lambda: None)
+        out = []
+        router.execute(0, update(1.0), lambda lat, sid: out.append(lat))
+        sim.schedule(2.0, lambda: router.fail_machine(1))
+        sim.run_until(30.0)
+        assert len(out) == 1
+        assert out[0] is not None
+
+    def test_fail_machine_idempotent(self):
+        sim, machines, router = build({0: [0, 1]})
+        assert router.fail_machine(0) == 0  # nothing in flight
+        assert router.fail_machine(0) == 0
+
+    def test_alive_homes(self):
+        sim, machines, router = build({0: [0, 1]})
+        assert router.alive_homes(0) == [0, 1]
+        router.fail_machine(1)
+        assert router.alive_homes(0) == [0]
+
+
+class TestDataStoreIntegration:
+    def test_cold_queries_cost_more(self):
+        sim = Simulator()
+        machines = {0: Machine(sim, 0, cores=1)}
+        store = DataStore(cold_penalty=3.0, warm_after=1)
+        router = ReplicaRouter(sim, machines, {0: [0]}, store)
+        out = []
+        router.execute(0, read(1.0), lambda lat, sid: out.append(lat))
+        sim.run_until(10.0)
+        router.execute(0, read(1.0), lambda lat, sid: out.append(lat))
+        sim.run_until(20.0)
+        assert out[0] == pytest.approx(3.0)  # cold
+        assert out[1] == pytest.approx(1.0)  # warm
+
+
+class TestValidation:
+    def test_unknown_machine_rejected(self):
+        sim = Simulator()
+        machines = {0: Machine(sim, 0)}
+        with pytest.raises(SimulationError):
+            ReplicaRouter(sim, machines, {0: [0, 5]})
+
+    def test_empty_homes_rejected(self):
+        sim = Simulator()
+        machines = {0: Machine(sim, 0)}
+        with pytest.raises(SimulationError):
+            ReplicaRouter(sim, machines, {0: []})

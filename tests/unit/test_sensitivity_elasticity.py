@@ -1,0 +1,85 @@
+"""Unit tests for the sensitivity and elasticity harnesses."""
+
+import pytest
+
+from repro.algorithms.rfi import RFI
+from repro.core.cubefit import CubeFit
+from repro.sim.elasticity import ElasticityConfig, run_elasticity
+from repro.sim.sensitivity import (k_sensitivity, mu_sensitivity,
+                                   SensitivityCurve)
+from repro.workloads.distributions import UniformLoad
+from repro.errors import ConfigurationError
+
+
+class TestMuSensitivity:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return mu_sensitivity(UniformLoad(0.4), n_tenants=400,
+                              mus=(0.6, 0.85, 1.0), seed=0)
+
+    def test_one_point_per_mu(self, curve):
+        assert [p.parameter for p in curve.points] == [0.6, 0.85, 1.0]
+
+    def test_servers_positive(self, curve):
+        assert all(p.servers > 0 for p in curve.points)
+
+    def test_servers_at(self, curve):
+        assert curve.servers_at(0.85) == curve.points[1].servers
+        with pytest.raises(ConfigurationError):
+            curve.servers_at(0.77)
+
+    def test_best(self, curve):
+        best = curve.best()
+        assert best.servers == min(p.servers for p in curve.points)
+
+    def test_table(self, curve):
+        assert "mu sensitivity" in str(curve)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mu_sensitivity(UniformLoad(0.4), mus=())
+
+
+class TestKSensitivity:
+    def test_curve_shape(self):
+        curve = k_sensitivity(UniformLoad(0.4), n_tenants=400,
+                              ks=(2, 5, 10), seed=0)
+        assert len(curve.points) == 3
+        assert curve.parameter_name == "K"
+        # The paper's guidance: very few classes pack worse than K~5-10.
+        assert curve.servers_at(2) >= curve.servers_at(5)
+
+
+class TestElasticity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_elasticity(
+            lambda: CubeFit(gamma=2, num_classes=10), UniformLoad(0.4),
+            ElasticityConfig(n_tenants=80, n_updates=120, seed=0))
+
+    def test_counts_partition(self, result):
+        assert result.updates == 120
+        assert result.migrations + result.in_place == result.updates
+
+    def test_robust_throughout(self, result):
+        assert result.robust_throughout
+
+    def test_rates(self, result):
+        assert 0.0 <= result.migration_rate <= 1.0
+
+    def test_table(self, result):
+        assert "Elasticity" in result.to_table().to_text()
+
+    def test_rfi_also_robust(self):
+        result = run_elasticity(
+            lambda: RFI(gamma=2), UniformLoad(0.4),
+            ElasticityConfig(n_tenants=60, n_updates=80, seed=1))
+        assert result.robust_throughout
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ElasticityConfig(n_tenants=0)
+        with pytest.raises(ConfigurationError):
+            ElasticityConfig(min_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            ElasticityConfig(min_factor=2.0, max_factor=1.0)

@@ -1,0 +1,55 @@
+"""Unit tests for sequence generation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.distributions import UniformLoad, DiscreteUniformClients
+from repro.workloads.loadmodel import LinearLoadModel
+from repro.workloads.sequences import (clients_to_sequence,
+                                       generate_client_counts,
+                                       generate_sequence)
+from repro.errors import ConfigurationError
+
+
+class TestGenerateSequence:
+    def test_reproducible_with_seed(self):
+        dist = UniformLoad(0.5)
+        a = generate_sequence(dist, 50, seed=7)
+        b = generate_sequence(dist, 50, seed=7)
+        assert a.loads == b.loads
+
+    def test_different_seeds_differ(self):
+        dist = UniformLoad(0.5)
+        a = generate_sequence(dist, 50, seed=7)
+        b = generate_sequence(dist, 50, seed=8)
+        assert a.loads != b.loads
+
+    def test_metadata(self):
+        seq = generate_sequence(UniformLoad(0.5), 10, seed=1)
+        assert seq.seed == 1
+        assert seq.description == "uniform(0,0.5]"
+        assert seq.metadata["n"] == 10
+
+    def test_start_id(self):
+        seq = generate_sequence(UniformLoad(0.5), 3, seed=1, start_id=100)
+        assert [t.tenant_id for t in seq] == [100, 101, 102]
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_sequence(UniformLoad(0.5), -1)
+
+
+class TestClientCounts:
+    def test_generate_counts(self):
+        counts = generate_client_counts(DiscreteUniformClients(1, 15), 100,
+                                        seed=3)
+        assert len(counts) == 100
+        assert counts.min() >= 1
+
+    def test_clients_to_sequence(self):
+        model = LinearLoadModel(delta=0.02, beta=0.01)
+        counts = np.array([5, 10])
+        seq = clients_to_sequence(counts, model, description="test")
+        assert seq.metadata["clients"] == [5, 10]
+        assert seq[0].load == pytest.approx(0.11)
+        assert seq[1].load == pytest.approx(0.21)

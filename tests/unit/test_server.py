@@ -1,0 +1,85 @@
+"""Unit tests for repro.core.server."""
+
+import pytest
+
+from repro.core.server import Server
+from repro.core.tenant import Replica
+from repro.errors import CapacityError, PlacementError
+
+
+def replica(tenant_id, index=0, load=0.3):
+    return Replica(tenant_id=tenant_id, index=index, load=load)
+
+
+class TestServerAdd:
+    def test_add_updates_load(self):
+        s = Server(server_id=0)
+        s.add(replica(1, load=0.4))
+        assert s.load == pytest.approx(0.4)
+        assert s.free == pytest.approx(0.6)
+        assert len(s) == 1
+
+    def test_two_tenants_coexist(self):
+        s = Server(server_id=0)
+        s.add(replica(1, load=0.4))
+        s.add(replica(2, load=0.5))
+        assert s.load == pytest.approx(0.9)
+        assert s.tenant_ids == {1, 2}
+
+    def test_duplicate_tenant_rejected(self):
+        s = Server(server_id=0)
+        s.add(replica(1, index=0))
+        with pytest.raises(PlacementError):
+            s.add(replica(1, index=1))
+
+    def test_capacity_enforced(self):
+        s = Server(server_id=0)
+        s.add(replica(1, load=0.7))
+        with pytest.raises(CapacityError):
+            s.add(replica(2, load=0.5))
+
+    def test_exact_fill_allowed(self):
+        s = Server(server_id=0)
+        s.add(replica(1, load=0.5))
+        s.add(replica(2, load=0.5))
+        assert s.load == pytest.approx(1.0)
+
+
+class TestServerRemove:
+    def test_remove_returns_replica(self):
+        s = Server(server_id=0)
+        s.add(replica(1, load=0.4))
+        out = s.remove((1, 0))
+        assert out.load == pytest.approx(0.4)
+        assert s.load == pytest.approx(0.0)
+        assert len(s) == 0
+
+    def test_remove_missing_raises(self):
+        s = Server(server_id=0)
+        with pytest.raises(PlacementError):
+            s.remove((9, 0))
+
+    def test_hosts_tenant(self):
+        s = Server(server_id=0)
+        s.add(replica(5))
+        assert s.hosts_tenant(5)
+        assert not s.hosts_tenant(6)
+
+
+class TestServerMisc:
+    def test_iteration_yields_replicas(self):
+        s = Server(server_id=0)
+        s.add(replica(1, load=0.2))
+        s.add(replica(2, load=0.3))
+        assert sorted(r.tenant_id for r in s) == [1, 2]
+
+    def test_tags_are_per_instance(self):
+        a, b = Server(server_id=0), Server(server_id=1)
+        a.tags["class"] = 3
+        assert "class" not in b.tags
+
+    def test_custom_capacity(self):
+        s = Server(server_id=0, capacity=2.0)
+        s.add(replica(1, load=1.0))
+        s.add(replica(2, load=0.9))
+        assert s.free == pytest.approx(0.1)

@@ -1,0 +1,78 @@
+"""Unit tests for the soak harness."""
+
+import pytest
+
+from repro.algorithms.rfi import RFI
+from repro.core.cubefit import CubeFit
+from repro.sim.soak import DEFAULT_MIX, SoakConfig, SoakResult, run_soak
+from repro.errors import ConfigurationError
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SoakConfig(operations=0)
+        with pytest.raises(ConfigurationError):
+            SoakConfig(min_load=0.0)
+        with pytest.raises(ConfigurationError):
+            SoakConfig(mix={"teleport": 1.0})
+
+    def test_custom_mix_accepted(self):
+        SoakConfig(mix={"place": 1.0, "remove": 1.0})
+
+
+class TestRunSoak:
+    @pytest.fixture(scope="class")
+    def cubefit_result(self):
+        return run_soak(lambda: CubeFit(gamma=2, num_classes=10),
+                        SoakConfig(operations=300, seed=0))
+
+    def test_no_violations(self, cubefit_result):
+        assert cubefit_result.ok, str(cubefit_result)
+        assert cubefit_result.violations == 0
+
+    def test_all_operation_kinds_exercised(self, cubefit_result):
+        assert set(cubefit_result.counts) == set(DEFAULT_MIX)
+
+    def test_counts_sum_to_operations(self, cubefit_result):
+        assert sum(cubefit_result.counts.values()) == \
+            cubefit_result.operations == 300
+
+    def test_rfi_soak_ok_at_its_guarantee(self):
+        result = run_soak(lambda: RFI(gamma=2),
+                          SoakConfig(operations=250, seed=1))
+        assert result.ok
+
+    def test_gamma3_soak_ok(self):
+        result = run_soak(lambda: CubeFit(gamma=3, num_classes=5),
+                          SoakConfig(operations=200, seed=2))
+        assert result.ok
+
+    def test_audit_at_end_only(self):
+        result = run_soak(lambda: CubeFit(gamma=2, num_classes=5),
+                          SoakConfig(operations=120, seed=3,
+                                     audit_each=False))
+        assert result.ok
+
+    def test_reproducible(self):
+        a = run_soak(lambda: RFI(gamma=2),
+                     SoakConfig(operations=100, seed=4))
+        b = run_soak(lambda: RFI(gamma=2),
+                     SoakConfig(operations=100, seed=4))
+        assert a.counts == b.counts
+        assert a.final_servers == b.final_servers
+
+    def test_str(self, cubefit_result):
+        assert "SoakResult" in str(cubefit_result)
+        assert "OK" in str(cubefit_result)
+
+
+class TestGuaranteedFailures:
+    def test_defaults(self):
+        assert CubeFit(gamma=3, num_classes=5).guaranteed_failures == 2
+        assert RFI(gamma=3).guaranteed_failures == 1
+
+    def test_naive_override(self):
+        from repro.algorithms.naive import RobustBestFit
+        assert RobustBestFit(gamma=3, failures=1).guaranteed_failures == 1
+        assert RobustBestFit(gamma=3).guaranteed_failures == 2

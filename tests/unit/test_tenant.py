@@ -1,0 +1,83 @@
+"""Unit tests for repro.core.tenant."""
+
+import pytest
+
+from repro.core.tenant import Tenant, Replica, TenantSequence, make_tenants
+from repro.errors import ConfigurationError
+
+
+class TestTenant:
+    def test_valid_construction(self):
+        t = Tenant(tenant_id=3, load=0.5)
+        assert t.tenant_id == 3
+        assert t.load == 0.5
+
+    def test_load_of_one_is_allowed(self):
+        assert Tenant(tenant_id=0, load=1.0).load == 1.0
+
+    @pytest.mark.parametrize("load", [0.0, -0.1, 1.5])
+    def test_invalid_load_rejected(self, load):
+        with pytest.raises(ConfigurationError):
+            Tenant(tenant_id=0, load=load)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Tenant(tenant_id=-1, load=0.5)
+
+    @pytest.mark.parametrize("gamma", [2, 3, 4])
+    def test_replica_load_is_equal_split(self, gamma):
+        t = Tenant(tenant_id=0, load=0.6)
+        assert t.replica_load(gamma) == pytest.approx(0.6 / gamma)
+
+    def test_replicas_materialization(self):
+        t = Tenant(tenant_id=7, load=0.9)
+        replicas = t.replicas(3)
+        assert len(replicas) == 3
+        assert [r.index for r in replicas] == [0, 1, 2]
+        assert all(r.tenant_id == 7 for r in replicas)
+        assert sum(r.load for r in replicas) == pytest.approx(0.9)
+
+    def test_tenant_is_hashable_and_frozen(self):
+        t = Tenant(tenant_id=0, load=0.5)
+        assert hash(t) == hash(Tenant(tenant_id=0, load=0.5))
+        with pytest.raises(AttributeError):
+            t.load = 0.7
+
+
+class TestReplica:
+    def test_key_identity(self):
+        r = Replica(tenant_id=4, index=1, load=0.2)
+        assert r.key == (4, 1)
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Replica(tenant_id=0, index=-1, load=0.2)
+
+    def test_non_positive_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Replica(tenant_id=0, index=0, load=0.0)
+
+
+class TestTenantSequence:
+    def test_iteration_and_len(self):
+        seq = TenantSequence(tenants=make_tenants([0.1, 0.2, 0.3]))
+        assert len(seq) == 3
+        assert [t.load for t in seq] == [0.1, 0.2, 0.3]
+        assert seq[1].load == 0.2
+
+    def test_total_load(self):
+        seq = TenantSequence(tenants=make_tenants([0.25, 0.25]))
+        assert seq.total_load == pytest.approx(0.5)
+
+    def test_loads_in_arrival_order(self):
+        seq = TenantSequence(tenants=make_tenants([0.9, 0.1]))
+        assert seq.loads == [0.9, 0.1]
+
+
+class TestMakeTenants:
+    def test_sequential_ids(self):
+        tenants = make_tenants([0.5, 0.5], start_id=10)
+        assert [t.tenant_id for t in tenants] == [10, 11]
+
+    def test_empty_is_fine(self):
+        assert make_tenants([]) == []

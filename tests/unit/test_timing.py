@@ -1,0 +1,58 @@
+"""Unit tests for the scaling-study harness."""
+
+import pytest
+
+from repro.algorithms.rfi import RFI
+from repro.core.cubefit import CubeFit
+from repro.sim.timing import ScalingStudy, scaling_study
+from repro.workloads.distributions import UniformLoad
+from repro.errors import ConfigurationError
+
+
+FACTORIES = {
+    "cubefit": lambda: CubeFit(gamma=2, num_classes=10),
+    "rfi": lambda: RFI(gamma=2),
+}
+
+
+@pytest.fixture(scope="module")
+def study():
+    return scaling_study(FACTORIES, UniformLoad(0.3),
+                         tenant_counts=[100, 400, 1200], seed=0)
+
+
+class TestScalingStudy:
+    def test_point_per_algorithm_per_size(self, study):
+        assert len(study.points) == 6
+        assert len(study.series("cubefit")) == 3
+        assert [p.tenants for p in study.series("rfi")] == [100, 400, 1200]
+
+    def test_prefix_property(self, study):
+        """Nested prefixes: server counts grow monotonically with n."""
+        for name in FACTORIES:
+            servers = [p.servers for p in study.series(name)]
+            assert servers == sorted(servers)
+
+    def test_savings_series_improves_with_scale(self, study):
+        savings = study.savings_series("rfi", "cubefit")
+        assert len(savings) == 3
+        # The paper's asymptotic claim: larger n, better relative
+        # performance for CubeFit.
+        assert savings[-1][1] > savings[0][1]
+
+    def test_table_rendering(self, study):
+        table = study.to_table()
+        text = table.to_text()
+        assert "cubefit" in text and "rfi" in text
+        csv_text = table.to_csv()
+        assert csv_text.splitlines()[0].startswith("algorithm,tenants")
+
+    def test_throughput_positive(self, study):
+        for point in study.points:
+            assert point.tenants_per_second > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            scaling_study({}, UniformLoad(0.3), [10])
+        with pytest.raises(ConfigurationError):
+            scaling_study(FACTORIES, UniformLoad(0.3), [0])

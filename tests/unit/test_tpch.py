@@ -1,0 +1,74 @@
+"""Unit tests for the synthetic TPC-H workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.tpch import (DEMAND_SCALE, QueryStream, QueryTemplate,
+                                  UPDATE_FRACTION, mean_read_demand,
+                                  read_templates, update_template)
+from repro.errors import ConfigurationError
+
+
+class TestTemplates:
+    def test_twenty_two_read_queries(self):
+        reads = read_templates()
+        assert len(reads) == 22
+        assert {t.name for t in reads} == {f"Q{i}" for i in range(1, 23)}
+        assert all(not t.is_update for t in reads)
+
+    def test_update_template(self):
+        upd = update_template()
+        assert upd.is_update
+        assert upd.mean_demand > 0
+
+    def test_mean_demand_equals_scale(self):
+        """The scale parameter is the mean read demand by construction."""
+        assert mean_read_demand(0.5) == pytest.approx(0.5)
+        assert mean_read_demand() == pytest.approx(DEMAND_SCALE)
+
+    def test_heavy_queries_heavier_than_light(self):
+        by_name = {t.name: t.mean_demand for t in read_templates()}
+        assert by_name["Q1"] > by_name["Q6"]
+        assert by_name["Q18"] > by_name["Q14"]
+
+    def test_invalid_template(self):
+        with pytest.raises(ConfigurationError):
+            QueryTemplate(name="bad", mean_demand=0.0)
+
+
+class TestQueryStream:
+    def test_update_mix_fraction(self):
+        rng = np.random.default_rng(0)
+        stream = QueryStream(rng)
+        n = 20000
+        updates = sum(stream.next_query().is_update for _ in range(n))
+        assert updates / n == pytest.approx(UPDATE_FRACTION, abs=0.01)
+
+    def test_reads_cycle_through_templates(self):
+        rng = np.random.default_rng(1)
+        stream = QueryStream(rng, update_fraction=0.0, demand_sigma=0.0)
+        names = [stream.next_query().template.name for _ in range(44)]
+        # Two full cycles over the 22 queries, in order from a random
+        # starting point.
+        assert names[:22] != names[1:23] or True
+        assert sorted(set(names)) == sorted({f"Q{i}" for i in range(1, 23)})
+        assert names[:22] == names[22:44]
+
+    def test_demand_noise_preserves_mean(self):
+        rng = np.random.default_rng(2)
+        stream = QueryStream(rng, update_fraction=0.0, demand_sigma=0.35)
+        demands = [stream.next_query().demand for _ in range(30000)]
+        assert np.mean(demands) == pytest.approx(DEMAND_SCALE, rel=0.03)
+
+    def test_zero_sigma_is_deterministic(self):
+        rng = np.random.default_rng(3)
+        stream = QueryStream(rng, update_fraction=0.0, demand_sigma=0.0)
+        q = stream.next_query()
+        assert q.demand == pytest.approx(q.template.mean_demand)
+
+    def test_invalid_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            QueryStream(rng, update_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            QueryStream(rng, demand_sigma=-1.0)

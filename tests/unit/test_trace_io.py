@@ -1,0 +1,87 @@
+"""Unit tests for trace/placement serialization."""
+
+import pytest
+
+from repro.core.cubefit import CubeFit
+from repro.core.tenant import TenantSequence, make_tenants
+from repro.core.validation import audit
+from repro.workloads.trace_io import (load_placement, load_trace,
+                                      save_placement, save_trace)
+from repro.workloads.distributions import UniformLoad
+from repro.workloads.sequences import generate_sequence
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def sequence():
+    return generate_sequence(UniformLoad(0.5), 40, seed=3)
+
+
+class TestTraceRoundtrip:
+    def test_roundtrip_preserves_sequence(self, sequence, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(sequence, path)
+        loaded = load_trace(path)
+        assert loaded.loads == sequence.loads
+        assert [t.tenant_id for t in loaded] == \
+            [t.tenant_id for t in sequence]
+        assert loaded.seed == sequence.seed
+        assert loaded.description == sequence.description
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else", "version": 1}')
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "repro-trace", "version": 99}')
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json at all {")
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_trace(tmp_path / "nope.json")
+
+
+class TestPlacementRoundtrip:
+    def test_roundtrip_preserves_assignment(self, sequence, tmp_path):
+        algo = CubeFit(gamma=2, num_classes=5)
+        algo.consolidate(sequence)
+        trace_path = tmp_path / "trace.json"
+        placement_path = tmp_path / "placement.json"
+        save_trace(sequence, trace_path)
+        save_placement(algo.placement, placement_path,
+                       algorithm="cubefit")
+        restored = load_placement(placement_path, load_trace(trace_path))
+        assert restored.snapshot() == algo.placement.snapshot()
+        assert restored.gamma == 2
+        # The reconstructed placement carries full shared-load state.
+        assert audit(restored).ok == audit(algo.placement).ok
+
+    def test_placement_with_unknown_tenant_rejected(self, sequence,
+                                                    tmp_path):
+        algo = CubeFit(gamma=2, num_classes=5)
+        algo.consolidate(sequence)
+        placement_path = tmp_path / "placement.json"
+        save_placement(algo.placement, placement_path)
+        truncated = TenantSequence(tenants=make_tenants([0.5]))
+        with pytest.raises(ConfigurationError):
+            load_placement(placement_path, truncated)
+
+    def test_replica_index_validation(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(
+            '{"format": "repro-placement", "version": 1, "gamma": 2,'
+            ' "algorithm": "x", "servers": {"0": [[0, 0]], '
+            '"1": [[0, 0]]}}')
+        seq = TenantSequence(tenants=make_tenants([0.4]))
+        with pytest.raises(Exception):
+            load_placement(path, seq)

@@ -1,0 +1,231 @@
+"""Unit tests for the SVG rendering layer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.stats import ConfidenceInterval
+from repro.sim.figures import (Figure5Result, Figure5Row, Figure6Result,
+                               Figure6Row, Theorem2Result, Theorem2Row)
+from repro.viz import (BarSeries, Document, LineSeries, Threshold,
+                       grouped_bar_chart, line_chart, render_all,
+                       render_figure5, render_figure6, render_theorem2,
+                       series_color)
+from repro.viz import palette
+from repro.errors import ConfigurationError
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(doc: Document) -> ET.Element:
+    text = doc.to_string()
+    return ET.fromstring(text.split("\n", 1)[1])
+
+
+def tags(root: ET.Element, tag: str):
+    return root.findall(f".//{SVG_NS}{tag}")
+
+
+class TestSvgPrimitives:
+    def test_document_escapes_text(self):
+        from repro.viz.svg import text
+        doc = Document(100, 100)
+        doc.add(text(0, 0, 'a < b & "c"'))
+        root = parse(doc)
+        assert tags(root, "text")[0].text == 'a < b & "c"'
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            Document(0, 100)
+
+    def test_title_tooltips(self):
+        from repro.viz.svg import rect
+        doc = Document(100, 100)
+        doc.add(rect(0, 0, 10, 10, fill="#000").title("hello"))
+        root = parse(doc)
+        assert tags(root, "title")[0].text == "hello"
+
+    def test_save(self, tmp_path):
+        doc = Document(10, 10)
+        path = doc.save(tmp_path / "x.svg")
+        assert path.read_text().startswith("<?xml")
+
+
+class TestPalette:
+    def test_fixed_order_slots(self):
+        assert series_color(0) == palette.SERIES[0]
+        assert series_color(1) == palette.SERIES[1]
+
+    def test_no_generated_hues(self):
+        with pytest.raises(ConfigurationError):
+            series_color(len(palette.SERIES))
+
+    def test_status_color_not_a_series_slot(self):
+        assert palette.STATUS_SERIOUS not in palette.SERIES
+
+
+class TestBarChart:
+    def chart(self, n_series=2):
+        series = [BarSeries(name=f"s{i}", values=[1.0 + i, 2.0 + i],
+                            errors=[0.1, 0.2])
+                  for i in range(n_series)]
+        return grouped_bar_chart("demo", ["g1", "g2"], series,
+                                 y_label="y",
+                                 threshold=Threshold(2.5, "SLA"))
+
+    def test_bar_count(self):
+        root = parse(self.chart())
+        # Bars live inside the marks <g>; legend swatches do not.
+        marks = root.findall(f"{SVG_NS}g")[0]
+        bars = [r for r in marks.findall(f"{SVG_NS}rect")
+                if r.get("fill") in palette.SERIES]
+        assert len(bars) == 4  # 2 series x 2 groups
+
+    def test_series_colors_fixed_order(self):
+        root = parse(self.chart())
+        fills = [r.get("fill") for r in tags(root, "rect")
+                 if r.get("fill") in palette.SERIES]
+        assert set(fills) == {palette.SERIES[0], palette.SERIES[1]}
+
+    def test_threshold_line_uses_status_color(self):
+        root = parse(self.chart())
+        status_lines = [l for l in tags(root, "line")
+                        if l.get("stroke") == palette.STATUS_SERIOUS]
+        assert len(status_lines) == 1
+
+    def test_legend_present_for_two_series(self):
+        root = parse(self.chart(n_series=2))
+        labels = [t.text for t in tags(root, "text")]
+        assert "s0" in labels and "s1" in labels
+
+    def test_no_legend_for_single_series(self):
+        series = [BarSeries(name="only", values=[1.0])]
+        doc = grouped_bar_chart("demo", ["g"], series, y_label="y")
+        root = parse(doc)
+        swatches = [r for r in tags(root, "rect")
+                    if r.get("width") == "12"]
+        assert not swatches
+
+    def test_text_uses_ink_tokens_not_series_colors(self):
+        root = parse(self.chart())
+        for t in tags(root, "text"):
+            assert t.get("fill") not in palette.SERIES
+
+    def test_thin_marks(self):
+        """Bars are capped in width (no slab-sized marks)."""
+        series = [BarSeries(name="s", values=[5.0])]
+        doc = grouped_bar_chart("demo", ["wide group"], series,
+                                y_label="y", width=900)
+        root = parse(doc)
+        bars = [r for r in tags(root, "rect")
+                if r.get("fill") in palette.SERIES]
+        assert float(bars[0].get("width")) <= 56.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            grouped_bar_chart("t", ["g"], [], y_label="y")
+        with pytest.raises(ConfigurationError):
+            grouped_bar_chart("t", ["g"], [BarSeries("s", [1.0, 2.0])],
+                              y_label="y")
+
+
+class TestLineChart:
+    def chart(self):
+        series = [LineSeries("a", [(1, 1.0), (2, 2.0), (3, 1.5)]),
+                  LineSeries("b", [(1, 2.0), (2, 1.0), (3, 2.5)])]
+        return line_chart("demo", series, x_label="x", y_label="y")
+
+    def test_polylines_and_markers(self):
+        root = parse(self.chart())
+        assert len(tags(root, "polyline")) == 2
+        assert len(tags(root, "circle")) == 6
+
+    def test_markers_have_surface_ring(self):
+        root = parse(self.chart())
+        for dot in tags(root, "circle"):
+            assert dot.get("stroke") == palette.SURFACE
+            assert float(dot.get("r")) >= 4
+
+    def test_direct_end_labels(self):
+        root = parse(self.chart())
+        labels = [t.text for t in tags(root, "text")]
+        assert "a" in labels and "b" in labels
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            line_chart("t", [], x_label="x", y_label="y")
+
+
+class TestFigureRenderers:
+    def figure5_result(self):
+        rows = []
+        for dist in ("uniform", "zipfian"):
+            for conf in ("CubeFit 2 replicas", "CubeFit 3 replicas",
+                         "RFI 2 replicas"):
+                for f in (1, 2):
+                    rows.append(Figure5Row(
+                        distribution=dist, configuration=conf,
+                        failures=f, p99=4.0 + f * 0.5,
+                        meets_sla=f == 1, dropped=0, tenants=50))
+        return Figure5Result(sla_seconds=5.0, rows_=rows)
+
+    def test_render_figure5(self):
+        doc = render_figure5(self.figure5_result())
+        root = parse(doc)
+        marks = root.findall(f"{SVG_NS}g")[0]
+        bars = [r for r in marks.findall(f"{SVG_NS}rect")
+                if r.get("fill") in palette.SERIES]
+        assert len(bars) == 12  # 3 configs x 4 groups
+        status = [l for l in tags(root, "line")
+                  if l.get("stroke") == palette.STATUS_SERIOUS]
+        assert status
+
+    def test_render_figure6(self):
+        result = Figure6Result(tenants=100, runs=3, rows_=[
+            Figure6Row("uniform(0,0.2]", 30.0,
+                       ConfidenceInterval(30.0, 1.0, 3), 700, 540)])
+        root = parse(render_figure6(result))
+        assert tags(root, "rect")
+
+    def test_render_theorem2(self):
+        result = Theorem2Result(rows_=[
+            Theorem2Row(2, 21, 1.67, 4), Theorem2Row(2, 31, 1.63, 5),
+            Theorem2Row(3, 21, 2.5, 4), Theorem2Row(3, 31, 2.0, 5)])
+        root = parse(render_theorem2(result))
+        assert len(tags(root, "polyline")) == 2
+
+    def test_render_all(self, tmp_path):
+        paths = render_all(figure5_result=self.figure5_result(),
+                           directory=tmp_path)
+        assert [p.name for p in paths] == ["figure5.svg"]
+        assert paths[0].exists()
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_figure5(Figure5Result(sla_seconds=5.0))
+
+
+class TestNegativeBars:
+    def test_negative_values_render_below_baseline(self):
+        series = [BarSeries(name="savings", values=[30.0, -7.0])]
+        doc = grouped_bar_chart("neg", ["big", "small"], series,
+                                y_label="savings (%)")
+        root = parse(doc)
+        marks = root.findall(f"{SVG_NS}g")[0]
+        bars = [r for r in marks.findall(f"{SVG_NS}rect")
+                if r.get("fill") in palette.SERIES]
+        assert len(bars) == 2
+        tops = [float(b.get("y")) for b in bars]
+        heights = [float(b.get("height")) for b in bars]
+        # The negative bar starts at the zero baseline, which is the
+        # positive bar's bottom edge.
+        baseline = tops[0] + heights[0]
+        assert tops[1] == pytest.approx(baseline, abs=0.01)
+        assert heights[1] > 1.0
+
+    def test_negative_label_below_bar(self):
+        series = [BarSeries(name="s", values=[-5.0])]
+        doc = grouped_bar_chart("neg", ["g"], series, y_label="y")
+        root = parse(doc)
+        labels = [t for t in tags(root, "text") if t.text == "-5"]
+        assert labels

@@ -1,0 +1,86 @@
+"""Unit tests for the extension renderers and latency CSV export."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.cluster.latency import LatencyRecorder
+from repro.sim.churn import ChurnConfig, ChurnResult, ChurnSample
+from repro.sim.sensitivity import SensitivityCurve, SensitivityPoint
+from repro.sim.timing import ScalingStudy, ScalingPoint
+from repro.viz import render_churn, render_scaling, render_sensitivity
+from repro.errors import ConfigurationError
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(doc):
+    return ET.fromstring(doc.to_string().split("\n", 1)[1])
+
+
+class TestRenderSensitivity:
+    def test_renders_curve(self):
+        curve = SensitivityCurve(parameter_name="mu",
+                                 distribution="uniform(0,0.4]",
+                                 tenants=100)
+        for mu, servers in ((0.5, 40), (0.85, 35), (1.0, 36)):
+            curve.points.append(SensitivityPoint(mu, servers, 0.7))
+        root = parse(render_sensitivity(curve))
+        assert root.findall(f".//{SVG_NS}polyline")
+        assert len(root.findall(f".//{SVG_NS}circle")) == 3
+
+    def test_empty_rejected(self):
+        curve = SensitivityCurve("mu", "d", 1)
+        with pytest.raises(ConfigurationError):
+            render_sensitivity(curve)
+
+
+class TestRenderChurn:
+    def test_two_series(self):
+        result = ChurnResult(algorithm="cubefit", config=ChurnConfig())
+        for t in (5.0, 10.0, 15.0):
+            result.samples.append(ChurnSample(
+                time=t, tenants=int(t * 2), servers_nonempty=int(t),
+                servers_opened_total=int(t) + 2, utilization=0.6))
+        root = parse(render_churn(result))
+        assert len(root.findall(f".//{SVG_NS}polyline")) == 2
+
+    def test_empty_rejected(self):
+        result = ChurnResult(algorithm="x", config=ChurnConfig())
+        with pytest.raises(ConfigurationError):
+            render_churn(result)
+
+
+class TestRenderScaling:
+    def test_savings_line(self):
+        study = ScalingStudy(distribution="uniform(0,0.3]")
+        for n, cube, rfi in ((200, 50, 45), (1000, 180, 210)):
+            study.points.append(ScalingPoint("cubefit", n, cube, 0.1,
+                                             0.8))
+            study.points.append(ScalingPoint("rfi", n, rfi, 0.1, 0.7))
+        root = parse(render_scaling(study))
+        assert root.findall(f".//{SVG_NS}polyline")
+
+    def test_requires_both_series(self):
+        study = ScalingStudy(distribution="d")
+        study.points.append(ScalingPoint("cubefit", 100, 10, 0.1, 0.5))
+        with pytest.raises(ConfigurationError):
+            render_scaling(study)
+
+
+class TestLatencyCsv:
+    def test_csv_contents(self, tmp_path):
+        rec = LatencyRecorder()
+        rec.record(1.5, tenant_id=3, query_name="Q1", latency=0.25,
+                   server_id=7)
+        path = tmp_path / "latency.csv"
+        text = rec.to_csv(path)
+        lines = text.splitlines()
+        assert lines[0] == "completed_at,tenant_id,server_id,query,latency"
+        assert lines[1] == "1.500000,3,7,Q1,0.250000"
+        assert path.read_text() == text
+
+    def test_out_of_window_excluded(self):
+        rec = LatencyRecorder(window_start=10.0, window_end=20.0)
+        rec.record(5.0, 0, "Q1", 1.0, server_id=0)
+        assert len(rec.to_csv().splitlines()) == 1  # header only

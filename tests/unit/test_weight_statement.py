@@ -1,0 +1,59 @@
+"""Tests of Theorem 2's statement (I): CUBEFIT bins carry weight >= 1,
+except O(1) of them."""
+
+import pytest
+
+from repro.analysis.weights import (count_underweight_bins,
+                                    placement_bin_weights)
+from repro.core.cubefit import CubeFit
+from repro.workloads.distributions import UniformLoad
+from repro.workloads.sequences import generate_sequence
+
+
+def packing(n, gamma=2, num_classes=13, tiny_policy="alpha", seed=0):
+    seq = generate_sequence(UniformLoad(1.0), n, seed=seed)
+    algo = CubeFit(gamma=gamma, num_classes=num_classes,
+                   tiny_policy=tiny_policy, first_stage=False)
+    algo.consolidate(seq)
+    return algo
+
+
+class TestStatementI:
+    def test_underweight_bins_bounded_by_constant(self):
+        """The number of bins below weight 1 must not grow with n."""
+        small = packing(400)
+        large = packing(3200)
+        under_small = count_underweight_bins(small.placement, 13, "alpha")
+        under_large = count_underweight_bins(large.placement, 13, "alpha")
+        # O(1): the bound is the in-flight groups, independent of n.
+        assert under_large <= under_small + 30
+        # And a loose absolute constant: gamma * sum_tau tau^(gamma-1)
+        # in-flight bins plus active multi-replicas.
+        constant = 2 * sum(range(1, 13)) + 20
+        assert under_small <= constant
+        assert under_large <= constant
+
+    def test_full_class_bins_weigh_exactly_one(self):
+        """A mature class-tau bin holds tau replicas of weight 1/tau."""
+        # Class 2 for gamma=2: replicas in (1/4, 1/3]; tenants 0.6.
+        seq = [0.6] * 8  # 8 tenants -> 2 generations of class-2 cubes
+        from repro.core.tenant import make_tenants
+        algo = CubeFit(gamma=2, num_classes=13, tiny_policy="alpha",
+                       first_stage=False)
+        algo.consolidate(make_tenants(seq))
+        weights = placement_bin_weights(algo.placement, 13, "alpha")
+        full_bins = [w for sid, w in weights.items()
+                     if len(algo.placement.server(sid)) == 2]
+        assert full_bins
+        for weight in full_bins:
+            assert weight == pytest.approx(1.0)
+
+    def test_weight_lower_bound_consistency(self):
+        """Total bin weight equals W(sigma); OPT >= W/r follows."""
+        from repro.analysis.weights import total_weight
+        algo = packing(300)
+        weights = placement_bin_weights(algo.placement, 13, "alpha")
+        seq_total = float(total_weight(
+            [algo.placement.tenant_load(t)
+             for t in algo.placement.tenant_ids], 2, 13, "alpha"))
+        assert sum(weights.values()) == pytest.approx(seq_total, rel=1e-6)

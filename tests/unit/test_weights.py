@@ -1,0 +1,73 @@
+"""Unit tests for the Theorem 2 weight function."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.weights import (replica_weight, tenant_weight,
+                                    tiny_weight_density, total_weight)
+from repro.errors import ConfigurationError
+
+
+class TestTinyDensity:
+    def test_alpha_density(self):
+        # K=211, gamma=2: alpha=14 -> density 15/13
+        assert tiny_weight_density(2, 211, "alpha") == Fraction(15, 13)
+        # K=211, gamma=3: density 15/12 = 5/4
+        assert tiny_weight_density(3, 211, "alpha") == Fraction(5, 4)
+
+    def test_last_class_density(self):
+        # (K+gamma-1)/(K-1)
+        assert tiny_weight_density(2, 10, "last-class") == Fraction(11, 9)
+        assert tiny_weight_density(3, 10, "last-class") == Fraction(12, 9)
+
+    def test_alpha_undefined_for_small_k(self):
+        with pytest.raises(ConfigurationError):
+            tiny_weight_density(3, 10, "alpha")  # alpha_K = 2 < gamma
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            tiny_weight_density(2, 10, "bogus")
+
+
+class TestReplicaWeight:
+    def test_class_weight_is_one_over_tau(self):
+        # gamma=2: size in (1/3, 1/2] -> class 1 -> weight 1
+        assert replica_weight(0.5, 2, 10) == Fraction(1)
+        assert replica_weight(0.4, 2, 10) == Fraction(1)
+        # size in (1/4, 1/3] -> class 2 -> weight 1/2
+        assert replica_weight(Fraction(1, 3), 2, 10) == Fraction(1, 2)
+        assert replica_weight(0.3, 2, 10) == Fraction(1, 2)
+
+    def test_tiny_weight_is_density_times_size(self):
+        density = tiny_weight_density(2, 10, "last-class")
+        size = Fraction(1, 100)
+        assert replica_weight(size, 2, 10, "last-class") == density * size
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            replica_weight(0, 2, 10)
+
+    def test_sealed_multireplica_weight_covers_slot(self):
+        """A sealed multi-replica (size > threshold - tiny_max) must
+        weigh at least 1/target_class."""
+        gamma, K = 2, 10
+        density = tiny_weight_density(gamma, K, "last-class")
+        # last-class: threshold = 1/(K+gamma-2) = 1/10;
+        # sealed size > 1/10 - 1/11 is NOT the right bound; the weight
+        # guarantee uses sizes > 1/(K+gamma-1) = 1/11.
+        sealed_min = Fraction(1, K + gamma - 1)
+        assert sealed_min * density >= Fraction(1, K - 1)
+
+
+class TestTenantAndTotal:
+    def test_tenant_weight_sums_replicas(self):
+        # load 0.9, gamma 2 -> replicas 0.45 (class 1, weight 1 each)
+        assert tenant_weight(0.9, 2, 10) == Fraction(2)
+
+    def test_total_weight(self):
+        loads = [0.9, 0.9]
+        assert total_weight(loads, 2, 10) == Fraction(4)
+
+    def test_total_weight_empty(self):
+        assert total_weight([], 2, 10) == Fraction(0)
