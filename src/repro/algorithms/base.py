@@ -69,13 +69,11 @@ class OnlinePlacementAlgorithm(ABC):
         every robustness invariant is preserved for free; subclasses
         extend this to reclaim algorithm-specific bookkeeping (e.g.
         CUBEFIT shrinks an active multi-replica).  Freed space is reused
-        by subsequent placements through the normal candidate search.
+        by subsequent placements through the normal candidate search;
+        any :class:`ServerIndex` picks up the freed servers through the
+        placement's dirty tracker.
         """
-        homes = list(self.placement.tenant_servers(tenant_id).values())
         self.placement.remove_tenant(tenant_id)
-        index = getattr(self, "_index", None)
-        if index is not None:
-            index.refresh(homes)
 
     def update_load(self, tenant_id: int,
                     new_load: float) -> Tuple[int, ...]:
@@ -139,9 +137,12 @@ class ServerIndex:
     the worst-case failover load through new shared partners).  The index
     is used to prune candidates; callers re-verify exactly.
 
-    The owning algorithm must call :meth:`refresh` for every server whose
-    load or shared-load partners changed, and :meth:`track` when a server
-    it wants indexed is opened.
+    The index subscribes to the placement's invalidation stream
+    (:meth:`PlacementState.dirty_tracker`) and refreshes exactly the
+    servers affected since the last query, so algorithms no longer need
+    to hand-maintain refresh calls after every mutation.  :meth:`track`
+    is still required when a server the algorithm wants indexed is
+    opened (eligibility is an algorithm-level notion).
     """
 
     _GROW = 1024
@@ -154,6 +155,7 @@ class ServerIndex:
         #: Servers eligible for candidate queries (e.g. CUBEFIT maturity).
         self._eligible = np.zeros(self._GROW, dtype=bool)
         self._size = 0
+        self._tracker = placement.dirty_tracker()
 
     def _ensure(self, server_id: int) -> None:
         while server_id >= len(self._level):
@@ -193,6 +195,17 @@ class ServerIndex:
                                 - self.placement.worst_failover_load(
                                     sid, self.failures))
 
+    def sync(self) -> None:
+        """Refresh every server mutated since the last query.
+
+        Drains the placement's dirty tracker; cost is O(affected
+        servers).  Called automatically by :meth:`candidates`,
+        :meth:`level` and :meth:`avail`.
+        """
+        dirty = self._tracker.drain()
+        if dirty:
+            self.refresh(dirty)
+
     def candidates(self, min_avail: float,
                    max_level: Optional[float] = None,
                    exclude: Sequence[int] = ()) -> List[int]:
@@ -202,6 +215,7 @@ class ServerIndex:
         interleaving threshold ``mu``).  ``exclude`` removes specific ids
         (e.g. servers already hosting a sibling replica).
         """
+        self.sync()
         if self._size == 0:
             return []
         avail = self._avail[:self._size]
@@ -221,9 +235,11 @@ class ServerIndex:
         return [int(i) for i in ids[order]]
 
     def level(self, server_id: int) -> float:
+        self.sync()
         return float(self._level[server_id])
 
     def avail(self, server_id: int) -> float:
+        self.sync()
         return float(self._avail[server_id])
 
 

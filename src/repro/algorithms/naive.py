@@ -54,7 +54,6 @@ class _CheckedBaseline(OnlinePlacementAlgorithm):
                 target = self._open_server()
             self.placement.place(replica, target)
             chosen.append(target)
-        self._index.refresh(chosen)
         self._after_tenant(chosen)
         return tuple(chosen)
 

@@ -71,7 +71,6 @@ class RFI(OnlinePlacementAlgorithm):
                 target = self._open_server()
             self.placement.place(replica, target)
             chosen.append(target)
-        self._index.refresh(chosen)
         return tuple(chosen)
 
     def _open_server(self) -> int:

@@ -223,4 +223,16 @@ class ReplicaRouter:
         return len(victims)
 
     def total_inflight(self) -> int:
-        return sum(len(jobs) for jobs in self._inflight.values())
+        """Number of *logical* queries currently in flight.
+
+        An update fans out to every alive replica and a failed read is
+        re-issued against a survivor; all those machine-level parts
+        share one context and must count as one query, or the
+        conservation ledger ``completed + dropped + inflight == issued``
+        over-counts every fanned-out or re-issued query still in
+        flight.
+        """
+        contexts = {id(ctx)
+                    for jobs in self._inflight.values()
+                    for ctx, _was_read in jobs.values()}
+        return len(contexts)

@@ -2,7 +2,7 @@
 
 from .tenant import Tenant, Replica, TenantSequence, make_tenants, LOAD_EPS
 from .server import Server, UNIT_CAPACITY
-from .placement import PlacementState
+from .placement import PlacementState, DirtyTracker
 from .classes import SizeClassifier
 from .config import (CubeFitConfig, TINY_POLICY_ALPHA,
                      TINY_POLICY_LAST_CLASS, TINY_POLICIES)
@@ -12,17 +12,19 @@ from .multireplica import MultiReplica, MultiReplicaPolicy
 from .cubefit import CubeFit
 from .validation import (audit, brute_force_audit, exact_failure_audit,
                          domain_failure_audit, AuditReport, Violation,
+                         IncrementalAuditor,
                          shared_tenant_counts, max_shared_tenants)
 from .recovery import RecoveryPlanner, RecoveryPlan, ReplicaMove
 
 __all__ = [
     "Tenant", "Replica", "TenantSequence", "make_tenants", "LOAD_EPS",
-    "Server", "UNIT_CAPACITY", "PlacementState", "SizeClassifier",
+    "Server", "UNIT_CAPACITY", "PlacementState", "DirtyTracker",
+    "SizeClassifier",
     "CubeFitConfig", "TINY_POLICY_ALPHA", "TINY_POLICY_LAST_CLASS",
     "TINY_POLICIES", "ClassCubes", "SlotAddress", "to_digits",
     "from_digits", "rotate_right", "MultiReplica", "MultiReplicaPolicy",
     "CubeFit", "audit", "brute_force_audit", "exact_failure_audit",
-    "domain_failure_audit",
+    "domain_failure_audit", "IncrementalAuditor",
     "AuditReport", "Violation", "shared_tenant_counts",
     "max_shared_tenants", "RecoveryPlanner", "RecoveryPlan",
     "ReplicaMove",

@@ -144,11 +144,9 @@ class CubeFit(OnlinePlacementAlgorithm):
                     self.placement.unplace(placed_replica.key, sid)
                 if chosen:
                     self.stats["first_stage_rollbacks"] += 1
-                    self._index.refresh(chosen)
                 return None
             self.placement.place(replica, target)
             chosen.append(target)
-        self._index.refresh(chosen)
         return tuple(chosen)
 
     def _find_mature_fit(self, replica: Replica, tau: int,
@@ -237,7 +235,6 @@ class CubeFit(OnlinePlacementAlgorithm):
         for sid in sids:
             self._fill_slot(sid)
         cubes.advance()
-        self._index.refresh(sids)
         return tuple(sids)
 
     def _try_recycle(self, tenant: Tenant,
@@ -262,7 +259,6 @@ class CubeFit(OnlinePlacementAlgorithm):
             if ok:
                 free.pop(position)
                 self._tenant_slots[tenant.tenant_id] = (tau, tuple(sids))
-                self._index.refresh(sids)
                 self.stats["recycled_slots"] = \
                     self.stats.get("recycled_slots", 0) + 1
                 return tuple(sids)
@@ -282,7 +278,6 @@ class CubeFit(OnlinePlacementAlgorithm):
         active.add(tenant.tenant_id, replica_load)
         self._tenant_multi[tenant.tenant_id] = active
         self.placement.place_tenant(tenant, active.server_ids)
-        self._index.refresh(active.server_ids)
         return active.server_ids
 
     def _new_multireplica(self) -> MultiReplica:
@@ -308,7 +303,6 @@ class CubeFit(OnlinePlacementAlgorithm):
             tags = self.placement.server(sid).tags
             tags[TAG_ACTIVE_MULTI] = False
             self._maybe_mature(sid)
-        self._index.refresh(active.server_ids)
         self._active_multi = None
 
     # ------------------------------------------------------------------

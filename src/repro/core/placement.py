@@ -18,18 +18,90 @@ servers::
 Because shared loads are non-negative, the worst ``f``-subset for a given
 server is simply its ``f`` largest shared-load partners, which makes the
 audit linear-time per server.
+
+On top of the exact shared-load index the state maintains an
+**incremental slack index**: each server's worst-case failover load is
+memoized and invalidated only when that server's shared-load set can
+have changed — on :meth:`place` / :meth:`unplace` that is the target
+server plus the tenant's sibling servers.  Consumers that keep their own
+per-server derived data (the validator's
+:class:`~repro.core.validation.IncrementalAuditor`, the algorithms'
+:class:`~repro.algorithms.base.ServerIndex`) subscribe to the same
+invalidation stream through :meth:`dirty_tracker`, so after each
+placement they re-evaluate ``O(affected servers)`` instead of the whole
+fleet.
+
+Because a cache like this is only as good as its invalidation, a
+**shadow-audit** mode (``REPRO_SHADOW_AUDIT=1`` or
+``PlacementState(shadow_audit=True)``) cross-checks every served value
+against a from-scratch recomputation of the shared-load sets and raises
+:class:`~repro.errors.ShadowAuditError` on any divergence.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+import os
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, \
+    Set, Tuple
 
-from ..errors import ConfigurationError, PlacementError
+from ..errors import ConfigurationError, PlacementError, ShadowAuditError
 from .server import Server, UNIT_CAPACITY
 from .tenant import LOAD_EPS, Replica, Tenant
 
 ReplicaKey = Tuple[int, int]
+
+#: Absolute tolerance for shadow-audit comparisons.  The incremental
+#: shared-load index accumulates float add/subtract round-off that a
+#: fresh summation does not, so exact equality is too strict.
+SHADOW_EPS = 1e-6
+
+
+def _shadow_audit_default() -> bool:
+    """Whether the ``REPRO_SHADOW_AUDIT`` environment flag is set."""
+    return os.environ.get("REPRO_SHADOW_AUDIT", "").strip().lower() \
+        not in ("", "0", "false", "no", "off")
+
+
+class DirtyTracker:
+    """One consumer's view of which servers changed since its last drain.
+
+    Obtained from :meth:`PlacementState.dirty_tracker`.  Every mutation
+    of the placement adds the affected server ids (the mutated server
+    plus the tenant's sibling servers, whose shared-load sets changed
+    too) to every live tracker.  A consumer periodically calls
+    :meth:`drain` and re-derives its per-server data for exactly those
+    ids.  A fresh tracker starts with every existing server dirty, so a
+    late-subscribing consumer sees the full fleet once and increments
+    afterwards.
+    """
+
+    __slots__ = ("_placement", "_dirty")
+
+    def __init__(self, placement: "PlacementState") -> None:
+        self._placement = placement
+        self._dirty: Set[int] = set(placement._servers)
+
+    def drain(self) -> Set[int]:
+        """Return and clear the accumulated dirty server ids."""
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty
+
+    def peek(self) -> Set[int]:
+        """The accumulated dirty ids, without clearing them."""
+        return set(self._dirty)
+
+    def mark(self, server_ids: Iterable[int]) -> None:
+        """Force servers dirty (e.g. after consumer-side bookkeeping)."""
+        self._dirty.update(server_ids)
+
+    def close(self) -> None:
+        """Unsubscribe from the placement's invalidation stream."""
+        try:
+            self._placement._trackers.remove(self)
+        except ValueError:
+            pass
 
 
 class PlacementState:
@@ -41,6 +113,15 @@ class PlacementState:
         Replication factor (replicas per tenant); typically 2 or 3.
     capacity:
         Per-server capacity; the paper normalizes this to 1.
+    slack_cache:
+        Memoize per-server worst-case failover loads, invalidating only
+        the servers a mutation affects.  On by default; disable to get
+        the naive recompute-every-time behaviour (benchmark baseline).
+    shadow_audit:
+        Cross-check every served worst-failover value against a
+        from-scratch recomputation and raise
+        :class:`~repro.errors.ShadowAuditError` on divergence.  Defaults
+        to the ``REPRO_SHADOW_AUDIT`` environment flag.
 
     Notes
     -----
@@ -50,7 +131,9 @@ class PlacementState:
     :class:`~repro.core.server.Server` objects directly for mutation.
     """
 
-    def __init__(self, gamma: int, capacity: float = UNIT_CAPACITY) -> None:
+    def __init__(self, gamma: int, capacity: float = UNIT_CAPACITY,
+                 slack_cache: bool = True,
+                 shadow_audit: Optional[bool] = None) -> None:
         if gamma < 1:
             raise ConfigurationError(f"gamma must be >= 1, got {gamma}")
         if capacity <= 0:
@@ -66,6 +149,50 @@ class PlacementState:
         self._tenant_servers: Dict[int, Dict[int, int]] = {}
         #: tenant_id -> tenant load (needed to rebuild shares on removal)
         self._tenant_loads: Dict[int, float] = {}
+        self._slack_cache_enabled = slack_cache
+        #: server id -> {failure budget -> worst-case failover load}
+        self._wfl_cache: Dict[int, Dict[int, float]] = {}
+        #: live consumer handles fed by every mutation
+        self._trackers: List[DirtyTracker] = []
+        self.shadow_audit = _shadow_audit_default() \
+            if shadow_audit is None else shadow_audit
+
+    # ------------------------------------------------------------------
+    # Slack-index plumbing
+    # ------------------------------------------------------------------
+    def _touch(self, server_ids: Iterable[int]) -> None:
+        """Invalidate cached slack data for ``server_ids``.
+
+        Called by every mutation with the servers whose load or
+        shared-load set changed; feeds all subscribed dirty trackers.
+        """
+        ids = list(server_ids)
+        for sid in ids:
+            self._wfl_cache.pop(sid, None)
+        for tracker in self._trackers:
+            tracker._dirty.update(ids)
+
+    def dirty_tracker(self) -> DirtyTracker:
+        """Subscribe to the invalidation stream.
+
+        Returns a :class:`DirtyTracker` that accumulates the ids of
+        servers affected by subsequent mutations (pre-seeded with every
+        existing server).  Call :meth:`DirtyTracker.close` when done so
+        mutations stop paying for the subscription.
+        """
+        tracker = DirtyTracker(self)
+        self._trackers.append(tracker)
+        return tracker
+
+    def set_slack_cache(self, enabled: bool) -> None:
+        """Enable or disable worst-failover memoization at run time."""
+        self._slack_cache_enabled = enabled
+        if not enabled:
+            self._wfl_cache.clear()
+
+    @property
+    def slack_cache_enabled(self) -> bool:
+        return self._slack_cache_enabled
 
     # ------------------------------------------------------------------
     # Server inventory
@@ -77,6 +204,7 @@ class PlacementState:
         self._servers[server.server_id] = server
         self._shared[server.server_id] = {}
         self._next_server_id += 1
+        self._touch((server.server_id,))
         return server
 
     def server(self, server_id: int) -> Server:
@@ -140,6 +268,7 @@ class PlacementState:
             shared_other = self._shared[other_id]
             shared_other[server_id] = shared_other.get(server_id, 0.0) \
                 + replica.load
+        self._touch((server_id, *siblings.values()))
         if replica.tenant_id not in self._tenant_servers:
             self._tenant_servers[replica.tenant_id] = {}
             self._tenant_loads[replica.tenant_id] = 0.0
@@ -162,6 +291,7 @@ class PlacementState:
             shared_other[server_id] -= replica.load
             if shared_other[server_id] <= LOAD_EPS:
                 del shared_other[server_id]
+        self._touch((server_id, *siblings.values()))
         self._tenant_loads[tenant_id] -= replica.load
         if not siblings:
             del self._tenant_servers[tenant_id]
@@ -234,15 +364,95 @@ class PlacementState:
 
         This is the paper's worst case over failure sets: the sum of the
         ``failures`` largest shared loads of the server (defaults to
-        ``gamma - 1`` failures).
+        ``gamma - 1`` failures).  Memoized per ``(server, failures)``;
+        the cache entry is dropped whenever the server's load or
+        shared-load set changes, so serving a hit is O(1) and the cost
+        of a mutation is O(affected servers), not O(fleet).
         """
         f = self.gamma - 1 if failures is None else failures
         if f <= 0:
             return 0.0
+        if not self._slack_cache_enabled:
+            value = self._compute_worst_failover(server_id, f)
+        else:
+            per_server = self._wfl_cache.get(server_id)
+            if per_server is None:
+                per_server = self._wfl_cache[server_id] = {}
+            value = per_server.get(f)
+            if value is None:
+                value = per_server[f] = \
+                    self._compute_worst_failover(server_id, f)
+        if self.shadow_audit:
+            self._shadow_check(server_id, f, value)
+        return value
+
+    def _compute_worst_failover(self, server_id: int, f: int) -> float:
+        """Top-``f`` sum over the server's shared-load partners."""
         values = self._shared[server_id].values()
         if len(values) <= f:
             return sum(values)
         return sum(heapq.nlargest(f, values))
+
+    # ------------------------------------------------------------------
+    # Shadow audit (falsifiability of the slack index)
+    # ------------------------------------------------------------------
+    def naive_shared_partners(self, server_id: int) -> Dict[int, float]:
+        """Shared-load partners rebuilt from the raw replica sets.
+
+        Ignores both the incremental ``_shared`` index and the slack
+        cache: walks the server's replicas and their siblings' homes.
+        This is the ground truth the shadow audit compares against.
+        """
+        server = self.server(server_id)
+        shared: Dict[int, float] = {}
+        for (tenant_id, _index), replica in server.replicas.items():
+            for other_id in self._tenant_servers[tenant_id].values():
+                if other_id != server_id:
+                    shared[other_id] = shared.get(other_id, 0.0) \
+                        + replica.load
+        return shared
+
+    def naive_worst_failover_load(self, server_id: int,
+                                  failures: Optional[int] = None) -> float:
+        """:meth:`worst_failover_load` recomputed from the replica sets."""
+        f = self.gamma - 1 if failures is None else failures
+        if f <= 0:
+            return 0.0
+        values = list(self.naive_shared_partners(server_id).values())
+        if len(values) <= f:
+            return sum(values)
+        return sum(heapq.nlargest(f, values))
+
+    def naive_slack(self, server_id: int,
+                    failures: Optional[int] = None) -> float:
+        """:meth:`slack` recomputed from the replica sets."""
+        server = self.server(server_id)
+        return (server.capacity - server.load
+                - self.naive_worst_failover_load(server_id, failures))
+
+    def _shadow_check(self, server_id: int, f: int, cached: float) -> None:
+        """Raise if the value about to be served diverges from naive
+        recomputation (cache invalidation missed a server, or the
+        incremental shared-load index itself drifted)."""
+        truth = self.naive_worst_failover_load(server_id, f)
+        if abs(truth - cached) > SHADOW_EPS:
+            raise ShadowAuditError(
+                f"slack index divergence on server {server_id} "
+                f"(failures={f}): cached worst failover {cached!r} vs "
+                f"naive {truth!r}",
+                server_id=server_id, cached=cached, recomputed=truth)
+        naive_shared = self.naive_shared_partners(server_id)
+        indexed_shared = self._shared[server_id]
+        keys = set(naive_shared) | set(indexed_shared)
+        for other in keys:
+            a = indexed_shared.get(other, 0.0)
+            b = naive_shared.get(other, 0.0)
+            if abs(a - b) > SHADOW_EPS:
+                raise ShadowAuditError(
+                    f"shared-load divergence between servers "
+                    f"{server_id} and {other}: indexed {a!r} vs "
+                    f"naive {b!r}",
+                    server_id=server_id, cached=a, recomputed=b)
 
     def slack(self, server_id: int, failures: Optional[int] = None) -> float:
         """Capacity remaining after load plus worst-case failover load.

@@ -12,6 +12,13 @@ Three levels of checking are provided:
   among surviving replicas).  Always at least as permissive as the
   conservative audits.
 
+For audit-after-every-arrival workloads :class:`IncrementalAuditor`
+keeps the full per-server slack picture warm between calls: it drains
+the placement's dirty tracker and re-evaluates only the servers a
+mutation affected, so each check costs O(affected servers) instead of
+O(fleet) while returning the same :class:`AuditReport` :func:`audit`
+would.
+
 Plus :func:`max_shared_tenants`, which checks Lemma 1's structural
 property (no two bins share replicas of more than one tenant) for
 second-stage bins.
@@ -19,6 +26,7 @@ second-stage bins.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -100,6 +108,81 @@ def audit(placement: PlacementState,
     if placement.num_servers == 0:
         report.min_slack = placement.capacity
     return report
+
+
+class IncrementalAuditor:
+    """Audit a packing in O(affected servers) per check.
+
+    Subscribes to the placement's dirty tracker and keeps a per-server
+    slack table plus the current violation set warm between calls;
+    :meth:`check` re-evaluates only the servers mutated since the last
+    check and returns a report equivalent to :func:`audit`'s.
+
+    ``min_slack`` is maintained with a lazy min-heap: each refreshed
+    server pushes its new slack, and stale heap heads (entries whose
+    slack no longer matches the table) are popped on read.  The heap is
+    rebuilt when stale entries dominate, keeping memory linear.
+
+    Single-writer discipline: results are only meaningful if every
+    mutation of the placement happens between :meth:`check` calls of
+    the same auditor (the normal online-placement loop).
+    """
+
+    def __init__(self, placement: PlacementState,
+                 failures: Optional[int] = None) -> None:
+        self.placement = placement
+        self.failures = placement.gamma - 1 if failures is None \
+            else failures
+        self._tracker = placement.dirty_tracker()
+        self._slack: Dict[int, float] = {}
+        self._violations: Dict[int, Violation] = {}
+        self._heap: List[Tuple[float, int]] = []
+
+    def _refresh_dirty(self) -> None:
+        placement = self.placement
+        f = self.failures
+        for sid in self._tracker.drain():
+            server = placement.server(sid)
+            failover = placement.worst_failover_load(sid, f)
+            slack = server.capacity - server.load - failover
+            self._slack[sid] = slack
+            heapq.heappush(self._heap, (slack, sid))
+            if slack < -LOAD_EPS:
+                partners = placement.shared_partners(sid)
+                worst = tuple(sorted(partners, key=partners.get,
+                                     reverse=True)[:f])
+                self._violations[sid] = Violation(
+                    server_id=sid, load=server.load,
+                    failover_load=failover, failed_set=worst)
+            else:
+                self._violations.pop(sid, None)
+        if len(self._heap) > 4 * max(len(self._slack), 16):
+            self._heap = [(slack, sid)
+                          for sid, slack in self._slack.items()]
+            heapq.heapify(self._heap)
+
+    def min_slack(self) -> float:
+        """Smallest per-server slack across the fleet."""
+        heap, table = self._heap, self._slack
+        while heap and table.get(heap[0][1]) != heap[0][0]:
+            heapq.heappop(heap)
+        if not heap:
+            return self.placement.capacity
+        return heap[0][0]
+
+    def check(self) -> AuditReport:
+        """Re-audit the servers affected since the last check."""
+        self._refresh_dirty()
+        report = AuditReport(failures=self.failures,
+                             num_servers=self.placement.num_servers)
+        report.violations = sorted(self._violations.values(),
+                                   key=lambda v: v.server_id)
+        report.min_slack = self.min_slack()
+        return report
+
+    def close(self) -> None:
+        """Unsubscribe from the placement's invalidation stream."""
+        self._tracker.close()
 
 
 def brute_force_audit(placement: PlacementState,

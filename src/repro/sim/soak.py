@@ -26,7 +26,7 @@ from ..algorithms.base import OnlinePlacementAlgorithm
 from ..algorithms.repack import Repacker
 from ..core.recovery import RecoveryPlanner
 from ..core.tenant import Tenant
-from ..core.validation import audit
+from ..core.validation import IncrementalAuditor, audit
 from ..errors import ConfigurationError
 
 #: Operation mix weights (normalized at run time).
@@ -112,11 +112,15 @@ def run_soak(factory: Callable[[], OnlinePlacementAlgorithm],
     next_id = 0
 
     budget = algorithm.guaranteed_failures
+    # Audit-per-operation is the soak's dominant cost; the incremental
+    # auditor re-evaluates only servers the operation touched.
+    auditor = IncrementalAuditor(placement, failures=budget) \
+        if cfg.audit_each else None
 
     def check(op_index: int) -> None:
-        if not cfg.audit_each:
+        if auditor is None:
             return
-        if not audit(placement, failures=budget).ok:
+        if not auditor.check().ok:
             result.violations += 1
             if result.first_violation_op is None:
                 result.first_violation_op = op_index

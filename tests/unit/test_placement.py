@@ -157,3 +157,94 @@ class TestQueries:
         ps.place_tenant(Tenant(0, 0.5), [0, 2])
         assert ps.num_nonempty_servers == 2
         assert ps.num_servers == 4
+
+
+class TestSlackIndex:
+    """Incremental worst-failover cache and the dirty-tracker API."""
+
+    def test_cache_hit_returns_same_value(self):
+        ps = fresh(gamma=2, servers=3)
+        ps.place_tenant(Tenant(0, 0.6), [0, 1])
+        first = ps.worst_failover_load(0)
+        assert ps.worst_failover_load(0) == first
+        assert ps._wfl_cache[0][1] == first
+
+    def test_mutation_invalidates_target_and_siblings(self):
+        ps = fresh(gamma=2, servers=3)
+        ps.place_tenant(Tenant(0, 0.6), [0, 1])
+        assert ps.worst_failover_load(1) == pytest.approx(0.3)
+        # A bigger shared partner must displace the cached top-1 value
+        # on server 1 (a sibling of the mutated server 2).
+        ps.place_tenant(Tenant(1, 0.8), [1, 2])
+        after = ps.worst_failover_load(1)
+        assert after == pytest.approx(0.4)
+        assert after == pytest.approx(ps.naive_worst_failover_load(1))
+
+    def test_dirty_tracker_reports_affected_servers(self):
+        ps = fresh(gamma=2, servers=4)
+        tracker = ps.dirty_tracker()
+        assert tracker.drain() == {0, 1, 2, 3}
+        ps.place_tenant(Tenant(0, 0.6), [0, 2])
+        assert tracker.drain() == {0, 2}
+        ps.place_tenant(Tenant(1, 0.4), [2, 3])
+        ps.remove_tenant(0)
+        assert tracker.drain() == {0, 2, 3}
+        assert tracker.drain() == set()
+
+    def test_tracker_peek_and_mark(self):
+        ps = fresh(gamma=2, servers=2)
+        tracker = ps.dirty_tracker()
+        tracker.drain()
+        tracker.mark([1])
+        assert tracker.peek() == {1}
+        assert tracker.drain() == {1}
+
+    def test_closed_tracker_stops_accumulating(self):
+        ps = fresh(gamma=2, servers=2)
+        tracker = ps.dirty_tracker()
+        tracker.drain()
+        tracker.close()
+        ps.place_tenant(Tenant(0, 0.4), [0, 1])
+        assert tracker.peek() == set()
+
+    def test_open_server_marks_new_server_dirty(self):
+        ps = fresh(gamma=2, servers=0)
+        tracker = ps.dirty_tracker()
+        server = ps.open_server()
+        assert server.server_id in tracker.drain()
+
+    def test_cache_disabled_still_correct(self):
+        ps = PlacementState(gamma=2, slack_cache=False)
+        for _ in range(3):
+            ps.open_server()
+        ps.place_tenant(Tenant(0, 0.6), [0, 1])
+        assert not ps.slack_cache_enabled
+        assert ps._wfl_cache == {}
+        assert ps.worst_failover_load(0) == pytest.approx(0.3)
+
+    def test_set_slack_cache_toggles_and_clears(self):
+        ps = fresh(gamma=2, servers=2)
+        ps.place_tenant(Tenant(0, 0.6), [0, 1])
+        ps.worst_failover_load(0)
+        assert ps._wfl_cache
+        ps.set_slack_cache(False)
+        assert ps._wfl_cache == {}
+        ps.set_slack_cache(True)
+        assert ps.worst_failover_load(0) == pytest.approx(0.3)
+
+    def test_naive_shared_partners_matches_index(self):
+        ps = fresh(gamma=3, servers=5)
+        ps.place_tenant(Tenant(0, 0.3), [0, 1, 2])
+        ps.place_tenant(Tenant(1, 0.6), [0, 3, 4])
+        for sid in ps.server_ids:
+            naive = ps.naive_shared_partners(sid)
+            assert naive == pytest.approx(ps.shared_partners(sid))
+
+    def test_shadow_audit_env_flag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHADOW_AUDIT", "1")
+        assert PlacementState(gamma=2).shadow_audit
+        monkeypatch.setenv("REPRO_SHADOW_AUDIT", "0")
+        assert not PlacementState(gamma=2).shadow_audit
+        monkeypatch.delenv("REPRO_SHADOW_AUDIT")
+        assert not PlacementState(gamma=2).shadow_audit
+        assert PlacementState(gamma=2, shadow_audit=True).shadow_audit

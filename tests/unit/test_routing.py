@@ -155,3 +155,74 @@ class TestValidation:
         machines = {0: Machine(sim, 0)}
         with pytest.raises(SimulationError):
             ReplicaRouter(sim, machines, {0: []})
+
+
+class TestQueryConservation:
+    """completed + dropped + inflight must exactly equal issued.
+
+    The regression: ``total_inflight`` used to count machine-level
+    *parts*, so an update fanned out to several replicas (or a read
+    re-issued after a failure) was accounted more than once.
+    """
+
+    def test_update_fanout_counts_as_one_inflight_query(self):
+        sim, machines, router = build({0: [0, 1, 2]}, cores=1)
+        done = []
+        router.execute(0, update(5.0), lambda lat, sid: done.append(lat))
+        sim.run_until(1.0)  # all three parts still executing
+        assert router.total_inflight() == 1
+        sim.run_until(30.0)
+        assert router.total_inflight() == 0
+        assert len(done) == 1
+
+    def test_reissued_read_counts_as_one_inflight_query(self):
+        sim, machines, router = build({0: [0, 1]}, cores=1)
+        # Congest machine 1 so the re-issued read is still running when
+        # the clock stops.
+        machines[1].submit(50.0, lambda: None)
+        done = []
+        router.execute(0, read(5.0), lambda lat, sid: done.append(lat))
+        sim.schedule(1.0, lambda: router.fail_machine(0))
+        sim.run_until(10.0)
+        assert router.reissued == 1
+        # One query issued: it is either still in flight or completed,
+        # never both.
+        assert len(done) + router.total_inflight() == 1
+
+    def test_conservation_on_falsifying_topology(self):
+        """Deterministic re-run of the Hypothesis counterexample:
+        five machines, a solo-replica tenant, and a mid-flight failure
+        of machine 3 at t=19.27 while tenant 0's update is fanned out
+        to machines 0 and 1."""
+        import numpy as np
+
+        from repro.cluster.client import TenantClient
+        from repro.cluster.latency import LatencyRecorder
+        from repro.workloads.tpch import QueryStream
+
+        homes = {0: [0, 1], 1: [2], 2: [3], 3: [0], 4: [1]}
+        sim = Simulator()
+        machines = {m: Machine(sim, m, cores=2) for m in range(5)}
+        router = ReplicaRouter(sim, machines, homes,
+                               DataStore(warm_after=0))
+        recorder = LatencyRecorder()
+        rng = np.random.default_rng(72)
+        clients = []
+        for tid in homes:
+            client = TenantClient(sim, tid, tenant_id=tid, router=router,
+                                  stream=QueryStream(rng),
+                                  recorder=recorder, rng=rng,
+                                  think_mean=0.2)
+            client.start(initial_delay=0.0)
+            clients.append(client)
+        sim.schedule_at(19.272030000369934,
+                        lambda: router.fail_machine(3))
+        sim.run_until(30.0)
+
+        issued = sum(c.queries_issued for c in clients)
+        accounted = (recorder.total_completed + recorder.dropped
+                     + router.total_inflight())
+        assert accounted == issued, (
+            f"issued={issued} completed={recorder.total_completed} "
+            f"dropped={recorder.dropped} "
+            f"inflight={router.total_inflight()}")

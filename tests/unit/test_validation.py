@@ -5,7 +5,8 @@ import pytest
 
 from repro.core.placement import PlacementState
 from repro.core.tenant import Tenant
-from repro.core.validation import (audit, brute_force_audit,
+from repro.core.validation import (IncrementalAuditor, audit,
+                                   brute_force_audit,
                                    exact_failure_audit,
                                    shared_tenant_counts,
                                    max_shared_tenants)
@@ -126,3 +127,65 @@ class TestSharedTenantCounts:
     def test_empty(self):
         ps = PlacementState(gamma=2)
         assert max_shared_tenants(ps) == 0
+
+
+class TestIncrementalAuditor:
+    def build(self):
+        ps = PlacementState(gamma=2)
+        for _ in range(4):
+            ps.open_server()
+        return ps
+
+    def test_matches_full_audit_step_by_step(self):
+        ps = self.build()
+        auditor = IncrementalAuditor(ps)
+        for tid, (load, targets) in enumerate(
+                [(0.6, [0, 1]), (0.5, [1, 2]), (0.4, [2, 3]),
+                 (0.2, [3, 0])]):
+            ps.place_tenant(Tenant(tid, load), targets)
+            expected = audit(ps)
+            got = auditor.check()
+            assert got.ok == expected.ok
+            assert got.min_slack == pytest.approx(expected.min_slack)
+            assert {v.server_id for v in got.violations} \
+                == {v.server_id for v in expected.violations}
+
+    def test_violation_clears_after_removal(self):
+        ps = self.build()
+        # Overload server 1 under the 1-failure condition:
+        # load 0.9 plus worst failover 0.45 > 1.
+        ps.place_tenant(Tenant(0, 0.9), [0, 1])
+        ps.place_tenant(Tenant(1, 0.9), [1, 2])
+        auditor = IncrementalAuditor(ps)
+        report = auditor.check()
+        assert not report.ok
+        ps.remove_tenant(1)
+        report = auditor.check()
+        assert report.ok
+        assert report.min_slack == pytest.approx(audit(ps).min_slack)
+
+    def test_empty_placement(self):
+        ps = PlacementState(gamma=2)
+        auditor = IncrementalAuditor(ps)
+        report = auditor.check()
+        assert report.ok
+        assert report.min_slack == pytest.approx(ps.capacity)
+
+    def test_heap_compaction_under_churn(self):
+        ps = self.build()
+        auditor = IncrementalAuditor(ps)
+        for round_ in range(200):
+            ps.place_tenant(Tenant(round_, 0.3), [0, 1])
+            assert auditor.check().ok
+            ps.remove_tenant(round_)
+            assert auditor.check().ok
+        # The lazy min-heap must stay bounded relative to the fleet.
+        assert len(auditor._heap) <= 4 * max(len(auditor._slack), 16) + 4
+
+    def test_close_unsubscribes(self):
+        ps = self.build()
+        auditor = IncrementalAuditor(ps)
+        auditor.check()
+        auditor.close()
+        ps.place_tenant(Tenant(0, 0.5), [0, 1])
+        assert auditor._tracker.peek() == set()
