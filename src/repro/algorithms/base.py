@@ -30,26 +30,84 @@ class OnlinePlacementAlgorithm(ABC):
     """Interface all placement algorithms implement.
 
     Subclasses define :attr:`name` (used by the registry and reports) and
-    :meth:`place`.  A fresh instance holds a fresh, empty
+    the :meth:`_place` hook.  A fresh instance holds a fresh, empty
     :class:`PlacementState`; instances are single-use per tenant sequence.
+
+    The public mutation entry points (:meth:`place`, :meth:`remove`,
+    :meth:`update_load`) are thin instrumented wrappers around the
+    ``_place`` / ``_remove`` / ``_update_load`` hooks: when a
+    :class:`~repro.obs.MetricsRegistry` is attached via
+    :meth:`attach_obs` they emit per-operation counters, duration
+    histograms, and journal events (including ``open_server`` events
+    for every server a placement opened); with nothing attached each
+    wrapper pays a single ``is None`` check.
+
+    ``gamma = 1`` (no replication, hence no failure tolerance —
+    :attr:`guaranteed_failures` is 0) is accepted by the base class;
+    algorithms whose guarantees require replication (RFI's one-failure
+    reserve, CUBEFIT's cube geometry) enforce ``gamma >= 2`` themselves.
     """
 
     #: Registry/report identifier; subclasses must override.
     name: str = "abstract"
 
     def __init__(self, gamma: int, capacity: float = 1.0) -> None:
-        if gamma < 2:
+        if gamma < 1:
             raise ConfigurationError(
-                f"replication factor gamma must be >= 2 for fault "
-                f"tolerance, got {gamma}")
+                f"replication factor gamma must be >= 1, got {gamma}")
         self.gamma = gamma
         self.placement = PlacementState(gamma=gamma, capacity=capacity)
         #: Wall-clock seconds spent inside :meth:`place` calls.
         self.placement_seconds = 0.0
+        #: Attached metrics registry (None = uninstrumented).
+        self._obs = None
 
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_obs(self, registry) -> None:
+        """Attach a :class:`~repro.obs.MetricsRegistry` (or detach with
+        ``None``).  Respects the global ``repro.obs`` off-switch: when
+        observability is disabled the attachment is a no-op."""
+        from ..obs import active
+        self._obs = active(registry)
+
+    @property
+    def obs(self):
+        """The attached metrics registry, if any."""
+        return self._obs
+
+    def _record_op(self, obs, kind: str, seconds: float,
+                   opened_before: int, **fields) -> None:
+        """Emit the metrics + journal events of one mutation."""
+        obs.counter(f"placement.{kind}").inc()
+        obs.histogram(f"placement.{kind}.seconds").observe(seconds)
+        opened = self.placement.num_servers - opened_before
+        if opened > 0:
+            obs.counter("placement.servers_opened").inc(opened)
+            for sid in range(opened_before, self.placement.num_servers):
+                obs.emit("open_server", server=sid)
+        obs.emit(kind, seconds=seconds, **fields)
+
+    # ------------------------------------------------------------------
+    # Instrumented public entry points
+    # ------------------------------------------------------------------
     @abstractmethod
+    def _place(self, tenant: Tenant) -> Tuple[int, ...]:
+        """Place all replicas of ``tenant``; return the server ids used."""
+
     def place(self, tenant: Tenant) -> Tuple[int, ...]:
         """Place all replicas of ``tenant``; return the server ids used."""
+        obs = self._obs
+        if obs is None:
+            return self._place(tenant)
+        before = self.placement.num_servers
+        start = time.perf_counter()
+        chosen = self._place(tenant)
+        self._record_op(obs, "place", time.perf_counter() - start,
+                        before, tenant=tenant.tenant_id,
+                        load=tenant.load, servers=list(chosen))
+        return chosen
 
     def consolidate(self, tenants: Iterable[Tenant]) -> PlacementState:
         """Place an entire (online) sequence, tracking wall time.
@@ -62,18 +120,41 @@ class OnlinePlacementAlgorithm(ABC):
         self.placement_seconds += time.perf_counter() - start
         return self.placement
 
+    def _remove(self, tenant_id: int) -> None:
+        """Departure hook; see :meth:`remove` for semantics."""
+        self.placement.remove_tenant(tenant_id)
+
     def remove(self, tenant_id: int) -> None:
         """Handle a tenant's departure (dynamic tenancy).
 
         Removing replicas only ever lowers loads and shared loads, so
         every robustness invariant is preserved for free; subclasses
-        extend this to reclaim algorithm-specific bookkeeping (e.g.
-        CUBEFIT shrinks an active multi-replica).  Freed space is reused
-        by subsequent placements through the normal candidate search;
-        any :class:`ServerIndex` picks up the freed servers through the
-        placement's dirty tracker.
+        extend the :meth:`_remove` hook to reclaim algorithm-specific
+        bookkeeping (e.g. CUBEFIT shrinks an active multi-replica).
+        Freed space is reused by subsequent placements through the
+        normal candidate search; any :class:`ServerIndex` picks up the
+        freed servers through the placement's dirty tracker.
         """
-        self.placement.remove_tenant(tenant_id)
+        obs = self._obs
+        if obs is None:
+            self._remove(tenant_id)
+            return
+        before = self.placement.num_servers
+        start = time.perf_counter()
+        self._remove(tenant_id)
+        self._record_op(obs, "remove", time.perf_counter() - start,
+                        before, tenant=tenant_id)
+
+    def _update_load(self, tenant_id: int,
+                     new_load: float) -> Tuple[int, ...]:
+        """Elastic-resize hook; see :meth:`update_load` for semantics.
+
+        Calls the ``_remove`` / ``_place`` hooks directly so an
+        instrumented resize journals as a single ``resize`` event, not
+        a remove + place pair.
+        """
+        self._remove(tenant_id)
+        return self._place(Tenant(tenant_id, new_load))
 
     def update_load(self, tenant_id: int,
                     new_load: float) -> Tuple[int, ...]:
@@ -85,8 +166,9 @@ class OnlinePlacementAlgorithm(ABC):
         tenant departs and immediately re-arrives with the new load, so
         every robustness invariant is enforced by the normal placement
         path.  The tenant may move servers — that is the migration cost
-        of elasticity; subclasses can override with an in-place fast
-        path when the new load still fits the old slots.
+        of elasticity; subclasses can override :meth:`_update_load`
+        with an in-place fast path when the new load still fits the old
+        slots.
 
         Returns the server ids hosting the tenant afterwards.
         """
@@ -96,8 +178,16 @@ class OnlinePlacementAlgorithm(ABC):
         if not self.placement.tenant_servers(tenant_id):
             raise ConfigurationError(
                 f"tenant {tenant_id} is not placed")
-        self.remove(tenant_id)
-        return self.place(Tenant(tenant_id, new_load))
+        obs = self._obs
+        if obs is None:
+            return self._update_load(tenant_id, new_load)
+        before = self.placement.num_servers
+        start = time.perf_counter()
+        chosen = self._update_load(tenant_id, new_load)
+        self._record_op(obs, "resize", time.perf_counter() - start,
+                        before, tenant=tenant_id, load=new_load,
+                        servers=list(chosen))
+        return chosen
 
     # Convenience pass-throughs -------------------------------------------------
     @property

@@ -46,7 +46,7 @@ class _CheckedBaseline(OnlinePlacementAlgorithm):
     def guaranteed_failures(self) -> int:
         return self.failures
 
-    def place(self, tenant: Tenant) -> Tuple[int, ...]:
+    def _place(self, tenant: Tenant) -> Tuple[int, ...]:
         chosen: List[int] = []
         for replica in tenant.replicas(self.gamma):
             target = self._select(replica, chosen)

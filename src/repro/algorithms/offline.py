@@ -155,7 +155,7 @@ class OfflineFirstFitDecreasing(OnlinePlacementAlgorithm):
         ordered = sorted(tenants, key=lambda t: -t.load)
         return super().consolidate(ordered)
 
-    def place(self, tenant: Tenant) -> Tuple[int, ...]:
+    def _place(self, tenant: Tenant) -> Tuple[int, ...]:
         chosen: List[int] = []
         for replica in tenant.replicas(self.gamma):
             future = self.gamma - len(chosen) - 1

@@ -66,13 +66,22 @@ class RepackPlan:
 
 
 class Repacker:
-    """Drains under-utilized servers from an existing placement."""
+    """Drains under-utilized servers from an existing placement.
+
+    Pass ``obs`` (a :class:`~repro.obs.MetricsRegistry`) to emit one
+    ``repack_move`` journal event per migrated tenant plus migration
+    counters, migrated-load histograms, and a ``span.repack.seconds``
+    timing of the whole pass.
+    """
 
     def __init__(self, placement: PlacementState,
-                 failures: Optional[int] = None) -> None:
+                 failures: Optional[int] = None,
+                 obs=None) -> None:
         self.placement = placement
         self.failures = placement.gamma - 1 if failures is None \
             else failures
+        from ..obs import active
+        self._obs = active(obs)
 
     def repack(self, max_migrations: Optional[int] = None,
                max_drains: Optional[int] = None) -> RepackPlan:
@@ -84,6 +93,15 @@ class Repacker:
         drain.  Each successful drain changes the landscape, so the
         candidate order is recomputed after every attempt round.
         """
+        obs = self._obs
+        if obs is None:
+            return self._repack(max_migrations, max_drains, None)
+        from ..obs import span
+        with span("repack", registry=obs):
+            return self._repack(max_migrations, max_drains, obs)
+
+    def _repack(self, max_migrations: Optional[int],
+                max_drains: Optional[int], obs) -> RepackPlan:
         placement = self.placement
         plan = RepackPlan(
             servers_before=placement.num_nonempty_servers)
@@ -96,6 +114,7 @@ class Repacker:
                                              skipped)
             if candidate is None:
                 break
+            already_moved = len(plan.migrations)
             moved = self._drain(candidate, budget, plan)
             if moved is None:
                 skipped.add(candidate)
@@ -103,6 +122,17 @@ class Repacker:
             budget -= moved
             plan.drained_servers.append(candidate)
             drains -= 1
+            if obs is not None:
+                obs.counter("repack.drained_servers").inc()
+                for migration in plan.migrations[already_moved:]:
+                    obs.counter("repack.migrations").inc()
+                    obs.histogram("repack.migrated_load").observe(
+                        migration.load)
+                    obs.emit("repack_move",
+                             tenant=migration.tenant_id,
+                             load=migration.load,
+                             sources=list(migration.sources),
+                             targets=list(migration.targets))
         plan.servers_after = placement.num_nonempty_servers
         return plan
 

@@ -50,6 +50,10 @@ class RFI(OnlinePlacementAlgorithm):
 
     def __init__(self, gamma: int = 2, mu: float = DEFAULT_MU,
                  capacity: float = 1.0) -> None:
+        if gamma < 2:
+            raise ConfigurationError(
+                f"RFI's single-failure reserve requires gamma >= 2, "
+                f"got {gamma}")
         super().__init__(gamma=gamma, capacity=capacity)
         if not (0.0 < mu <= 1.0):
             raise ConfigurationError(
@@ -62,7 +66,7 @@ class RFI(OnlinePlacementAlgorithm):
     def guaranteed_failures(self) -> int:
         return 1
 
-    def place(self, tenant: Tenant) -> Tuple[int, ...]:
+    def _place(self, tenant: Tenant) -> Tuple[int, ...]:
         chosen: List[int] = []
         for replica in tenant.replicas(self.gamma):
             target = self._find_server(replica, chosen,

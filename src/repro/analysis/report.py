@@ -138,6 +138,30 @@ def table1_table(result) -> Table:
     return table
 
 
+def metrics_table(snapshot) -> Table:
+    """Tabulate a :meth:`repro.obs.MetricsRegistry.snapshot` mapping.
+
+    One row per metric: counters show their running total, gauges the
+    last set value, histograms their count / mean / p50 / p99.
+    """
+    table = Table(
+        title="Metrics snapshot",
+        columns=["metric", "kind", "count", "value", "mean",
+                 "p50", "p99"])
+    for name in sorted(snapshot):
+        data = snapshot[name]
+        kind = data.get("type", "?")
+        if kind == "histogram":
+            table.add_row(name, kind, data["count"], "",
+                          f"{float(data['mean']):.6g}",
+                          f"{float(data['p50']):.6g}",
+                          f"{float(data['p99']):.6g}")
+        else:
+            table.add_row(name, kind, "", data.get("value", ""),
+                          "", "", "")
+    return table
+
+
 def theorem2_table(result) -> Table:
     """Tabulate a :class:`repro.sim.figures.Theorem2Result`."""
     table = Table(title="Theorem 2 bounds",

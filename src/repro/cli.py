@@ -152,6 +152,30 @@ def _run_soak(args: argparse.Namespace) -> None:
             raise SystemExit(1)
 
 
+def _run_metrics(args: argparse.Namespace) -> None:
+    from .core.cubefit import CubeFit
+    from .obs import EventJournal, MetricsRegistry, replay, set_enabled
+    from .sim.churn import ChurnConfig, run_churn
+    from .workloads.distributions import UniformLoad
+
+    set_enabled(True)  # the subcommand's whole point is observability
+    registry = MetricsRegistry(journal=EventJournal())
+    config = ChurnConfig(arrival_rate=6.0, mean_lifetime=20.0,
+                         horizon=60.0, sample_every=10.0,
+                         seed=args.seed)
+    print("Observability demo: an instrumented churn run "
+          "(CubeFit, gamma=2).\n")
+    result = run_churn(lambda: CubeFit(gamma=2, num_classes=10),
+                       UniformLoad(0.4), config, obs=registry)
+    print(registry.to_table().to_text())
+    summary = replay(registry.journal)
+    ops = ", ".join(f"{k}={v}" for k, v in sorted(summary.counts.items()))
+    print(f"\njournal: {summary.total} events [{ops}]")
+    print(f"run: {result.arrivals} arrivals / {result.departures} "
+          f"departures, final_robust={result.final_robust}")
+    _export(args, "metrics", registry.to_table)
+
+
 def _run_explain(args: argparse.Namespace) -> None:
     from .algorithms.rfi import RFI
     from .analysis.diagnostics import explain
@@ -202,6 +226,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "scaling": _run_scaling,
     "churn": _run_churn,
     "explain": _run_explain,
+    "metrics": _run_metrics,
     "soak": _run_soak,
 }
 

@@ -29,15 +29,24 @@ class EventHandle:
 
 
 class Simulator:
-    """Event loop with a monotonically advancing clock."""
+    """Event loop with a monotonically advancing clock.
 
-    def __init__(self) -> None:
+    Pass ``obs`` (a :class:`~repro.obs.MetricsRegistry`) to count
+    dispatched events under ``sim.events``; the counter object is
+    resolved once so the per-event cost is a single increment.
+    """
+
+    def __init__(self, obs=None) -> None:
         self.now = 0.0
         self._heap: List[Tuple[float, int, EventHandle,
                                Callable[[], None]]] = []
         self._seq = itertools.count()
         #: Total events dispatched (for perf reporting).
         self.events_dispatched = 0
+        from ..obs import active
+        gated = active(obs)
+        self._event_counter = gated.counter("sim.events") \
+            if gated is not None else None
 
     def schedule_at(self, time: float,
                     callback: Callable[[], None]) -> EventHandle:
@@ -59,18 +68,22 @@ class Simulator:
     def run_until(self, end_time: float) -> None:
         """Dispatch events up to and including ``end_time``."""
         heap = self._heap
+        counter = self._event_counter
         while heap and heap[0][0] <= end_time:
             time, _seq, handle, callback = heapq.heappop(heap)
             if handle.cancelled:
                 continue
             self.now = time
             self.events_dispatched += 1
+            if counter is not None:
+                counter.inc()
             callback()
         self.now = max(self.now, end_time)
 
     def run_all(self, max_events: Optional[int] = None) -> None:
         """Dispatch until the heap drains (or ``max_events`` is hit)."""
         heap = self._heap
+        counter = self._event_counter
         dispatched = 0
         while heap:
             time, _seq, handle, callback = heapq.heappop(heap)
@@ -78,6 +91,8 @@ class Simulator:
                 continue
             self.now = time
             self.events_dispatched += 1
+            if counter is not None:
+                counter.inc()
             callback()
             dispatched += 1
             if max_events is not None and dispatched >= max_events:

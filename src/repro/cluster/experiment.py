@@ -135,16 +135,25 @@ class ClusterExperiment:
         self.config = config if config is not None else ClusterConfig()
 
     def run(self, fail_servers: Sequence[int] = (),
-            latency_csv: Optional[str] = None) -> ClusterResult:
+            latency_csv: Optional[str] = None,
+            obs=None) -> ClusterResult:
         """Execute the scenario; ``fail_servers`` fail together shortly
         before the measurement window opens.
 
         ``latency_csv`` writes every in-window latency sample
         (completion time, tenant, serving machine, query, latency) to
         the given path for offline analysis.
+
+        ``obs`` (a :class:`~repro.obs.MetricsRegistry`) feeds the run's
+        query/SLA metrics: per-query latency histograms and completion
+        counters from the :class:`LatencyRecorder`, dispatched-event
+        counts from the :class:`Simulator`, and end-of-run SLA gauges
+        (``cluster.p99_seconds``, ``cluster.meets_sla``).
         """
+        from ..obs import active
+        obs = active(obs)
         cfg = self.config
-        sim = Simulator()
+        sim = Simulator(obs=obs)
         rng = np.random.default_rng(cfg.seed)
         machine_ids = sorted({h for homes in self.tenant_homes.values()
                               for h in homes})
@@ -161,7 +170,8 @@ class ClusterExperiment:
         warmup = cfg.scaled_warmup
         measure = cfg.scaled_measure
         recorder = LatencyRecorder(window_start=warmup,
-                                   window_end=warmup + measure)
+                                   window_end=warmup + measure,
+                                   obs=obs)
 
         clients: List[TenantClient] = []
         next_client_id = 0
@@ -263,6 +273,11 @@ class ClusterExperiment:
                 utilization=utilization, events=sim.events_dispatched,
                 recovered_replicas=recovered[0])
         meets = recorder.meets_sla(cfg.sla_seconds)
+        if obs is not None:
+            obs.gauge("cluster.p99_seconds").set(
+                recorder.worst_server_p99())
+            obs.gauge("cluster.meets_sla").set(1.0 if meets else 0.0)
+            obs.gauge("cluster.dropped").set(recorder.dropped)
         return ClusterResult(
             p99=recorder.worst_server_p99(),
             global_p99=recorder.p99(),

@@ -43,7 +43,8 @@ class LatencyRecorder:
     """
 
     def __init__(self, window_start: float = 0.0,
-                 window_end: float = float("inf")) -> None:
+                 window_end: float = float("inf"),
+                 obs=None) -> None:
         if window_end < window_start:
             raise ConfigurationError(
                 f"window_end {window_end} < window_start {window_start}")
@@ -54,11 +55,20 @@ class LatencyRecorder:
         self.dropped = 0
         #: All completions ever seen (in or out of window).
         self.total_completed = 0
+        # Optional metrics feed: every completion (in or out of window)
+        # counts under cluster.queries and lands in the latency
+        # histogram; drops count under cluster.dropped_queries.
+        from ..obs import active
+        self._obs = active(obs)
 
     def record(self, completed_at: float, tenant_id: int,
                query_name: str, latency: float,
                server_id: int = -1) -> None:
         self.total_completed += 1
+        obs = self._obs
+        if obs is not None:
+            obs.counter("cluster.queries").inc()
+            obs.histogram("cluster.query_seconds").observe(latency)
         if self.window_start <= completed_at < self.window_end:
             self._samples.append(LatencySample(
                 completed_at=completed_at, tenant_id=tenant_id,
@@ -67,6 +77,8 @@ class LatencyRecorder:
 
     def record_dropped(self) -> None:
         self.dropped += 1
+        if self._obs is not None:
+            self._obs.counter("cluster.dropped_queries").inc()
 
     # ------------------------------------------------------------------
     @property

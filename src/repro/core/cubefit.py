@@ -108,7 +108,7 @@ class CubeFit(OnlinePlacementAlgorithm):
     # ------------------------------------------------------------------
     # Public entry point
     # ------------------------------------------------------------------
-    def place(self, tenant: Tenant) -> Tuple[int, ...]:
+    def _place(self, tenant: Tenant) -> Tuple[int, ...]:
         replica_load = tenant.replica_load(self.gamma)
         tau = self.classifier.replica_class(replica_load)
         tiny = tau == self.config.num_classes
@@ -308,7 +308,7 @@ class CubeFit(OnlinePlacementAlgorithm):
     # ------------------------------------------------------------------
     # Departures (dynamic tenancy)
     # ------------------------------------------------------------------
-    def remove(self, tenant_id: int) -> None:
+    def _remove(self, tenant_id: int) -> None:
         """Handle a tenant's departure.
 
         Beyond the base-class removal (which is already robustness-
@@ -322,7 +322,7 @@ class CubeFit(OnlinePlacementAlgorithm):
         actual loads).
         """
         replica_load = self.placement.tenant_load(tenant_id) / self.gamma
-        super().remove(tenant_id)
+        super()._remove(tenant_id)
         multi = self._tenant_multi.pop(tenant_id, None)
         if multi is not None:
             multi.remove(tenant_id, replica_load)

@@ -68,16 +68,25 @@ class RecoveryPlan:
 
 
 class RecoveryPlanner:
-    """Plans and applies re-replication after failures."""
+    """Plans and applies re-replication after failures.
+
+    Pass ``obs`` (a :class:`~repro.obs.MetricsRegistry`) to emit one
+    ``recovery_move`` journal event per relocated replica plus move
+    counters, relocated-load histograms, and a ``span.recovery.seconds``
+    timing of the whole pass.
+    """
 
     def __init__(self, placement: PlacementState,
-                 failures: Optional[int] = None) -> None:
+                 failures: Optional[int] = None,
+                 obs=None) -> None:
         self.placement = placement
         self.failures = placement.gamma - 1 if failures is None \
             else failures
         if self.failures < 0:
             raise ConfigurationError(
                 f"failures must be non-negative, got {self.failures}")
+        from ..obs import active
+        self._obs = active(obs)
 
     def recover(self, failed: Iterable[int]) -> RecoveryPlan:
         """Relocate every replica off the ``failed`` servers.
@@ -88,6 +97,14 @@ class RecoveryPlanner:
         the sense that having no replicas they can no longer overload
         anyone.
         """
+        obs = self._obs
+        if obs is None:
+            return self._recover(failed, None)
+        from ..obs import span
+        with span("recovery", registry=obs):
+            return self._recover(failed, obs)
+
+    def _recover(self, failed: Iterable[int], obs) -> RecoveryPlan:
         failed_set = self._validate(failed)
         plan = RecoveryPlan(failed=tuple(sorted(failed_set)))
         victims = self._victims(failed_set)
@@ -105,6 +122,14 @@ class RecoveryPlanner:
                 opened_new_server=opened))
             if opened:
                 plan.servers_opened += 1
+            if obs is not None:
+                obs.counter("recovery.moves").inc()
+                obs.histogram("recovery.move_load").observe(replica.load)
+                if opened:
+                    obs.counter("recovery.servers_opened").inc()
+                obs.emit("recovery_move", tenant=replica.tenant_id,
+                         replica=replica.index, load=replica.load,
+                         source=source, target=target, opened=opened)
         return plan
 
     # ------------------------------------------------------------------

@@ -1,0 +1,148 @@
+"""Append-only event journal with JSON-lines export and replay.
+
+Every instrumented operation (place, remove, resize, recovery move,
+repack migration, ...) appends one :class:`JournalEvent`; the journal
+can be exported as JSON lines, read back, and *replayed* into an
+aggregate summary.  Replay is the audit path for end-of-run scalars: a
+soak run's reported operation counts must equal what its journal
+replays to, or the report and the history disagree.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+from ..errors import ConfigurationError
+
+PathLike = Union[str, Path]
+
+
+def _jsonable(value):
+    """Best-effort conversion of numpy scalars et al. for json.dumps."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    raise TypeError(
+        f"journal field of type {type(value).__name__} is not "
+        f"JSON-serializable: {value!r}")
+
+
+@dataclass(frozen=True)
+class JournalEvent:
+    """One recorded event: a sequence number, a type, and fields."""
+
+    seq: int
+    type: str
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps({"seq": self.seq, "type": self.type,
+                           "data": self.data},
+                          default=_jsonable, sort_keys=True)
+
+
+class EventJournal:
+    """An in-memory, append-only sequence of events.
+
+    Events receive monotonically increasing sequence numbers; the
+    journal never mutates or reorders past events, so an export taken
+    at any time is a prefix of every later export.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[JournalEvent] = []
+
+    def emit(self, event_type: str, **fields) -> JournalEvent:
+        """Append one event and return it."""
+        if not event_type:
+            raise ConfigurationError("event type must be non-empty")
+        event = JournalEvent(seq=len(self._events), type=event_type,
+                             data=fields)
+        self._events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[JournalEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> JournalEvent:
+        return self._events[index]
+
+    def events(self, event_type: Optional[str] = None) -> List[JournalEvent]:
+        """All events, optionally filtered by type."""
+        if event_type is None:
+            return list(self._events)
+        return [e for e in self._events if e.type == event_type]
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One JSON object per line (trailing newline when non-empty)."""
+        if not self._events:
+            return ""
+        return "\n".join(e.to_json() for e in self._events) + "\n"
+
+    def write(self, path: PathLike) -> None:
+        Path(path).write_text(self.to_jsonl())
+
+    def replay(self) -> "ReplaySummary":
+        return replay(self._events)
+
+
+def read_journal(path: PathLike) -> List[JournalEvent]:
+    """Load a journal previously written with :meth:`EventJournal.write`."""
+    return list(iter_jsonl(Path(path).read_text()))
+
+
+def iter_jsonl(text: str) -> Iterator[JournalEvent]:
+    """Parse JSON-lines text into events (blank lines ignored)."""
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"journal line {line_number} is not valid JSON: {exc}"
+            ) from None
+        yield JournalEvent(seq=int(raw["seq"]), type=str(raw["type"]),
+                           data=dict(raw.get("data", {})))
+
+
+@dataclass
+class ReplaySummary:
+    """Aggregate of a journal replay."""
+
+    total: int = 0
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def count(self, event_type: str) -> int:
+        return self.counts.get(event_type, 0)
+
+
+def replay(events: Iterable[JournalEvent]) -> ReplaySummary:
+    """Re-read a (possibly re-loaded) event stream into per-type counts.
+
+    Sequence numbers must be strictly increasing — a shuffled or
+    truncated-in-the-middle journal is detected rather than silently
+    summarized.
+    """
+    summary = ReplaySummary()
+    last_seq = -1
+    for event in events:
+        if event.seq <= last_seq:
+            raise ConfigurationError(
+                f"journal replay: sequence {event.seq} after "
+                f"{last_seq}; stream is reordered or corrupt")
+        last_seq = event.seq
+        summary.total += 1
+        summary.counts[event.type] = summary.counts.get(event.type, 0) + 1
+    return summary

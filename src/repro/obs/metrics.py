@@ -1,0 +1,248 @@
+"""Counters, gauges, histograms and the registry that owns them.
+
+The registry is the fleet's *pull*-side observability surface: hot
+paths increment counters and observe histograms; reports read a
+:meth:`MetricsRegistry.snapshot` at the end of a run.  Everything is
+plain stdlib — no third-party client library — because the point is to
+instrument a packing loop that runs millions of operations, not to
+scrape an endpoint.
+
+Histograms use **fixed bucket boundaries** (upper bounds, inclusive)
+chosen at creation time; percentiles are estimated as the upper bound
+of the bucket containing the requested rank, clamped to the observed
+maximum.  That makes ``observe()`` O(log buckets) with zero allocation
+and keeps memory constant regardless of sample count — the standard
+trade of exactness for boundedness.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+#: Default histogram boundaries: geometric-ish coverage of both
+#: sub-millisecond operation durations (seconds) and normalized loads
+#: in ``(0, 1]``.  An implicit overflow bucket catches everything above
+#: the last bound.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3,
+    0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r}: cannot add negative {amount}")
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile estimates.
+
+    ``buckets`` are inclusive upper bounds in strictly increasing
+    order; an implicit overflow bucket holds observations above the
+    last bound.  A value exactly equal to a bound lands in that
+    bound's bucket.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigurationError(
+                f"histogram {name!r}: need at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram {name!r}: bounds must strictly increase, "
+                f"got {bounds}")
+        self.name = name
+        self.buckets = bounds
+        #: Per-bucket counts; final slot is the overflow bucket.
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (0..100); 0.0 when empty.
+
+        Returns the upper bound of the bucket holding the requested
+        rank, clamped to the observed maximum (exact for the overflow
+        bucket, conservative elsewhere).
+        """
+        if not (0.0 <= q <= 100.0):
+            raise ConfigurationError(
+                f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index >= len(self.buckets):
+                    return self.max
+                return min(self.buckets[index], self.max)
+        return self.max  # pragma: no cover - rank <= count always hits
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean(),
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+            "buckets": {str(b): c for b, c in
+                        zip(self.buckets, self.counts)},
+            "overflow": self.counts[-1],
+        }
+
+
+class MetricsRegistry:
+    """Named metrics plus an optional event journal.
+
+    Metrics are created on first use (``registry.counter("x").inc()``)
+    and re-requesting a name returns the same instrument; requesting an
+    existing name as a different kind raises.  When a
+    :class:`~repro.obs.journal.EventJournal` is attached, :meth:`emit`
+    appends structured events to it — hot paths call one method and the
+    registry fans out.
+    """
+
+    def __init__(self, journal=None) -> None:
+        self._metrics: Dict[str, object] = {}
+        self.journal = journal
+
+    # ------------------------------------------------------------------
+    def _get(self, name: str, kind, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name, *args)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, kind):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, requested {kind.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        if buckets is None:
+            return self._get(name, Histogram)
+        return self._get(name, Histogram, buckets)
+
+    def emit(self, event_type: str, **fields) -> None:
+        """Append an event to the attached journal (no-op without one)."""
+        if self.journal is not None:
+            self.journal.emit(event_type, **fields)
+
+    def span(self, name: str):
+        """Convenience: a :class:`~repro.obs.spans.span` recording here."""
+        from .spans import span
+        return span(name, registry=self)
+
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-data view of every metric, sorted by name."""
+        return {name: self._metrics[name].snapshot()
+                for name in self.names()}
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_table(self):
+        """Render as a :class:`repro.analysis.report.Table`."""
+        from ..analysis.report import metrics_table
+        return metrics_table(self.snapshot())
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Dict[str, object]]]
+                    ) -> Dict[str, Dict[str, object]]:
+    """Sum counters across snapshots (gauges/histograms keep the last).
+
+    Handy when several harness runs each carried their own registry and
+    a report wants fleet-wide totals.
+    """
+    merged: Dict[str, Dict[str, object]] = {}
+    for snapshot in snapshots:
+        for name, data in snapshot.items():
+            existing = merged.get(name)
+            if existing is None:
+                merged[name] = dict(data)
+            elif data.get("type") == "counter" \
+                    and existing.get("type") == "counter":
+                existing["value"] = int(existing["value"]) \
+                    + int(data["value"])
+            else:
+                merged[name] = dict(data)
+    return merged

@@ -1,0 +1,81 @@
+"""Nestable wall-clock span timers.
+
+``span("recovery", registry=reg)`` times a block and records the
+duration into the registry histogram ``span.<path>.seconds``, where
+``<path>`` joins the names of all enclosing spans with ``/`` — nesting
+is explicit in the metric name, so ``span.repack.seconds`` and
+``span.soak/repack.seconds`` stay distinguishable.
+
+Spans are usable without a registry (the ``duration`` attribute is
+always populated on exit), and the active stack is thread-local so
+concurrent harnesses do not interleave paths.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+from .metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+_LOCAL = threading.local()
+
+
+def _stack() -> List["span"]:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = []
+        _LOCAL.stack = stack
+    return stack
+
+
+def current_span() -> Optional["span"]:
+    """The innermost active span on this thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+class span:
+    """Context-manager timer; see the module docstring.
+
+    Attributes after exit: ``duration`` (seconds), ``path`` (the
+    ``/``-joined nesting path the duration was recorded under).
+    """
+
+    __slots__ = ("name", "registry", "path", "duration", "_start")
+
+    def __init__(self, name: str,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.name = name
+        self.registry = registry
+        self.path: Optional[str] = None
+        self.duration: Optional[float] = None
+        self._start: Optional[float] = None
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth while active (outermost span is 1)."""
+        return _stack().index(self) + 1 if self in _stack() else 0
+
+    def __enter__(self) -> "span":
+        stack = _stack()
+        parts = [s.name for s in stack] + [self.name]
+        self.path = "/".join(parts)
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = time.perf_counter() - self._start
+        stack = _stack()
+        # Exits are LIFO under normal with-statement use; be defensive
+        # about generator-abandonment leaving stale inner frames.
+        while stack and stack[-1] is not self:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if self.registry is not None:
+            self.registry.histogram(
+                f"span.{self.path}.seconds",
+                buckets=DEFAULT_BUCKETS).observe(self.duration)

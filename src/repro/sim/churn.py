@@ -77,6 +77,8 @@ class ChurnResult:
     arrivals: int = 0
     departures: int = 0
     final_robust: bool = True
+    #: Metrics snapshot of the run (None when not instrumented).
+    metrics: Optional[Dict[str, object]] = None
 
     def steady_state(self, skip_fraction: float = 0.5
                      ) -> List[ChurnSample]:
@@ -113,12 +115,42 @@ class ChurnResult:
 
 def run_churn(factory: Callable[[], OnlinePlacementAlgorithm],
               distribution: LoadDistribution,
-              config: Optional[ChurnConfig] = None) -> ChurnResult:
-    """Drive one algorithm through a birth-death tenant workload."""
+              config: Optional[ChurnConfig] = None,
+              rng=None, obs=None) -> ChurnResult:
+    """Drive one algorithm through a birth-death tenant workload.
+
+    **Sampling tie-break.** A sample scheduled at time ``t`` reflects
+    the fleet state *strictly before* any event at time ``t``: due
+    samples are flushed before each event is applied, so an arrival or
+    departure landing exactly on a sample instant is *not* visible in
+    that sample (it shows up in the next one).  This half-open
+    convention (samples cover ``[previous event, t)``) keeps timelines
+    deterministic when event and sample times coincide.
+
+    ``rng`` overrides the seeded generator (any object with the
+    ``numpy.random.Generator`` ``exponential``/``integers`` surface) —
+    useful for scripted, deterministic tests.  ``obs`` (a
+    :class:`~repro.obs.MetricsRegistry`) instruments the run: fleet
+    gauges track each sample and the final snapshot lands in
+    ``ChurnResult.metrics``.
+    """
     cfg = config if config is not None else ChurnConfig()
-    rng = np.random.default_rng(cfg.seed)
+    if rng is None:
+        rng = np.random.default_rng(cfg.seed)
     algorithm = factory()
+    from ..obs import active
+    gated = active(obs)
+    if gated is not None:
+        algorithm.attach_obs(gated)
     result = ChurnResult(algorithm=algorithm.name, config=cfg)
+
+    def take_sample(at: float) -> None:
+        sample = _sample(at, algorithm)
+        result.samples.append(sample)
+        if gated is not None:
+            gated.gauge("churn.tenants").set(sample.tenants)
+            gated.gauge("churn.servers").set(sample.servers_nonempty)
+            gated.gauge("churn.utilization").set(sample.utilization)
 
     # Event heap: (time, seq, kind, tenant_id); seq breaks ties FIFO.
     events: List[tuple] = []
@@ -133,8 +165,11 @@ def run_churn(factory: Callable[[], OnlinePlacementAlgorithm],
         time, _seq, kind, tenant_id = heapq.heappop(events)
         if time > cfg.horizon:
             break
+        # Flush all samples due at or before this event's timestamp
+        # BEFORE applying the event: a sample at exactly `time` sees
+        # the state strictly before the event (see docstring).
         while next_sample <= time:
-            result.samples.append(_sample(next_sample, algorithm))
+            take_sample(next_sample)
             next_sample += cfg.sample_every
         if kind == "arrive":
             load = float(distribution.sample(rng, 1)[0])
@@ -157,9 +192,11 @@ def run_churn(factory: Callable[[], OnlinePlacementAlgorithm],
                 del alive[tenant_id]
                 result.departures += 1
     while next_sample <= cfg.horizon:
-        result.samples.append(_sample(next_sample, algorithm))
+        take_sample(next_sample)
         next_sample += cfg.sample_every
     result.final_robust = audit(algorithm.placement).ok
+    if gated is not None:
+        result.metrics = gated.snapshot()
     return result
 
 

@@ -17,7 +17,7 @@ population and measures what elasticity costs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -62,6 +62,8 @@ class ElasticityResult:
     servers_start: int = 0
     servers_end: int = 0
     robust_throughout: bool = True
+    #: Metrics snapshot of the run (None when not instrumented).
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def migration_rate(self) -> float:
@@ -83,16 +85,29 @@ class ElasticityResult:
 def run_elasticity(factory: Callable[[], OnlinePlacementAlgorithm],
                    distribution: LoadDistribution,
                    config: Optional[ElasticityConfig] = None,
-                   audit_every: int = 50) -> ElasticityResult:
+                   audit_every: int = 50,
+                   obs=None) -> ElasticityResult:
     """Place a population, then apply random resizes.
 
     ``audit_every`` controls how often the full robustness audit runs
     during the update stream (every update would be quadratic); the
     final state is always audited.
+
+    ``load_migrated`` counts only the load of replicas that actually
+    changed servers: a resize that moves one of gamma replicas costs
+    one replica's share (``new_load / gamma``) of data movement, not
+    the tenant's whole load.
+
+    ``obs`` (a :class:`~repro.obs.MetricsRegistry`) instruments the
+    run; the final snapshot lands in ``ElasticityResult.metrics``.
     """
     cfg = config if config is not None else ElasticityConfig()
     rng = np.random.default_rng(cfg.seed)
     algorithm = factory()
+    from ..obs import active
+    gated = active(obs)
+    if gated is not None:
+        algorithm.attach_obs(gated)
     loads = distribution.sample(rng, cfg.n_tenants)
     for tid, load in enumerate(loads):
         algorithm.place(Tenant(tid, float(load)))
@@ -113,7 +128,15 @@ def run_elasticity(factory: Callable[[], OnlinePlacementAlgorithm],
             result.in_place += 1
         else:
             result.migrations += 1
-            result.load_migrated += new_load
+            # Only the replicas that landed on new servers move data;
+            # each carries new_load / gamma of the tenant's load.
+            moved = len(after - before)
+            migrated = (new_load / algorithm.placement.gamma) * moved
+            result.load_migrated += migrated
+            if gated is not None:
+                gated.counter("elasticity.migrations").inc()
+                gated.histogram("elasticity.migrated_load").observe(
+                    migrated)
         current[tid] = new_load
         if audit_every and (step + 1) % audit_every == 0:
             if not audit(algorithm.placement).ok:
@@ -121,4 +144,6 @@ def run_elasticity(factory: Callable[[], OnlinePlacementAlgorithm],
     if not audit(algorithm.placement).ok:
         result.robust_throughout = False
     result.servers_end = algorithm.placement.num_nonempty_servers
+    if gated is not None:
+        result.metrics = gated.snapshot()
     return result

@@ -84,9 +84,17 @@ class ComparisonResult:
 
 
 def run_once(factory: AlgorithmFactory, sequence: TenantSequence,
-             verify: bool = False) -> RunStats:
-    """Consolidate one sequence with a fresh algorithm instance."""
+             verify: bool = False, obs=None) -> RunStats:
+    """Consolidate one sequence with a fresh algorithm instance.
+
+    ``obs`` (a :class:`~repro.obs.MetricsRegistry`) is attached to the
+    algorithm so every placement operation feeds counters, duration
+    histograms and journal events; ``None`` (the default) keeps the run
+    un-instrumented.
+    """
     algorithm = factory()
+    if obs is not None:
+        algorithm.attach_obs(obs)
     algorithm.consolidate(sequence)
     robust = True
     if verify:

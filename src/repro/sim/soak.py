@@ -78,6 +78,8 @@ class SoakResult:
     final_servers: int = 0
     recovered_replicas: int = 0
     repacked_servers: int = 0
+    #: Metrics snapshot of the run (None when not instrumented).
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -94,11 +96,24 @@ class SoakResult:
 
 
 def run_soak(factory: Callable[[], OnlinePlacementAlgorithm],
-             config: Optional[SoakConfig] = None) -> SoakResult:
-    """Drive one algorithm through the randomized operation stream."""
+             config: Optional[SoakConfig] = None,
+             obs=None) -> SoakResult:
+    """Drive one algorithm through the randomized operation stream.
+
+    ``obs`` (a :class:`~repro.obs.MetricsRegistry`) instruments the run:
+    the algorithm journals every place/remove/resize, the harness
+    journals every ``fail_and_recover`` and ``repack``, and the final
+    snapshot lands in ``SoakResult.metrics``.  Replaying the run's
+    journal therefore yields exactly the operation counts recorded in
+    ``SoakResult.counts``.
+    """
     cfg = config if config is not None else SoakConfig()
     rng = np.random.default_rng(cfg.seed)
     algorithm = factory()
+    from ..obs import active
+    gated = active(obs)
+    if gated is not None:
+        algorithm.attach_obs(gated)
     placement = algorithm.placement
     mix = dict(DEFAULT_MIX)
     if cfg.mix:
@@ -129,6 +144,12 @@ def run_soak(factory: Callable[[], OnlinePlacementAlgorithm],
         op = str(rng.choice(names, p=weights))
         if op in ("remove", "resize", "fail_and_recover") and not alive:
             op = "place"
+        if op == "fail_and_recover" and \
+                (placement.gamma < 2 or budget == 0):
+            # No failure budget to spend: gamma=1 keeps no redundancy
+            # (guaranteed_failures is 0) and the 1..gamma-1 failure
+            # count drawn below would be an empty range.
+            op = "place"
         if op == "repack" and placement.num_nonempty_servers < 4:
             op = "place"
         result.counts[op] = result.counts.get(op, 0) + 1
@@ -148,19 +169,28 @@ def run_soak(factory: Callable[[], OnlinePlacementAlgorithm],
             algorithm.update_load(tenant_id, load)
         elif op == "fail_and_recover":
             nonempty = [s.server_id for s in placement if len(s) > 0]
-            if not nonempty:
-                continue
+            # Fail at most gamma-1 servers (the robustness budget) and
+            # never more than exist; the range is non-empty because
+            # gamma < 2 was converted to "place" above.
             count = min(len(nonempty),
                         int(rng.integers(1, placement.gamma)))
             victims = [int(v) for v in rng.choice(nonempty, size=count,
                                                   replace=False)]
-            plan = RecoveryPlanner(placement,
-                                   failures=budget).recover(victims)
+            plan = RecoveryPlanner(placement, failures=budget,
+                                   obs=gated).recover(victims)
             result.recovered_replicas += plan.replicas_relocated
+            if gated is not None:
+                gated.counter("soak.servers_failed").inc(count)
+                gated.emit("fail_and_recover", victims=victims,
+                           relocated=plan.replicas_relocated)
         elif op == "repack":
-            plan = Repacker(placement,
-                            failures=budget).repack(max_drains=2)
+            plan = Repacker(placement, failures=budget,
+                            obs=gated).repack(max_drains=2)
             result.repacked_servers += len(plan.drained_servers)
+            if gated is not None:
+                gated.emit("repack",
+                           drained=list(plan.drained_servers),
+                           migrations=len(plan.migrations))
         check(op_index)
 
     if not cfg.audit_each and not audit(placement,
@@ -169,4 +199,6 @@ def run_soak(factory: Callable[[], OnlinePlacementAlgorithm],
         result.first_violation_op = cfg.operations - 1
     result.final_tenants = placement.num_tenants
     result.final_servers = placement.num_nonempty_servers
+    if gated is not None:
+        result.metrics = gated.snapshot()
     return result

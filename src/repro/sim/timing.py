@@ -12,7 +12,7 @@ there is a large number of tenants" claim, quantified.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.report import Table
 from ..errors import ConfigurationError
@@ -43,20 +43,32 @@ class ScalingStudy:
 
     distribution: str
     points: List[ScalingPoint] = field(default_factory=list)
+    #: Metrics snapshot accumulated over the sweep (None when the run
+    #: was not instrumented).
+    metrics: Optional[Dict[str, object]] = None
 
     def series(self, algorithm: str) -> List[ScalingPoint]:
         return [p for p in self.points if p.algorithm == algorithm]
 
     def savings_series(self, baseline: str,
                        candidate: str) -> List[tuple]:
-        """(n, savings%) pairs — how the Figure 6 metric evolves with
-        scale."""
+        """(n, savings%) pairs — how the savings metric evolves with
+        scale.
+
+        Savings are measured *relative to the baseline*:
+        ``(baseline - candidate) / baseline * 100`` is the percentage
+        of the baseline's servers the candidate avoids, so 50% means
+        "half the baseline fleet".  (An earlier revision divided by the
+        candidate, silently inflating every figure; dividing by the
+        baseline keeps the metric bounded by 100% and comparable
+        across scales.)
+        """
         base = {p.tenants: p.servers for p in self.series(baseline)}
         cand = {p.tenants: p.servers for p in self.series(candidate)}
         out = []
         for n in sorted(set(base) & set(cand)):
-            if cand[n] > 0:
-                out.append((n, (base[n] - cand[n]) / cand[n] * 100.0))
+            if base[n] > 0:
+                out.append((n, (base[n] - cand[n]) / base[n] * 100.0))
         return out
 
     def to_table(self) -> Table:
@@ -78,12 +90,17 @@ class ScalingStudy:
 def scaling_study(factories: Dict[str, AlgorithmFactory],
                   distribution: LoadDistribution,
                   tenant_counts: Sequence[int],
-                  seed: int = 0) -> ScalingStudy:
+                  seed: int = 0, obs=None) -> ScalingStudy:
     """Run every algorithm over increasing prefixes of one workload.
 
     Using nested prefixes of a single sequence (rather than fresh draws
     per size) isolates the scale effect from sampling noise.
+
+    ``obs`` (a :class:`~repro.obs.MetricsRegistry`) is attached to every
+    run; the accumulated snapshot lands in ``ScalingStudy.metrics``.
     """
+    from ..obs import active
+    gated = active(obs)
     if not factories:
         raise ConfigurationError("no algorithms to study")
     counts = sorted(set(tenant_counts))
@@ -99,9 +116,11 @@ def scaling_study(factories: Dict[str, AlgorithmFactory],
                                   description=distribution.name,
                                   seed=seed, metadata={"n": n})
         for name, factory in factories.items():
-            stats = run_once(factory, sequence)
+            stats = run_once(factory, sequence, obs=gated)
             study.points.append(ScalingPoint(
                 algorithm=name, tenants=n, servers=stats.servers,
                 seconds=stats.placement_seconds,
                 utilization=stats.utilization))
+    if gated is not None:
+        study.metrics = gated.snapshot()
     return study

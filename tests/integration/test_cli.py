@@ -81,6 +81,22 @@ class TestExtensionCommands:
         assert "Churn study" in out
         assert "cubefit" in out and "rfi" in out
 
+    def test_metrics_renders_snapshot(self, capsys):
+        """Acceptance: `repro metrics` renders a metrics snapshot for a
+        churn run, plus the journal's replay counts."""
+        assert cli.main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "Metrics snapshot" in out
+        assert "placement.place" in out
+        assert "placement.place.seconds" in out
+        assert "churn.tenants" in out
+        assert "journal:" in out and "place=" in out
+
+    def test_metrics_csv_export(self, tmp_path, capsys):
+        cli.main(["metrics", "--csv", str(tmp_path)])
+        text = (tmp_path / "metrics.csv").read_text()
+        assert text.splitlines()[0].startswith("metric,kind")
+
     def test_explain_without_trace(self, monkeypatch, capsys):
         # Shrink the default workload through the generate function.
         import repro.workloads.sequences as seq_mod

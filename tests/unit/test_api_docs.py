@@ -28,7 +28,8 @@ class TestGenerator:
         for symbol in ("CubeFit", "RFI", "PlacementState", "audit",
                        "worst_overload_failures", "ClusterExperiment",
                        "competitive_ratio_upper_bound", "RecoveryPlanner",
-                       "Repacker", "run_churn", "grouped_bar_chart"):
+                       "Repacker", "run_churn", "grouped_bar_chart",
+                       "MetricsRegistry", "EventJournal"):
             assert symbol in text, f"{symbol} missing from docs/api.md"
 
     def test_no_private_names_documented(self):

@@ -8,7 +8,7 @@ from repro.core.cubefit import CubeFit
 from repro.core.tenant import Tenant
 from repro.core.validation import audit
 from repro.sim.churn import ChurnConfig, run_churn
-from repro.workloads.distributions import UniformLoad
+from repro.workloads.distributions import TraceLoads, UniformLoad
 from repro.errors import ConfigurationError
 
 
@@ -59,6 +59,44 @@ class TestRunChurn:
     def test_table(self):
         result = run_churn(lambda: RFI(gamma=2), UniformLoad(0.3), CFG)
         assert "Churn timeline" in result.to_table().to_text()
+
+
+class _ScriptedRng:
+    """Returns pre-scripted exponential draws, in order."""
+
+    def __init__(self, draws):
+        self._draws = list(draws)
+
+    def exponential(self, scale):
+        return self._draws.pop(0)
+
+
+class TestSampleTieBreak:
+    """A sample at time t reflects the state *strictly before* any
+    event at t (samples are flushed before the event is applied)."""
+
+    CFG = ChurnConfig(arrival_rate=1.0, mean_lifetime=1.0,
+                      horizon=10.0, sample_every=5.0)
+
+    def test_arrival_at_sample_instant_not_visible(self):
+        # First arrival gap lands exactly on the t=5 sample; lifetime
+        # and next gap are pushed past the horizon.
+        rng = _ScriptedRng([5.0, 100.0, 100.0])
+        result = run_churn(lambda: RFI(gamma=2), TraceLoads([0.5]),
+                           self.CFG, rng=rng)
+        assert result.arrivals == 1 and result.departures == 0
+        assert [(s.time, s.tenants) for s in result.samples] == \
+            [(5.0, 0), (10.0, 1)]
+
+    def test_departure_at_sample_instant_still_visible(self):
+        # Arrival at t=2 lives exactly 3 units: departure at the t=5
+        # sample instant.  The sample still shows the tenant.
+        rng = _ScriptedRng([2.0, 3.0, 100.0])
+        result = run_churn(lambda: RFI(gamma=2), TraceLoads([0.5]),
+                           self.CFG, rng=rng)
+        assert result.arrivals == 1 and result.departures == 1
+        assert [(s.time, s.tenants) for s in result.samples] == \
+            [(5.0, 1), (10.0, 0)]
 
 
 class TestSlotRecycling:

@@ -2,12 +2,14 @@
 
 import pytest
 
+from repro.algorithms.base import OnlinePlacementAlgorithm
 from repro.algorithms.rfi import RFI
 from repro.core.cubefit import CubeFit
+from repro.core.tenant import Tenant
 from repro.sim.elasticity import ElasticityConfig, run_elasticity
 from repro.sim.sensitivity import (k_sensitivity, mu_sensitivity,
                                    SensitivityCurve)
-from repro.workloads.distributions import UniformLoad
+from repro.workloads.distributions import TraceLoads, UniformLoad
 from repro.errors import ConfigurationError
 
 
@@ -83,3 +85,55 @@ class TestElasticity:
             ElasticityConfig(min_factor=0.0)
         with pytest.raises(ConfigurationError):
             ElasticityConfig(min_factor=2.0, max_factor=1.0)
+
+
+class _OneReplicaMover(OnlinePlacementAlgorithm):
+    """Scripted algorithm: tenants live on servers [0, 1]; a resize
+    re-homes exactly one of the two replicas (to server 2)."""
+
+    name = "scripted-one-replica-mover"
+
+    def __init__(self):
+        super().__init__(gamma=2)
+        self.last_new_load = None
+
+    def _place(self, tenant):
+        while self.placement.num_servers < 2:
+            self.placement.open_server()
+        self.placement.place_tenant(tenant, [0, 1])
+        return (0, 1)
+
+    def _update_load(self, tenant_id, new_load):
+        self.last_new_load = new_load
+        self._remove(tenant_id)
+        while self.placement.num_servers < 3:
+            self.placement.open_server()
+        self.placement.place_tenant(Tenant(tenant_id, new_load), [0, 2])
+        return (0, 2)
+
+
+class TestPartialMigrationAccounting:
+    """load_migrated counts only replicas that actually moved.
+
+    With gamma=2 homes going [0, 1] -> [0, 2], one replica moved: the
+    data-movement cost is one replica's share (new_load / 2), not the
+    tenant's whole load (the pre-fix behaviour).
+    """
+
+    def test_one_moved_replica_costs_half_the_load(self):
+        instances = []
+
+        def factory():
+            algo = _OneReplicaMover()
+            instances.append(algo)
+            return algo
+
+        result = run_elasticity(
+            factory, TraceLoads([0.5]),
+            ElasticityConfig(n_tenants=1, n_updates=1, seed=0))
+        assert result.updates == 1
+        assert result.migrations == 1 and result.in_place == 0
+        new_load = instances[0].last_new_load
+        assert new_load is not None
+        assert result.load_migrated == pytest.approx(new_load / 2.0)
+        assert result.load_migrated < new_load  # the old bug's value

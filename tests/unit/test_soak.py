@@ -67,6 +67,32 @@ class TestRunSoak:
         assert "OK" in str(cubefit_result)
 
 
+class TestGammaOne:
+    """gamma=1 (no replication): soak must run, not crash.
+
+    ``rng.integers(1, gamma)`` is an empty range at gamma=1; the
+    harness converts ``fail_and_recover`` to a plain placement when
+    there is no failure budget to spend.
+    """
+
+    def test_gamma1_soak_runs_clean(self):
+        from repro.algorithms.naive import RobustBestFit
+        result = run_soak(lambda: RobustBestFit(gamma=1),
+                          SoakConfig(operations=150, seed=5))
+        assert result.ok, str(result)
+        assert "fail_and_recover" not in result.counts
+        assert sum(result.counts.values()) == 150
+
+    def test_zero_budget_skips_fail_and_recover(self):
+        """Even at gamma>=2, a zero failure budget means no failures."""
+        from repro.algorithms.naive import RobustBestFit
+        result = run_soak(lambda: RobustBestFit(gamma=2, failures=0),
+                          SoakConfig(operations=120, seed=6))
+        assert result.ok, str(result)
+        assert "fail_and_recover" not in result.counts
+        assert result.recovered_replicas == 0
+
+
 class TestGuaranteedFailures:
     def test_defaults(self):
         assert CubeFit(gamma=3, num_classes=5).guaranteed_failures == 2

@@ -4,7 +4,7 @@ import pytest
 
 from repro.algorithms.rfi import RFI
 from repro.core.cubefit import CubeFit
-from repro.sim.timing import ScalingStudy, scaling_study
+from repro.sim.timing import ScalingPoint, ScalingStudy, scaling_study
 from repro.workloads.distributions import UniformLoad
 from repro.errors import ConfigurationError
 
@@ -56,3 +56,39 @@ class TestScalingStudy:
             scaling_study({}, UniformLoad(0.3), [10])
         with pytest.raises(ConfigurationError):
             scaling_study(FACTORIES, UniformLoad(0.3), [0])
+
+
+class TestSavingsSeriesRegression:
+    """savings_series must divide by the *baseline* server count."""
+
+    @staticmethod
+    def _study(points):
+        study = ScalingStudy(distribution="manual")
+        for name, n, servers in points:
+            study.points.append(ScalingPoint(
+                algorithm=name, tenants=n, servers=servers,
+                seconds=1.0, utilization=0.5))
+        return study
+
+    def test_hand_computed_values(self):
+        study = self._study([
+            ("base", 100, 200), ("cand", 100, 150),
+            ("base", 400, 1000), ("cand", 400, 600),
+        ])
+        savings = study.savings_series("base", "cand")
+        # (200-150)/200 = 25%, (1000-600)/1000 = 40% — relative to the
+        # baseline.  The old /candidate bug would report 33.3% and
+        # 66.7% here.
+        assert savings == [(100, pytest.approx(25.0)),
+                           (400, pytest.approx(40.0))]
+
+    def test_bounded_by_100_percent(self):
+        """A candidate using almost nothing saves at most 100%."""
+        study = self._study([("base", 50, 1000), ("cand", 50, 1)])
+        ((_, value),) = study.savings_series("base", "cand")
+        assert value == pytest.approx(99.9)
+        assert value <= 100.0
+
+    def test_zero_baseline_skipped(self):
+        study = self._study([("base", 10, 0), ("cand", 10, 5)])
+        assert study.savings_series("base", "cand") == []
