@@ -61,9 +61,11 @@ class OnlinePlacementAlgorithm(ABC):
         self.placement_seconds = 0.0
         #: Attached metrics registry (None = uninstrumented).
         self._obs = None
+        #: Attached durable store (None = not persisted).
+        self._store = None
 
     # ------------------------------------------------------------------
-    # Observability
+    # Observability / durability
     # ------------------------------------------------------------------
     def attach_obs(self, registry) -> None:
         """Attach a :class:`~repro.obs.MetricsRegistry` (or detach with
@@ -76,6 +78,26 @@ class OnlinePlacementAlgorithm(ABC):
     def obs(self):
         """The attached metrics registry, if any."""
         return self._obs
+
+    def attach_store(self, store) -> None:
+        """Attach a :class:`~repro.store.DurableStore` (or detach with
+        ``None``).
+
+        Once attached, every committed mutation — :meth:`place`,
+        :meth:`remove`, :meth:`update_load`, plus the servers they open
+        — is appended to the store's write-ahead log *after* it has been
+        applied in memory, so the log never records an operation that
+        failed.  Binding writes the run's invariants (gamma, capacity,
+        algorithm name, failure budget) to the store's ``meta.json``.
+        """
+        self._store = store
+        if store is not None:
+            store.bind(self)
+
+    @property
+    def store(self):
+        """The attached durable store, if any."""
+        return self._store
 
     def _record_op(self, obs, kind: str, seconds: float,
                    opened_before: int, **fields) -> None:
@@ -94,19 +116,33 @@ class OnlinePlacementAlgorithm(ABC):
     # ------------------------------------------------------------------
     @abstractmethod
     def _place(self, tenant: Tenant) -> Tuple[int, ...]:
-        """Place all replicas of ``tenant``; return the server ids used."""
+        """Place all replicas of ``tenant``; return the server ids used.
+
+        Contract: ``chosen[j]`` is the server hosting replica ``j`` —
+        the returned tuple is in replica-index order.  WAL replay
+        (:mod:`repro.store.recovery`) reconstructs placements from these
+        tuples via :meth:`PlacementState.place_tenant`, so an
+        implementation returning servers in any other order would break
+        crash recovery.
+        """
 
     def place(self, tenant: Tenant) -> Tuple[int, ...]:
         """Place all replicas of ``tenant``; return the server ids used."""
         obs = self._obs
-        if obs is None:
+        store = self._store
+        if obs is None and store is None:
             return self._place(tenant)
         before = self.placement.num_servers
         start = time.perf_counter()
         chosen = self._place(tenant)
-        self._record_op(obs, "place", time.perf_counter() - start,
-                        before, tenant=tenant.tenant_id,
-                        load=tenant.load, servers=list(chosen))
+        seconds = time.perf_counter() - start
+        if store is not None:
+            store.log_open_through(self.placement._next_server_id)
+            store.log_place(tenant.tenant_id, tenant.load, chosen)
+        if obs is not None:
+            self._record_op(obs, "place", seconds,
+                            before, tenant=tenant.tenant_id,
+                            load=tenant.load, servers=list(chosen))
         return chosen
 
     def consolidate(self, tenants: Iterable[Tenant]) -> PlacementState:
@@ -136,14 +172,19 @@ class OnlinePlacementAlgorithm(ABC):
         freed servers through the placement's dirty tracker.
         """
         obs = self._obs
-        if obs is None:
+        store = self._store
+        if obs is None and store is None:
             self._remove(tenant_id)
             return
         before = self.placement.num_servers
         start = time.perf_counter()
         self._remove(tenant_id)
-        self._record_op(obs, "remove", time.perf_counter() - start,
-                        before, tenant=tenant_id)
+        seconds = time.perf_counter() - start
+        if store is not None:
+            store.log_remove(tenant_id)
+        if obs is not None:
+            self._record_op(obs, "remove", seconds,
+                            before, tenant=tenant_id)
 
     def _update_load(self, tenant_id: int,
                      new_load: float) -> Tuple[int, ...]:
@@ -179,15 +220,65 @@ class OnlinePlacementAlgorithm(ABC):
             raise ConfigurationError(
                 f"tenant {tenant_id} is not placed")
         obs = self._obs
-        if obs is None:
+        store = self._store
+        if obs is None and store is None:
             return self._update_load(tenant_id, new_load)
         before = self.placement.num_servers
         start = time.perf_counter()
         chosen = self._update_load(tenant_id, new_load)
-        self._record_op(obs, "resize", time.perf_counter() - start,
-                        before, tenant=tenant_id, load=new_load,
-                        servers=list(chosen))
+        seconds = time.perf_counter() - start
+        if store is not None:
+            store.log_open_through(self.placement._next_server_id)
+            store.log_update_load(tenant_id, new_load, chosen)
+        if obs is not None:
+            self._record_op(obs, "resize", seconds,
+                            before, tenant=tenant_id, load=new_load,
+                            servers=list(chosen))
         return chosen
+
+    # ------------------------------------------------------------------
+    # Crash resume
+    # ------------------------------------------------------------------
+    def adopt(self, placement: PlacementState) -> None:
+        """Resume from a recovered placement (crash restart).
+
+        Replaces this *fresh* instance's empty placement with
+        ``placement`` (typically
+        :attr:`~repro.store.RecoveredState.placement`) and gives the
+        algorithm a chance to rebuild its internal bookkeeping through
+        the :meth:`_adopted` hook.  Algorithms whose decisions depend on
+        state that is not reconstructible from the placement alone
+        (CUBEFIT's cube geometry and in-flight multi-replicas) do not
+        implement the hook and raise
+        :class:`~repro.errors.ConfigurationError` — resume those runs
+        with an adoptable algorithm instead.
+        """
+        if placement.gamma != self.gamma:
+            raise ConfigurationError(
+                f"cannot adopt placement with gamma={placement.gamma} "
+                f"into {self.name!r} built for gamma={self.gamma}")
+        if placement.capacity != self.placement.capacity:
+            raise ConfigurationError(
+                f"cannot adopt placement with capacity="
+                f"{placement.capacity!r} into {self.name!r} built for "
+                f"capacity={self.placement.capacity!r}")
+        if self.placement.num_servers or self.placement.num_tenants:
+            raise ConfigurationError(
+                f"adopt requires a fresh {self.name!r} instance; this "
+                f"one has already placed work")
+        self.placement = placement
+        self._adopted(placement)
+
+    def _adopted(self, placement: PlacementState) -> None:
+        """Rebuild algorithm-internal state after :meth:`adopt`.
+
+        Default: refuse — only algorithms whose bookkeeping is a pure
+        function of the placement can safely resume.
+        """
+        raise ConfigurationError(
+            f"algorithm {self.name!r} cannot adopt a recovered "
+            f"placement (its internal state is not reconstructible "
+            f"from the placement alone)")
 
     # Convenience pass-throughs -------------------------------------------------
     @property

@@ -75,6 +75,14 @@ class _CheckedBaseline(OnlinePlacementAlgorithm):
                 chosen: List[int]) -> Optional[int]:
         raise NotImplementedError
 
+    def _adopted(self, placement) -> None:
+        # The only internal state is the candidate index, which is a
+        # pure function of the placement: rebuild it over the adopted
+        # state with every existing server eligible.
+        self._index = ServerIndex(placement, failures=self.failures)
+        for sid in placement.server_ids:
+            self._index.track(sid)
+
     def _after_tenant(self, chosen: List[int]) -> None:
         """Hook for subclasses needing to track recency (Next Fit)."""
 

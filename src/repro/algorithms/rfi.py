@@ -82,6 +82,13 @@ class RFI(OnlinePlacementAlgorithm):
         self._index.track(server.server_id)
         return server.server_id
 
+    def _adopted(self, placement) -> None:
+        # RFI's only internal state is its candidate index (one-failure
+        # reserve); rebuild it over the adopted placement.
+        self._index = ServerIndex(placement, failures=1)
+        for sid in placement.server_ids:
+            self._index.track(sid)
+
     def _find_server(self, replica: Replica, chosen: List[int],
                      is_primary: bool) -> Optional[int]:
         """Fullest feasible server for ``replica`` (Best Fit), or None."""

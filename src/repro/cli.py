@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional
 from .analysis.report import (figure5_table, figure6_table,
                               table1_table, theorem2_table)
 from .cluster.calibration import calibrate_load_model
+from .errors import ConfigurationError, ReproError
 from .sim.figures import figure5, figure6, table1, theorem2
 from .sim.scenarios import current_scale
 
@@ -144,12 +145,62 @@ def _run_soak(args: argparse.Namespace) -> None:
     config = SoakConfig(operations=400, seed=args.seed)
     print("Soak: randomized place/remove/resize/fail+recover/repack "
           "stream,\nrobustness audited after every operation.\n")
-    for factory in (lambda: CubeFit(gamma=2, num_classes=10),
-                    lambda: RFI(gamma=2)):
-        result = run_soak(factory, config)
+    for name, factory in (
+            ("cubefit", lambda: CubeFit(gamma=2, num_classes=10)),
+            ("rfi", lambda: RFI(gamma=2))):
+        store = None
+        if args.store:
+            from pathlib import Path
+
+            from .store import DurableStore
+            store = DurableStore(Path(args.store) / name)
+        result = run_soak(factory, config, store=store,
+                          checkpoint_every=100 if store else None)
+        if store is not None:
+            store.close()
+            print(f"[durable store: {Path(args.store) / name}]")
         print(result)
         if not result.ok:
             raise SystemExit(1)
+
+
+def _run_checkpoint(args: argparse.Namespace) -> None:
+    from .store import DurableStore
+
+    if not args.store:
+        raise ConfigurationError(
+            "the checkpoint command requires --store DIR")
+    with DurableStore(args.store, create=False) as store:
+        state = store.recover()
+        path = store.checkpoint(state.placement)
+        removed = store.compact()
+    print(f"recovered {state.placement.num_tenants} tenants on "
+          f"{state.placement.num_servers} servers "
+          f"(replayed {state.records_replayed} WAL records on top of "
+          f"checkpoint seq {state.checkpoint_seq})")
+    print(f"checkpoint written: {path} (covers {state.next_seq} "
+          f"records); {len(removed)} WAL segment(s) compacted")
+
+
+def _run_recover(args: argparse.Namespace) -> None:
+    from .store import recover
+
+    if not args.store:
+        raise ConfigurationError(
+            "the recover command requires --store DIR")
+    state = recover(args.store)
+    print(f"store:     {args.store}")
+    print(f"algorithm: {state.algorithm or '(unknown)'}  "
+          f"gamma={state.gamma}  capacity={state.capacity}")
+    print(f"recovered: {state.placement.num_tenants} tenants on "
+          f"{state.placement.num_servers} servers "
+          f"({state.placement.num_nonempty_servers} non-empty)")
+    print(f"replay:    checkpoint seq {state.checkpoint_seq} + "
+          f"{state.records_replayed} WAL record(s); next seq "
+          f"{state.next_seq}")
+    print(f"audit:     {'OK' if state.audit.ok else 'VIOLATED'} at "
+          f"{state.failures} failure(s); min slack "
+          f"{state.audit.min_slack:.6f}")
 
 
 def _run_metrics(args: argparse.Namespace) -> None:
@@ -228,7 +279,13 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "explain": _run_explain,
     "metrics": _run_metrics,
     "soak": _run_soak,
+    "checkpoint": _run_checkpoint,
+    "recover": _run_recover,
 }
+
+#: Commands that operate on an existing durable store; they require
+#: --store and are excluded from ``repro all``.
+_STORE_COMMANDS = {"checkpoint", "recover"}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -248,6 +305,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="tenant trace (JSON) for the explain "
                              "command")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="durable-store directory (WAL + "
+                             "checkpoints) for the soak, checkpoint "
+                             "and recover commands")
     args = parser.parse_args(argv)
 
     profile = current_scale()
@@ -256,11 +317,18 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"{profile.cluster_servers} cluster servers; set "
           f"REPRO_FULL_SCALE=1 for paper scale]\n")
 
-    names = sorted(_COMMANDS) if args.experiment == "all" \
-        else [args.experiment]
+    names = sorted(set(_COMMANDS) - _STORE_COMMANDS) \
+        if args.experiment == "all" else [args.experiment]
     for name in names:
         start = time.perf_counter()
-        _COMMANDS[name](args)
+        try:
+            _COMMANDS[name](args)
+        except ReproError as err:
+            # Operator-facing failure (missing/corrupt file, bad
+            # parameter, failed audit): one line on stderr, non-zero
+            # exit — never a traceback.
+            print(f"repro {name}: error: {err}", file=sys.stderr)
+            return 1
         print(f"[{name}: {time.perf_counter() - start:.1f}s]\n")
     return 0
 

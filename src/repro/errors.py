@@ -78,6 +78,23 @@ class ShadowAuditError(ReproError):
         self.recomputed = recomputed
 
 
+class StoreError(ReproError):
+    """A durable-store operation (WAL append, checkpoint, recovery)
+    could not be carried out."""
+
+
+class StoreCorruptionError(StoreError):
+    """The on-disk WAL or checkpoint contents are not trustworthy.
+
+    Raised when a WAL segment contains an unparseable record *before*
+    the final line (a torn final line is the expected artifact of a
+    crash and is tolerated), when sequence numbers have gaps or run
+    backwards, or when replaying a record contradicts the placement it
+    is applied to (e.g. an ``open_server`` record whose id does not
+    match the next id the placement would assign).
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event cluster simulation reached an invalid state."""
 

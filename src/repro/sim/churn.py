@@ -113,10 +113,114 @@ class ChurnResult:
         return table
 
 
+class _ChurnState:
+    """Workload-side state of a churn run (survives controller crashes).
+
+    The event heap, tenant-id counter, alive set, and sampling cursor
+    belong to the *workload*, not the controller: when
+    :func:`run_churn_with_crash` kills the controller mid-run, this
+    state carries the stream across the restart exactly as a real
+    tenant population would keep arriving and departing while the
+    placement controller reboots.
+    """
+
+    __slots__ = ("events", "seq", "next_tenant_id", "next_sample",
+                 "alive", "applied")
+
+    def __init__(self, cfg: ChurnConfig, rng) -> None:
+        # Event heap: (time, seq, kind, tenant_id); seq breaks ties FIFO.
+        self.events: List[tuple] = []
+        self.seq = 0
+        next_arrival = float(rng.exponential(1.0 / cfg.arrival_rate))
+        heapq.heappush(self.events, (next_arrival, 0, "arrive", None))
+        self.next_tenant_id = 0
+        self.next_sample = cfg.sample_every
+        self.alive: Dict[int, float] = {}
+        #: Events applied so far (arrivals + effective departures).
+        self.applied = 0
+
+
+def _take_sample(at: float, algorithm: OnlinePlacementAlgorithm,
+                 result: ChurnResult, gated) -> None:
+    sample = _sample(at, algorithm)
+    result.samples.append(sample)
+    if gated is not None:
+        gated.gauge("churn.tenants").set(sample.tenants)
+        gated.gauge("churn.servers").set(sample.servers_nonempty)
+        gated.gauge("churn.utilization").set(sample.utilization)
+
+
+def _drive_churn(algorithm: OnlinePlacementAlgorithm,
+                 state: _ChurnState, cfg: ChurnConfig,
+                 distribution: LoadDistribution, rng,
+                 result: ChurnResult, gated,
+                 checkpoint_every: Optional[int] = None,
+                 stop_after: Optional[int] = None) -> bool:
+    """Apply events until the horizon; True when the stream finished.
+
+    ``stop_after`` stops once that many events have been *applied in
+    total* (across drivers — ``state.applied`` persists), leaving the
+    remaining events on the heap; used to cut the run at a crash point.
+    """
+    store = algorithm.store
+    while state.events:
+        if stop_after is not None and state.applied >= stop_after:
+            return False
+        time, _seq, kind, tenant_id = heapq.heappop(state.events)
+        if time > cfg.horizon:
+            break
+        # Flush all samples due at or before this event's timestamp
+        # BEFORE applying the event: a sample at exactly `time` sees
+        # the state strictly before the event (see docstring).
+        while state.next_sample <= time:
+            _take_sample(state.next_sample, algorithm, result, gated)
+            state.next_sample += cfg.sample_every
+        if kind == "arrive":
+            load = float(distribution.sample(rng, 1)[0])
+            tenant = Tenant(state.next_tenant_id, load)
+            algorithm.place(tenant)
+            state.alive[state.next_tenant_id] = load
+            result.arrivals += 1
+            state.applied += 1
+            lifetime = float(rng.exponential(cfg.mean_lifetime))
+            state.seq += 1
+            heapq.heappush(state.events,
+                           (time + lifetime, state.seq, "depart",
+                            state.next_tenant_id))
+            state.next_tenant_id += 1
+            state.seq += 1
+            gap = float(rng.exponential(1.0 / cfg.arrival_rate))
+            heapq.heappush(state.events,
+                           (time + gap, state.seq, "arrive", None))
+        else:
+            if tenant_id in state.alive:
+                algorithm.remove(tenant_id)
+                del state.alive[tenant_id]
+                result.departures += 1
+                state.applied += 1
+        if store is not None and checkpoint_every \
+                and state.applied % checkpoint_every == 0:
+            store.checkpoint(algorithm.placement)
+            store.compact()
+    return True
+
+
+def _finish_churn(algorithm: OnlinePlacementAlgorithm,
+                  state: _ChurnState, cfg: ChurnConfig,
+                  result: ChurnResult, gated) -> None:
+    while state.next_sample <= cfg.horizon:
+        _take_sample(state.next_sample, algorithm, result, gated)
+        state.next_sample += cfg.sample_every
+    result.final_robust = audit(algorithm.placement).ok
+    if gated is not None:
+        result.metrics = gated.snapshot()
+
+
 def run_churn(factory: Callable[[], OnlinePlacementAlgorithm],
               distribution: LoadDistribution,
               config: Optional[ChurnConfig] = None,
-              rng=None, obs=None) -> ChurnResult:
+              rng=None, obs=None, store=None,
+              checkpoint_every: Optional[int] = None) -> ChurnResult:
     """Drive one algorithm through a birth-death tenant workload.
 
     **Sampling tie-break.** A sample scheduled at time ``t`` reflects
@@ -132,7 +236,10 @@ def run_churn(factory: Callable[[], OnlinePlacementAlgorithm],
     useful for scripted, deterministic tests.  ``obs`` (a
     :class:`~repro.obs.MetricsRegistry`) instruments the run: fleet
     gauges track each sample and the final snapshot lands in
-    ``ChurnResult.metrics``.
+    ``ChurnResult.metrics``.  ``store`` (a
+    :class:`~repro.store.DurableStore`) logs every arrival/departure to
+    the write-ahead log and checkpoints (then compacts) every
+    ``checkpoint_every`` applied events, making the run restartable.
     """
     cfg = config if config is not None else ChurnConfig()
     if rng is None:
@@ -142,62 +249,109 @@ def run_churn(factory: Callable[[], OnlinePlacementAlgorithm],
     gated = active(obs)
     if gated is not None:
         algorithm.attach_obs(gated)
-    result = ChurnResult(algorithm=algorithm.name, config=cfg)
-
-    def take_sample(at: float) -> None:
-        sample = _sample(at, algorithm)
-        result.samples.append(sample)
+    if store is not None:
         if gated is not None:
-            gated.gauge("churn.tenants").set(sample.tenants)
-            gated.gauge("churn.servers").set(sample.servers_nonempty)
-            gated.gauge("churn.utilization").set(sample.utilization)
-
-    # Event heap: (time, seq, kind, tenant_id); seq breaks ties FIFO.
-    events: List[tuple] = []
-    seq = 0
-    next_arrival = float(rng.exponential(1.0 / cfg.arrival_rate))
-    heapq.heappush(events, (next_arrival, seq, "arrive", None))
-    next_tenant_id = 0
-    next_sample = cfg.sample_every
-    alive: Dict[int, float] = {}
-
-    while events:
-        time, _seq, kind, tenant_id = heapq.heappop(events)
-        if time > cfg.horizon:
-            break
-        # Flush all samples due at or before this event's timestamp
-        # BEFORE applying the event: a sample at exactly `time` sees
-        # the state strictly before the event (see docstring).
-        while next_sample <= time:
-            take_sample(next_sample)
-            next_sample += cfg.sample_every
-        if kind == "arrive":
-            load = float(distribution.sample(rng, 1)[0])
-            tenant = Tenant(next_tenant_id, load)
-            algorithm.place(tenant)
-            alive[next_tenant_id] = load
-            result.arrivals += 1
-            lifetime = float(rng.exponential(cfg.mean_lifetime))
-            seq += 1
-            heapq.heappush(events,
-                           (time + lifetime, seq, "depart",
-                            next_tenant_id))
-            next_tenant_id += 1
-            seq += 1
-            gap = float(rng.exponential(1.0 / cfg.arrival_rate))
-            heapq.heappush(events, (time + gap, seq, "arrive", None))
-        else:
-            if tenant_id in alive:
-                algorithm.remove(tenant_id)
-                del alive[tenant_id]
-                result.departures += 1
-    while next_sample <= cfg.horizon:
-        take_sample(next_sample)
-        next_sample += cfg.sample_every
-    result.final_robust = audit(algorithm.placement).ok
-    if gated is not None:
-        result.metrics = gated.snapshot()
+            store.attach_obs(gated)
+        algorithm.attach_store(store)
+    result = ChurnResult(algorithm=algorithm.name, config=cfg)
+    state = _ChurnState(cfg, rng)
+    _drive_churn(algorithm, state, cfg, distribution, rng, result,
+                 gated, checkpoint_every=checkpoint_every)
+    _finish_churn(algorithm, state, cfg, result, gated)
     return result
+
+
+def run_churn_with_crash(factory: Callable[[],
+                                           OnlinePlacementAlgorithm],
+                         distribution: LoadDistribution,
+                         store_dir,
+                         config: Optional[ChurnConfig] = None,
+                         crash_after_events: Optional[int] = None,
+                         checkpoint_every: Optional[int] = None,
+                         resume_factory: Optional[
+                             Callable[[], OnlinePlacementAlgorithm]]
+                         = None,
+                         obs=None, segment_records: int = 64):
+    """Churn run with a simulated controller crash and recovery.
+
+    Applies ``crash_after_events`` arrivals/departures (default: half
+    the expected event count over the horizon), kills the controller
+    with no shutdown, recovers the placement from checkpoint + WAL
+    tail under ``store_dir``, verifies it is replica-for-replica
+    identical to the pre-crash state and audit-clean, then resumes the
+    surviving event stream on the recovered state.  The tenant
+    population is workload state and survives the crash — exactly the
+    situation a restarted controller faces.
+
+    Returns a :class:`~repro.sim.soak.CrashRecoveryReport` whose
+    ``result`` is the full run's :class:`ChurnResult`.
+    """
+    from ..algorithms.naive import RobustBestFit
+    from ..store import DurableStore, diff_placements, recover
+    from .soak import CrashRecoveryReport
+    cfg = config if config is not None else ChurnConfig()
+    if crash_after_events is None:
+        crash_after_events = max(
+            1, int(cfg.arrival_rate * cfg.horizon) // 2)
+    if crash_after_events < 1:
+        raise ConfigurationError(
+            f"crash_after_events must be >= 1, got {crash_after_events}")
+    rng = np.random.default_rng(cfg.seed)
+    algorithm = factory()
+    from ..obs import active
+    gated = active(obs)
+    if gated is not None:
+        algorithm.attach_obs(gated)
+    store = DurableStore(store_dir, segment_records=segment_records,
+                         obs=gated)
+    algorithm.attach_store(store)
+    result = ChurnResult(algorithm=algorithm.name, config=cfg)
+    state = _ChurnState(cfg, rng)
+    finished = _drive_churn(algorithm, state, cfg, distribution, rng,
+                            result, gated,
+                            checkpoint_every=checkpoint_every,
+                            stop_after=crash_after_events)
+
+    # Simulated crash: no close(), no final checkpoint — only what the
+    # WAL committed survives.
+    pre_crash = algorithm.placement
+    recovered = recover(store_dir, obs=gated)
+    # Tags are checkpoint-durable only (see docs/durability.md);
+    # replica assignments, loads, and server inventory must be exact.
+    diffs = diff_placements(pre_crash, recovered.placement,
+                            compare_tags=False)
+    if sorted(state.alive) != recovered.placement.tenant_ids:
+        diffs = diffs + [
+            f"alive tenant set diverged: workload has "
+            f"{len(state.alive)} tenants, recovered placement has "
+            f"{len(recovered.placement.tenant_ids)}"]
+    budget = algorithm.guaranteed_failures
+    if resume_factory is None:
+        gamma = recovered.gamma
+        capacity = recovered.capacity
+
+        def resume_factory():
+            return RobustBestFit(gamma=gamma, failures=budget,
+                                 capacity=capacity)
+
+    resume = resume_factory()
+    if gated is not None:
+        resume.attach_obs(gated)
+    resume.adopt(recovered.placement)
+    reopened = DurableStore(store_dir, segment_records=segment_records,
+                            obs=gated)
+    resume.attach_store(reopened)
+    if not finished:
+        _drive_churn(resume, state, cfg, distribution, rng, result,
+                     gated, checkpoint_every=checkpoint_every)
+    _finish_churn(resume, state, cfg, result, gated)
+    reopened.close()
+    return CrashRecoveryReport(
+        result=result, crash_after=crash_after_events,
+        records_replayed=recovered.records_replayed,
+        checkpoint_seq=recovered.checkpoint_seq,
+        diffs=diffs, audit_ok=recovered.audit.ok,
+        min_slack=recovered.audit.min_slack)
 
 
 def _sample(time: float,

@@ -95,57 +95,69 @@ class SoakResult:
                 f"{self.final_servers} servers; {status})")
 
 
-def run_soak(factory: Callable[[], OnlinePlacementAlgorithm],
-             config: Optional[SoakConfig] = None,
-             obs=None) -> SoakResult:
-    """Drive one algorithm through the randomized operation stream.
+class _SoakDriver:
+    """Applies the randomized operation stream to one algorithm.
 
-    ``obs`` (a :class:`~repro.obs.MetricsRegistry`) instruments the run:
-    the algorithm journals every place/remove/resize, the harness
-    journals every ``fail_and_recover`` and ``repack``, and the final
-    snapshot lands in ``SoakResult.metrics``.  Replaying the run's
-    journal therefore yields exactly the operation counts recorded in
-    ``SoakResult.counts``.
+    The driver owns the *workload* state (alive tenants, next tenant
+    id, the rng) separately from the *controller* state (the algorithm
+    and its placement), which is what makes kill-and-resume possible:
+    :func:`run_soak_with_crash` throws the controller away mid-run and
+    hands the surviving workload state to a fresh driver wrapped around
+    the recovered placement.
+
+    When a :class:`~repro.store.DurableStore` is attached to the
+    algorithm, the place/remove/resize operations log themselves; the
+    harness-level mutations that bypass the algorithm hooks — the
+    recovery planner's per-replica moves and the repacker's migrations
+    — are logged here, after any servers they opened.
     """
-    cfg = config if config is not None else SoakConfig()
-    rng = np.random.default_rng(cfg.seed)
-    algorithm = factory()
-    from ..obs import active
-    gated = active(obs)
-    if gated is not None:
-        algorithm.attach_obs(gated)
-    placement = algorithm.placement
-    mix = dict(DEFAULT_MIX)
-    if cfg.mix:
-        mix.update(cfg.mix)
-    names = sorted(mix)
-    weights = np.array([mix[n] for n in names], dtype=float)
-    weights /= weights.sum()
 
-    result = SoakResult(algorithm=algorithm.name)
-    alive: List[int] = []
-    next_id = 0
+    def __init__(self, algorithm: OnlinePlacementAlgorithm,
+                 cfg: SoakConfig, rng, result: SoakResult,
+                 gated=None, checkpoint_every: Optional[int] = None,
+                 alive: Optional[List[int]] = None,
+                 next_id: int = 0) -> None:
+        self.algorithm = algorithm
+        self.placement = algorithm.placement
+        self.cfg = cfg
+        self.rng = rng
+        self.result = result
+        self.gated = gated
+        self.checkpoint_every = checkpoint_every
+        self.alive: List[int] = list(alive) if alive is not None else []
+        self.next_id = next_id
+        self.budget = algorithm.guaranteed_failures
+        mix = dict(DEFAULT_MIX)
+        if cfg.mix:
+            mix.update(cfg.mix)
+        self.names = sorted(mix)
+        weights = np.array([mix[n] for n in self.names], dtype=float)
+        self.weights = weights / weights.sum()
+        # Audit-per-operation is the soak's dominant cost; the
+        # incremental auditor re-evaluates only servers the operation
+        # touched.
+        self.auditor = IncrementalAuditor(self.placement,
+                                          failures=self.budget) \
+            if cfg.audit_each else None
 
-    budget = algorithm.guaranteed_failures
-    # Audit-per-operation is the soak's dominant cost; the incremental
-    # auditor re-evaluates only servers the operation touched.
-    auditor = IncrementalAuditor(placement, failures=budget) \
-        if cfg.audit_each else None
-
-    def check(op_index: int) -> None:
-        if auditor is None:
+    def _check(self, op_index: int) -> None:
+        if self.auditor is None:
             return
-        if not auditor.check().ok:
-            result.violations += 1
-            if result.first_violation_op is None:
-                result.first_violation_op = op_index
+        if not self.auditor.check().ok:
+            self.result.violations += 1
+            if self.result.first_violation_op is None:
+                self.result.first_violation_op = op_index
 
-    for op_index in range(cfg.operations):
-        op = str(rng.choice(names, p=weights))
-        if op in ("remove", "resize", "fail_and_recover") and not alive:
+    def step(self, op_index: int) -> None:
+        cfg, rng, placement = self.cfg, self.rng, self.placement
+        algorithm, result, gated = self.algorithm, self.result, self.gated
+        store = algorithm.store
+        op = str(rng.choice(self.names, p=self.weights))
+        if op in ("remove", "resize", "fail_and_recover") \
+                and not self.alive:
             op = "place"
         if op == "fail_and_recover" and \
-                (placement.gamma < 2 or budget == 0):
+                (placement.gamma < 2 or self.budget == 0):
             # No failure budget to spend: gamma=1 keeps no redundancy
             # (guaranteed_failures is 0) and the 1..gamma-1 failure
             # count drawn below would be an empty range.
@@ -157,14 +169,14 @@ def run_soak(factory: Callable[[], OnlinePlacementAlgorithm],
 
         if op == "place":
             load = float(rng.uniform(cfg.min_load, cfg.max_load))
-            algorithm.place(Tenant(next_id, load))
-            alive.append(next_id)
-            next_id += 1
+            algorithm.place(Tenant(self.next_id, load))
+            self.alive.append(self.next_id)
+            self.next_id += 1
         elif op == "remove":
-            victim = alive.pop(int(rng.integers(len(alive))))
+            victim = self.alive.pop(int(rng.integers(len(self.alive))))
             algorithm.remove(victim)
         elif op == "resize":
-            tenant_id = alive[int(rng.integers(len(alive)))]
+            tenant_id = self.alive[int(rng.integers(len(self.alive)))]
             load = float(rng.uniform(cfg.min_load, cfg.max_load))
             algorithm.update_load(tenant_id, load)
         elif op == "fail_and_recover":
@@ -176,29 +188,214 @@ def run_soak(factory: Callable[[], OnlinePlacementAlgorithm],
                         int(rng.integers(1, placement.gamma)))
             victims = [int(v) for v in rng.choice(nonempty, size=count,
                                                   replace=False)]
-            plan = RecoveryPlanner(placement, failures=budget,
+            plan = RecoveryPlanner(placement, failures=self.budget,
                                    obs=gated).recover(victims)
             result.recovered_replicas += plan.replicas_relocated
+            if store is not None:
+                store.log_open_through(placement._next_server_id)
+                for move in plan.moves:
+                    store.log_move(move.tenant_id, move.replica_index,
+                                   move.load, move.source, move.target)
             if gated is not None:
                 gated.counter("soak.servers_failed").inc(count)
                 gated.emit("fail_and_recover", victims=victims,
                            relocated=plan.replicas_relocated)
         elif op == "repack":
-            plan = Repacker(placement, failures=budget,
+            plan = Repacker(placement, failures=self.budget,
                             obs=gated).repack(max_drains=2)
             result.repacked_servers += len(plan.drained_servers)
+            if store is not None:
+                # The repacker never opens servers, but stay defensive.
+                store.log_open_through(placement._next_server_id)
+                for migration in plan.migrations:
+                    store.log_migrate(migration.tenant_id,
+                                      migration.load,
+                                      migration.targets)
             if gated is not None:
                 gated.emit("repack",
                            drained=list(plan.drained_servers),
                            migrations=len(plan.migrations))
-        check(op_index)
+        if store is not None and self.checkpoint_every \
+                and (op_index + 1) % self.checkpoint_every == 0:
+            store.checkpoint(placement)
+            store.compact()
+        self._check(op_index)
 
-    if not cfg.audit_each and not audit(placement,
-                                        failures=budget).ok:
-        result.violations += 1
-        result.first_violation_op = cfg.operations - 1
-    result.final_tenants = placement.num_tenants
-    result.final_servers = placement.num_nonempty_servers
+    def finish(self) -> None:
+        result, placement = self.result, self.placement
+        if not self.cfg.audit_each and not audit(
+                placement, failures=self.budget).ok:
+            result.violations += 1
+            result.first_violation_op = self.cfg.operations - 1
+        result.final_tenants = placement.num_tenants
+        result.final_servers = placement.num_nonempty_servers
+        if self.gated is not None:
+            result.metrics = self.gated.snapshot()
+
+
+def run_soak(factory: Callable[[], OnlinePlacementAlgorithm],
+             config: Optional[SoakConfig] = None,
+             obs=None, store=None,
+             checkpoint_every: Optional[int] = None) -> SoakResult:
+    """Drive one algorithm through the randomized operation stream.
+
+    ``obs`` (a :class:`~repro.obs.MetricsRegistry`) instruments the run:
+    the algorithm journals every place/remove/resize, the harness
+    journals every ``fail_and_recover`` and ``repack``, and the final
+    snapshot lands in ``SoakResult.metrics``.  Replaying the run's
+    journal therefore yields exactly the operation counts recorded in
+    ``SoakResult.counts``.
+
+    ``store`` (a :class:`~repro.store.DurableStore`) makes the run
+    restartable: every operation — including the harness-level failure
+    recoveries and repacks — is written to the store's WAL, and a
+    checkpoint is taken (and the WAL compacted) every
+    ``checkpoint_every`` operations.
+    """
+    cfg = config if config is not None else SoakConfig()
+    rng = np.random.default_rng(cfg.seed)
+    algorithm = factory()
+    from ..obs import active
+    gated = active(obs)
     if gated is not None:
-        result.metrics = gated.snapshot()
+        algorithm.attach_obs(gated)
+    if store is not None:
+        if gated is not None:
+            store.attach_obs(gated)
+        algorithm.attach_store(store)
+    result = SoakResult(algorithm=algorithm.name)
+    driver = _SoakDriver(algorithm, cfg, rng, result, gated,
+                         checkpoint_every=checkpoint_every)
+    for op_index in range(cfg.operations):
+        driver.step(op_index)
+    driver.finish()
     return result
+
+
+@dataclass
+class CrashRecoveryReport:
+    """Outcome of a kill-and-resume soak/churn run."""
+
+    #: Result of the full (pre-crash + resumed) run.
+    result: object
+    #: Operations applied before the simulated crash.
+    crash_after: int
+    #: WAL records replayed on top of the checkpoint during recovery.
+    records_replayed: int
+    #: Checkpoint watermark recovery started from (0 = no checkpoint).
+    checkpoint_seq: int
+    #: Differences between the pre-crash state and the recovered state
+    #: (:func:`repro.store.diff_placements`); empty means identical.
+    diffs: List[str] = field(default_factory=list)
+    #: Whether the recovered state passed the robustness audit.
+    audit_ok: bool = True
+    #: Minimum slack of the recovered state's audit.
+    min_slack: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.diffs and self.audit_ok
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else \
+            (f"{len(self.diffs)} state diffs" if self.diffs
+             else "audit FAILED")
+        return (f"CrashRecoveryReport(crash_after={self.crash_after}, "
+                f"checkpoint_seq={self.checkpoint_seq}, "
+                f"replayed={self.records_replayed}, {status})")
+
+
+def run_soak_with_crash(factory: Callable[[], OnlinePlacementAlgorithm],
+                        store_dir,
+                        config: Optional[SoakConfig] = None,
+                        crash_after: Optional[int] = None,
+                        checkpoint_every: Optional[int] = None,
+                        resume_factory: Optional[
+                            Callable[[], OnlinePlacementAlgorithm]] = None,
+                        obs=None,
+                        segment_records: int = 64) -> CrashRecoveryReport:
+    """Soak run with a simulated controller crash and recovery.
+
+    Runs ``crash_after`` operations (default: half the configured
+    stream) with a :class:`~repro.store.DurableStore` under
+    ``store_dir``, drops the controller without any shutdown, recovers
+    from checkpoint + WAL tail, verifies the recovered state is
+    replica-for-replica identical to the pre-crash placement and
+    audit-clean, then *resumes* the remaining operations on the
+    recovered state and finishes the run normally.
+
+    The resumed controller defaults to
+    :class:`~repro.algorithms.naive.RobustBestFit` at the same gamma
+    and failure budget — the algorithm that crashed may not be
+    adoptable (CUBEFIT's cube state dies with the process; only the
+    placement is durable).  Pass ``resume_factory`` to choose.
+    """
+    from ..algorithms.naive import RobustBestFit
+    from ..store import DurableStore, diff_placements, recover
+    cfg = config if config is not None else SoakConfig()
+    if crash_after is None:
+        crash_after = cfg.operations // 2
+    if not (0 < crash_after <= cfg.operations):
+        raise ConfigurationError(
+            f"crash_after must be in [1, {cfg.operations}], "
+            f"got {crash_after}")
+    rng = np.random.default_rng(cfg.seed)
+    algorithm = factory()
+    from ..obs import active
+    gated = active(obs)
+    if gated is not None:
+        algorithm.attach_obs(gated)
+    store = DurableStore(store_dir, segment_records=segment_records,
+                         obs=gated)
+    algorithm.attach_store(store)
+    result = SoakResult(algorithm=algorithm.name)
+    driver = _SoakDriver(algorithm, cfg, rng, result, gated,
+                         checkpoint_every=checkpoint_every)
+    for op_index in range(crash_after):
+        driver.step(op_index)
+
+    # Simulated crash: the controller objects are dropped with no
+    # shutdown — no close(), no final checkpoint.  Under the WAL's
+    # default "always" fsync policy every committed record is already
+    # durable, so nothing the stream applied is lost.
+    pre_crash = algorithm.placement
+    recovered = recover(store_dir, obs=gated)
+    # Tags are checkpoint-durable only (see docs/durability.md);
+    # replica assignments, loads, and server inventory must be exact.
+    diffs = diff_placements(pre_crash, recovered.placement,
+                            compare_tags=False)
+    budget = driver.budget
+    if resume_factory is None:
+        gamma = recovered.gamma
+        capacity = recovered.capacity
+
+        def resume_factory():
+            return RobustBestFit(gamma=gamma, failures=budget,
+                                 capacity=capacity)
+
+    resume = resume_factory()
+    if gated is not None:
+        resume.attach_obs(gated)
+    resume.adopt(recovered.placement)
+    if sorted(driver.alive) != recovered.placement.tenant_ids:
+        diffs = diffs + [
+            f"alive tenant set diverged: workload has "
+            f"{len(driver.alive)} tenants, recovered placement has "
+            f"{len(recovered.placement.tenant_ids)}"]
+    reopened = DurableStore(store_dir, segment_records=segment_records,
+                            obs=gated)
+    resume.attach_store(reopened)
+    resumed_driver = _SoakDriver(resume, cfg, rng, result, gated,
+                                 checkpoint_every=checkpoint_every,
+                                 alive=driver.alive,
+                                 next_id=driver.next_id)
+    for op_index in range(crash_after, cfg.operations):
+        resumed_driver.step(op_index)
+    resumed_driver.finish()
+    reopened.close()
+    return CrashRecoveryReport(
+        result=result, crash_after=crash_after,
+        records_replayed=recovered.records_replayed,
+        checkpoint_seq=recovered.checkpoint_seq,
+        diffs=diffs, audit_ok=recovered.audit.ok,
+        min_slack=recovered.audit.min_slack)

@@ -1,0 +1,230 @@
+"""Self-contained placement checkpoints (format version 2).
+
+The v1 ``repro-placement`` snapshot (:mod:`repro.workloads.trace_io`)
+stores only replica *assignments* and re-derives loads from a companion
+trace, which makes it useless for crash recovery: it cannot express
+elastic load updates (the trace has the arrival load, not the current
+one), fan-out states whose replica indices are not ``0..gamma-1``, or
+replicas with unequal loads.  Format v2 is self-contained — it stores
+``gamma``, the per-server capacity, every replica's exact load, the
+server tags algorithms hang their bookkeeping on (e.g. CUBEFIT's
+``mature`` flag), and the next-server-id counter — so a checkpoint plus
+a WAL tail fully determines the controller's placement state::
+
+    {"format": "repro-checkpoint", "version": 2,
+     "algorithm": "cubefit", "gamma": 2, "capacity": 1.0,
+     "wal_applied": 123, "next_server_id": 7,
+     "servers": [{"id": 0, "tags": {"mature": true},
+                  "replicas": [[7, 0, 0.125], ...]}, ...]}
+
+``wal_applied`` is the number of WAL records the checkpointed state
+reflects; recovery replays records with ``seq >= wal_applied``.
+
+Floats survive exactly: ``json`` serializes doubles with shortest
+round-trip ``repr``, so a restored replica load is bitwise equal to the
+live one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from ..core.placement import PlacementState
+from ..core.tenant import LOAD_EPS, Replica
+from ..errors import ConfigurationError, StoreCorruptionError
+
+PathLike = Union[str, Path]
+
+CHECKPOINT_FORMAT = "repro-checkpoint"
+CHECKPOINT_VERSION = 2
+
+
+def _jsonable(value):
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(
+        f"checkpoint field of type {type(value).__name__} is not "
+        f"JSON-serializable: {value!r}")
+
+
+@dataclass
+class Checkpoint:
+    """Parsed checkpoint contents; :meth:`restore` rebuilds the state."""
+
+    gamma: int
+    capacity: float
+    wal_applied: int
+    next_server_id: int
+    algorithm: str = ""
+    #: server id -> (tags, [(tenant_id, index, load), ...])
+    servers: Dict[int, Tuple[Dict[str, object],
+                             List[Tuple[int, int, float]]]] = \
+        field(default_factory=dict)
+
+    def restore(self) -> PlacementState:
+        """Rebuild an exact :class:`PlacementState`.
+
+        Servers are provisioned up to ``next_server_id`` (so ids opened
+        but empty at checkpoint time survive and future ids continue
+        where the crashed controller left off), tags are restored, and
+        every replica is re-placed with its recorded index and exact
+        load — the shared-load index rebuilds itself through the normal
+        mutation path.
+        """
+        placement = PlacementState(gamma=self.gamma,
+                                   capacity=self.capacity)
+        for _ in range(self.next_server_id):
+            placement.open_server()
+        by_tenant: Dict[int, List[Tuple[int, int, float]]] = {}
+        for sid, (tags, replicas) in self.servers.items():
+            if sid >= self.next_server_id:
+                raise StoreCorruptionError(
+                    f"checkpoint: server {sid} >= next_server_id "
+                    f"{self.next_server_id}")
+            placement.server(sid).tags.update(tags)
+            for tenant_id, index, load in replicas:
+                by_tenant.setdefault(tenant_id, []).append(
+                    (index, sid, load))
+        # Per tenant, replicas go back in index order — the order
+        # place_tenant used originally — so the per-tenant load
+        # accumulator sums in a deterministic order.
+        for tenant_id in sorted(by_tenant):
+            for index, sid, load in sorted(by_tenant[tenant_id]):
+                placement.place(
+                    Replica(tenant_id=tenant_id, index=index, load=load),
+                    sid)
+        return placement
+
+
+def save_checkpoint(placement: PlacementState, path: PathLike,
+                    wal_applied: int = 0, algorithm: str = "") -> None:
+    """Write a v2 checkpoint of ``placement`` atomically.
+
+    The payload is written to a temporary file and ``os.replace``-d
+    into place, so a crash mid-checkpoint leaves either the previous
+    checkpoint or the new one — never a half-written file.
+    """
+    if wal_applied < 0:
+        raise ConfigurationError(
+            f"wal_applied must be >= 0, got {wal_applied}")
+    servers = []
+    for server in placement.servers:
+        servers.append({
+            "id": server.server_id,
+            "tags": dict(server.tags),
+            "replicas": [[tenant_id, index, replica.load]
+                         for (tenant_id, index), replica
+                         in sorted(server.replicas.items())],
+        })
+    payload = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "algorithm": algorithm,
+        "gamma": placement.gamma,
+        "capacity": placement.capacity,
+        "wal_applied": wal_applied,
+        "next_server_id": placement._next_server_id,
+        "servers": servers,
+    }
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, default=_jsonable)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+
+
+def load_checkpoint(path: PathLike) -> Checkpoint:
+    """Read a checkpoint previously written by :func:`save_checkpoint`."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as err:
+        raise ConfigurationError(
+            f"cannot read checkpoint {path}: {err}") from err
+    if payload.get("format") != CHECKPOINT_FORMAT:
+        raise ConfigurationError(
+            f"{path}: expected format {CHECKPOINT_FORMAT!r}, got "
+            f"{payload.get('format')!r}")
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise ConfigurationError(
+            f"{path}: unsupported checkpoint version "
+            f"{payload.get('version')!r}")
+    try:
+        checkpoint = Checkpoint(
+            gamma=int(payload["gamma"]),
+            capacity=float(payload["capacity"]),
+            wal_applied=int(payload["wal_applied"]),
+            next_server_id=int(payload["next_server_id"]),
+            algorithm=str(payload.get("algorithm", "")))
+        for entry in payload["servers"]:
+            replicas = [(int(t), int(i), float(load))
+                        for t, i, load in entry["replicas"]]
+            checkpoint.servers[int(entry["id"])] = (
+                dict(entry.get("tags", {})), replicas)
+    except (KeyError, TypeError, ValueError) as err:
+        raise StoreCorruptionError(
+            f"{path}: malformed checkpoint payload ({err})") from None
+    return checkpoint
+
+
+def diff_placements(a: PlacementState, b: PlacementState,
+                    load_tol: float = LOAD_EPS,
+                    compare_tags: bool = True) -> List[str]:
+    """Differences between two placement states (empty == identical).
+
+    Replica *assignments* and per-replica loads are compared exactly
+    (both survive serialization bitwise); the per-tenant load
+    accumulators are compared within ``load_tol`` because a recovered
+    state re-sums them fresh, while a long-lived state carries the
+    rounding history of every remove-and-replace it survived.
+
+    ``compare_tags=False`` skips server tags.  Tags are algorithm
+    bookkeeping (CUBEFIT's maturity/slot counters) mutated outside the
+    logged operations, so they are durable only up to the latest
+    *checkpoint*, not the WAL tail; crash-recovery differentials
+    compare them loosely for that reason (see ``docs/durability.md``).
+    """
+    diffs: List[str] = []
+    if a.gamma != b.gamma:
+        diffs.append(f"gamma: {a.gamma} != {b.gamma}")
+    if a.capacity != b.capacity:
+        diffs.append(f"capacity: {a.capacity!r} != {b.capacity!r}")
+    if a.num_servers != b.num_servers:
+        diffs.append(
+            f"num_servers: {a.num_servers} != {b.num_servers}")
+    if a._next_server_id != b._next_server_id:
+        diffs.append(f"next_server_id: {a._next_server_id} != "
+                     f"{b._next_server_id}")
+    snap_a, snap_b = a.snapshot(), b.snapshot()
+    if snap_a != snap_b:
+        changed = sorted(sid for sid in set(snap_a) | set(snap_b)
+                         if snap_a.get(sid) != snap_b.get(sid))
+        diffs.append(f"replica assignment differs on servers {changed}")
+    for sid in sorted(set(a.server_ids) & set(b.server_ids)):
+        sa, sb = a.server(sid), b.server(sid)
+        for key in set(sa.replicas) & set(sb.replicas):
+            if sa.replicas[key].load != sb.replicas[key].load:
+                diffs.append(
+                    f"server {sid} replica {key}: load "
+                    f"{sa.replicas[key].load!r} != "
+                    f"{sb.replicas[key].load!r}")
+        if compare_tags and sa.tags != sb.tags:
+            diffs.append(f"server {sid} tags: {sa.tags!r} != "
+                         f"{sb.tags!r}")
+    tenants_a, tenants_b = set(a.tenant_ids), set(b.tenant_ids)
+    if tenants_a != tenants_b:
+        diffs.append(
+            f"tenant sets differ: only-a={sorted(tenants_a - tenants_b)}"
+            f" only-b={sorted(tenants_b - tenants_a)}")
+    for tenant_id in sorted(tenants_a & tenants_b):
+        la, lb = a.tenant_load(tenant_id), b.tenant_load(tenant_id)
+        if abs(la - lb) > load_tol:
+            diffs.append(
+                f"tenant {tenant_id} load: {la!r} != {lb!r}")
+    return diffs

@@ -48,10 +48,16 @@ def save_trace(sequence: TenantSequence, path: PathLike) -> None:
 
 
 def load_trace(path: PathLike) -> TenantSequence:
-    """Read a tenant sequence previously written by :func:`save_trace`."""
+    """Read a tenant sequence previously written by :func:`save_trace`.
+
+    Tenant ids must be unique: a duplicated id would make every
+    id-keyed consumer (:func:`load_placement`, removal, resize)
+    silently pick one of the conflicting loads, so it is rejected here.
+    """
     payload = _read(path, TRACE_FORMAT)
     tenants = [Tenant(tenant_id=entry["id"], load=entry["load"])
                for entry in payload["tenants"]]
+    _reject_duplicate_ids(tenants, path)
     return TenantSequence(tenants=tenants,
                           description=payload.get("description", ""),
                           seed=payload.get("seed"),
@@ -78,6 +84,9 @@ def load_placement(path: PathLike,
     that produced it (the snapshot stores assignments, not loads)."""
     payload = _read(path, PLACEMENT_FORMAT)
     gamma = payload["gamma"]
+    # A duplicated tenant id in the trace would silently resolve to
+    # whichever load came last; refuse instead.
+    _reject_duplicate_ids(sequence, path)
     loads: Dict[int, float] = {t.tenant_id: t.load for t in sequence}
     placement = PlacementState(gamma=gamma)
     max_sid = max((int(s) for s in payload["servers"]), default=-1)
@@ -101,6 +110,20 @@ def load_placement(path: PathLike,
         placement.place_tenant(Tenant(tenant_id, loads[tenant_id]),
                                servers)
     return placement
+
+
+def _reject_duplicate_ids(tenants, path: PathLike) -> None:
+    """Raise :class:`ConfigurationError` on duplicate tenant ids."""
+    seen: set = set()
+    duplicates: List[int] = []
+    for tenant in tenants:
+        if tenant.tenant_id in seen:
+            duplicates.append(tenant.tenant_id)
+        seen.add(tenant.tenant_id)
+    if duplicates:
+        raise ConfigurationError(
+            f"{path}: trace contains duplicate tenant id(s) "
+            f"{sorted(set(duplicates))}; tenant ids must be unique")
 
 
 def _read(path: PathLike, expected_format: str) -> dict:

@@ -31,7 +31,9 @@ class TestDispatch:
             monkeypatch.setitem(cli._COMMANDS, name,
                                 lambda args, n=name: calls.append(n))
         assert cli.main(["all"]) == 0
-        assert sorted(calls) == sorted(cli._COMMANDS)
+        # Store-bound commands need --store and are not part of "all".
+        assert sorted(calls) == \
+            sorted(set(cli._COMMANDS) - cli._STORE_COMMANDS)
 
     def test_seed_forwarded(self, monkeypatch):
         seen = {}
@@ -122,6 +124,116 @@ class TestExtensionCommands:
         cli.main(["explain", "--trace", str(path)])
         out = capsys.readouterr().out
         assert "loaded 30 tenants" in out
+
+class TestErrorHandling:
+    """ReproError from any subcommand: one line on stderr, exit 1,
+    never a traceback."""
+
+    def test_explain_missing_trace_file(self, tmp_path, capsys):
+        code = cli.main(["explain", "--trace",
+                         str(tmp_path / "missing.json")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "repro explain: error:" in captured.err
+        assert "Traceback" not in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_explain_corrupt_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{ not json")
+        code = cli.main(["explain", "--trace", str(path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "repro explain: error:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_recover_missing_store(self, tmp_path, capsys):
+        code = cli.main(["recover", "--store",
+                         str(tmp_path / "no-such-store")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "repro recover: error:" in captured.err
+        assert "does not exist" in captured.err
+
+    def test_recover_requires_store_flag(self, capsys):
+        code = cli.main(["recover"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "requires --store" in captured.err
+
+    def test_checkpoint_requires_store_flag(self, capsys):
+        code = cli.main(["checkpoint"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "requires --store" in captured.err
+
+    def test_recover_corrupt_wal(self, tmp_path, capsys):
+        from repro.algorithms.naive import RobustBestFit
+        from repro.core.tenant import Tenant
+        from repro.store import DurableStore
+
+        store = DurableStore(tmp_path / "st")
+        algo = RobustBestFit(gamma=2)
+        algo.attach_store(store)
+        for i in range(6):
+            algo.place(Tenant(i, 0.2))
+        store.close()
+        segment = sorted((tmp_path / "st" / "wal").iterdir())[0]
+        lines = segment.read_text().splitlines(keepends=True)
+        lines[1] = "@@@ definitely not json @@@\n"
+        segment.write_text("".join(lines))
+        code = cli.main(["recover", "--store", str(tmp_path / "st")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "repro recover: error:" in captured.err
+        assert "Traceback" not in captured.err
+
+
+class TestStoreCommands:
+    @staticmethod
+    def _populated_store(tmp_path):
+        from repro.algorithms.naive import RobustBestFit
+        from repro.sim.soak import SoakConfig, run_soak
+        from repro.store import DurableStore
+
+        store = DurableStore(tmp_path / "st", segment_records=16)
+        run_soak(lambda: RobustBestFit(gamma=2),
+                 SoakConfig(operations=50, seed=4),
+                 store=store, checkpoint_every=20)
+        store.close()
+        return tmp_path / "st"
+
+    def test_recover_prints_summary(self, tmp_path, capsys):
+        directory = self._populated_store(tmp_path)
+        assert cli.main(["recover", "--store", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "recovered:" in out
+        assert "audit:     OK" in out
+        assert "bestfit" in out
+
+    def test_checkpoint_writes_and_compacts(self, tmp_path, capsys):
+        directory = self._populated_store(tmp_path)
+        assert cli.main(["checkpoint", "--store", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint written:" in out
+        assert (directory / "checkpoint.json").exists()
+        # After a full-coverage checkpoint, recovery replays nothing.
+        from repro.store import recover
+        assert recover(directory).records_replayed == 0
+
+    def test_soak_with_store(self, monkeypatch, tmp_path, capsys):
+        import repro.sim.soak as soak_mod
+        original = soak_mod.SoakConfig
+
+        def small(operations=400, **kw):
+            return original(operations=40, **kw)
+
+        monkeypatch.setattr(soak_mod, "SoakConfig", small)
+        assert cli.main(["soak", "--store", str(tmp_path / "s")]) == 0
+        out = capsys.readouterr().out
+        assert "durable store" in out
+        assert (tmp_path / "s" / "cubefit" / "wal").is_dir()
+        assert (tmp_path / "s" / "rfi" / "wal").is_dir()
 
     def test_scaling_prints_savings_evolution(self, monkeypatch,
                                               capsys):

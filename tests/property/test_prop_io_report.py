@@ -47,6 +47,39 @@ def test_placement_roundtrip_is_lossless(tmp_path_factory, loads, gamma):
                        - algo.placement.shared_load(a, b)) < 1e-9
 
 
+@given(loads=loads_strategy)
+@settings(max_examples=40, deadline=None)
+def test_trace_floats_survive_json_bitwise(tmp_path_factory, loads):
+    """JSON uses repr round-tripping: every double must come back with
+    the identical bit pattern, not merely within a tolerance."""
+    import struct
+
+    path = tmp_path_factory.mktemp("traces") / "t.json"
+    save_trace(TenantSequence(tenants=make_tenants(loads)), path)
+    for original, loaded in zip(loads, load_trace(path).loads):
+        assert struct.pack("<d", original) == struct.pack("<d", loaded)
+
+
+@given(loads=loads_strategy, gamma=st.sampled_from([1, 2, 3]))
+@settings(max_examples=25, deadline=None)
+def test_placement_roundtrip_loads_exact(tmp_path_factory, loads, gamma):
+    from repro.algorithms.naive import RobustBestFit
+    base = tmp_path_factory.mktemp("placements")
+    sequence = TenantSequence(tenants=make_tenants(loads))
+    algo = RobustBestFit(gamma=gamma)
+    for tenant in sequence:
+        algo.place(tenant)
+    trace_path, placement_path = base / "t.json", base / "p.json"
+    save_trace(sequence, trace_path)
+    save_placement(algo.placement, placement_path)
+    restored = load_placement(placement_path, load_trace(trace_path))
+    assert restored.snapshot() == algo.placement.snapshot()
+    for sid in restored.server_ids:
+        original = algo.placement.server(sid)
+        for key, replica in restored.server(sid).replicas.items():
+            assert replica.load == original.replicas[key].load
+
+
 cells = st.one_of(st.integers(min_value=-10**6, max_value=10**6),
                   st.floats(min_value=-1e6, max_value=1e6,
                             allow_nan=False, allow_infinity=False),

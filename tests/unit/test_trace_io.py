@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.cubefit import CubeFit
-from repro.core.tenant import TenantSequence, make_tenants
+from repro.core.tenant import Tenant, TenantSequence, make_tenants
 from repro.core.validation import audit
 from repro.workloads.trace_io import (load_placement, load_trace,
                                       save_placement, save_trace)
@@ -85,3 +85,49 @@ class TestPlacementRoundtrip:
         seq = TenantSequence(tenants=make_tenants([0.4]))
         with pytest.raises(Exception):
             load_placement(path, seq)
+
+
+class TestDuplicateTenantIds:
+    """A duplicated tenant id would let every id-keyed consumer silently
+    pick one of the conflicting loads; both loaders must refuse."""
+
+    def _write_trace(self, path, entries):
+        import json
+        path.write_text(json.dumps({
+            "format": "repro-trace", "version": 1,
+            "description": "", "seed": 0,
+            "tenants": entries}))
+
+    def test_load_trace_rejects_duplicate_ids(self, tmp_path):
+        path = tmp_path / "dup.json"
+        self._write_trace(path, [{"id": 0, "load": 0.2},
+                                 {"id": 1, "load": 0.3},
+                                 {"id": 0, "load": 0.4}])
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            load_trace(path)
+
+    def test_load_trace_error_names_offending_ids(self, tmp_path):
+        path = tmp_path / "dup.json"
+        self._write_trace(path, [{"id": 5, "load": 0.2},
+                                 {"id": 5, "load": 0.3},
+                                 {"id": 7, "load": 0.1},
+                                 {"id": 7, "load": 0.1}])
+        with pytest.raises(ConfigurationError, match=r"\[5, 7\]"):
+            load_trace(path)
+
+    def test_load_placement_rejects_duplicate_trace_ids(self, tmp_path):
+        algo = CubeFit(gamma=2, num_classes=5)
+        clean = TenantSequence(tenants=make_tenants([0.3, 0.4]))
+        algo.consolidate(clean)
+        placement_path = tmp_path / "placement.json"
+        save_placement(algo.placement, placement_path)
+        duped = TenantSequence(
+            tenants=[Tenant(0, 0.3), Tenant(1, 0.4), Tenant(0, 0.9)])
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            load_placement(placement_path, duped)
+
+    def test_unique_ids_still_load(self, tmp_path):
+        path = tmp_path / "ok.json"
+        self._write_trace(path, [{"id": 0, "load": 0.2},
+                                 {"id": 1, "load": 0.3}])
+        assert load_trace(path).loads == [0.2, 0.3]

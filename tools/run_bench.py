@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Run the placement-speed benchmark scenarios and record a baseline.
+
+``benchmarks/bench_placement_speed.py`` measures consolidation wall
+time under pytest-benchmark; this runner re-times the same scenarios
+standalone (no pytest dependency, no statistics plugin) and writes the
+results to ``BENCH_placement.json`` so the bench trajectory can be
+diffed commit over commit.
+
+Usage::
+
+    PYTHONPATH=src python tools/run_bench.py [--output BENCH_placement.json]
+
+Environment:
+    REPRO_BENCH_N   sequence length (default 2000, same as the bench).
+
+The output schema::
+
+    {"format": "repro-bench", "version": 1, "n_tenants": 2000,
+     "rounds": 3,
+     "scenarios": {"cubefit": {"seconds_mean": ..., "seconds_min": ...,
+                               "tenants_per_second": ...,
+                               "servers": ..., "utilization": ...},
+                   ...}}
+
+Timings are machine-dependent; ``servers`` and ``utilization`` are
+deterministic and meaningful to diff.  A committed baseline therefore
+carries the packing-quality numbers as regression anchors and the
+throughput numbers as order-of-magnitude context.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT))
+sys.path.insert(0, str(_ROOT / "src"))
+
+from benchmarks.bench_placement_speed import FACTORIES, N_TENANTS  # noqa: E402
+from repro.workloads.distributions import UniformLoad  # noqa: E402
+from repro.workloads.sequences import generate_sequence  # noqa: E402
+
+BENCH_FORMAT = "repro-bench"
+BENCH_VERSION = 1
+DEFAULT_ROUNDS = 3
+
+
+def time_scenario(factory, sequence, rounds):
+    """Consolidate ``sequence`` ``rounds`` times on fresh instances."""
+    seconds = []
+    algo = None
+    for _ in range(rounds):
+        algo = factory()
+        start = time.perf_counter()
+        algo.consolidate(sequence)
+        seconds.append(time.perf_counter() - start)
+    mean = sum(seconds) / len(seconds)
+    return {
+        "seconds_mean": round(mean, 6),
+        "seconds_min": round(min(seconds), 6),
+        "tenants_per_second": round(len(sequence) / max(mean, 1e-9)),
+        "servers": algo.placement.num_servers,
+        "utilization": round(algo.placement.utilization(), 4),
+    }
+
+
+def run(rounds=DEFAULT_ROUNDS, n_tenants=None):
+    n = n_tenants if n_tenants is not None else N_TENANTS
+    sequence = generate_sequence(UniformLoad(0.6), n, seed=0)
+    scenarios = {}
+    for name in sorted(FACTORIES):
+        scenarios[name] = time_scenario(FACTORIES[name], sequence,
+                                        rounds)
+        print(f"{name:>9}: {scenarios[name]['tenants_per_second']:>8,} "
+              f"tenants/s  {scenarios[name]['servers']:>4} servers  "
+              f"util {scenarios[name]['utilization']:.4f}")
+    return {
+        "format": BENCH_FORMAT,
+        "version": BENCH_VERSION,
+        "n_tenants": n,
+        "rounds": rounds,
+        "scenarios": scenarios,
+    }
+
+
+def main(argv=None):
+    repo_root = Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(
+        description="Time placement algorithms; write a bench baseline.")
+    parser.add_argument("--output", type=Path,
+                        default=repo_root / "BENCH_placement.json")
+    parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS)
+    args = parser.parse_args(argv)
+    payload = run(rounds=args.rounds)
+    args.output.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
