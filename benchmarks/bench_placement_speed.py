@@ -27,23 +27,13 @@ import time
 
 import pytest
 
-from repro.algorithms.naive import (RobustBestFit, RobustFirstFit,
-                                    RobustNextFit)
-from repro.algorithms.rfi import RFI
 from repro.core.cubefit import CubeFit
 from repro.core.validation import IncrementalAuditor, audit
+from repro.sim.bench import FACTORIES
 from repro.workloads.distributions import UniformLoad
 from repro.workloads.sequences import generate_sequence
 
 N_TENANTS = int(os.environ.get("REPRO_BENCH_N", "2000"))
-
-FACTORIES = {
-    "cubefit": lambda: CubeFit(gamma=2, num_classes=10),
-    "rfi": lambda: RFI(gamma=2),
-    "bestfit": lambda: RobustBestFit(gamma=2),
-    "firstfit": lambda: RobustFirstFit(gamma=2),
-    "nextfit": lambda: RobustNextFit(gamma=2),
-}
 
 
 @pytest.fixture(scope="module")

@@ -360,67 +360,126 @@ class ServerIndex:
 
     def set_eligible(self, server_id: int, eligible: bool) -> None:
         self._ensure(server_id)
+        if bool(self._eligible[server_id]) == eligible:
+            return
         self._eligible[server_id] = eligible
+        self.refresh([server_id])
 
     def is_eligible(self, server_id: int) -> bool:
         return server_id < self._size and bool(self._eligible[server_id])
 
     def refresh(self, server_ids: Iterable[int]) -> None:
-        """Recompute level/availability for the given servers."""
+        """Recompute level/availability for the given servers.
+
+        Ineligible servers keep ``avail = -inf`` — the sentinel doubles
+        as the eligibility filter in :meth:`candidates`, which lets the
+        hot query path test a single float array.  Their true
+        availability is recomputed the moment :meth:`set_eligible`
+        promotes them.
+        """
+        placement = self.placement
+        servers = placement._servers
+        wfl = placement.worst_failover_load
+        failures = self.failures
+        eligible = self._eligible
+        size = self._size
         for sid in server_ids:
-            if sid >= self._size:
+            if sid >= size:
                 continue
-            server = self.placement.server(sid)
+            server = servers[sid]
             self._level[sid] = server.load
-            self._avail[sid] = (server.capacity - server.load
-                                - self.placement.worst_failover_load(
-                                    sid, self.failures))
+            if eligible[sid]:
+                self._avail[sid] = (server.capacity - server.load
+                                    - wfl(sid, failures))
+            else:
+                self._avail[sid] = -np.inf
 
     def sync(self) -> None:
         """Refresh every server mutated since the last query.
 
         Drains the placement's dirty tracker; cost is O(affected
-        servers).  Called automatically by :meth:`candidates`,
-        :meth:`level` and :meth:`avail`.
+        *eligible* servers).  Dirty servers that are currently
+        ineligible are skipped — candidate queries cannot return them
+        (their ``avail`` sentinel is ``-inf``), and their availability
+        is recomputed from the placement if they ever become eligible —
+        under CUBEFIT most mutations land on immature bins, so the skip
+        saves the bulk of the failover-load recomputation.  Called
+        automatically by :meth:`candidates`, :meth:`level` and
+        :meth:`avail`.
         """
         dirty = self._tracker.drain()
-        if dirty:
-            self.refresh(dirty)
+        if not dirty:
+            return
+        placement = self.placement
+        servers = placement._servers
+        wfl = placement.worst_failover_load
+        failures = self.failures
+        eligible = self._eligible
+        size = self._size
+        level = self._level
+        avail = self._avail
+        for sid in dirty:
+            if sid < size and eligible[sid]:
+                server = servers[sid]
+                level[sid] = server.load
+                avail[sid] = (server.capacity - server.load
+                              - wfl(sid, failures))
 
     def candidates(self, min_avail: float,
                    max_level: Optional[float] = None,
-                   exclude: Sequence[int] = ()) -> List[int]:
+                   exclude: Iterable[int] = ()) -> List[int]:
         """Eligible servers with ``avail >= min_avail``, fullest first.
 
         ``max_level`` additionally caps the current level (used for RFI's
         interleaving threshold ``mu``).  ``exclude`` removes specific ids
-        (e.g. servers already hosting a sibling replica).
+        (e.g. servers already hosting a sibling replica); any container
+        is accepted — list, tuple, set — and iterated once per call
+        (the typical exclusion is the ``gamma - 1`` sibling servers, so
+        a per-id vectorized compare beats ``np.isin``'s sort).
         """
-        self.sync()
+        if self._tracker._dirty:
+            self.sync()
         if self._size == 0:
             return []
-        avail = self._avail[:self._size]
-        mask = self._eligible[:self._size] & (avail >= min_avail - LOAD_EPS)
+        # Ineligible servers sit at avail == -inf (see refresh), so one
+        # float compare is both the availability and eligibility filter.
+        mask = self._avail[:self._size] >= min_avail - LOAD_EPS
         if max_level is not None:
             mask &= self._level[:self._size] <= max_level + LOAD_EPS
         ids = np.nonzero(mask)[0]
         if len(ids) == 0:
             return []
         if exclude:
-            ids = ids[~np.isin(ids, list(exclude))]
+            for excluded_id in exclude:
+                ids = ids[ids != excluded_id]
             if len(ids) == 0:
                 return []
+        if len(ids) == 1:
+            # A single survivor needs no ordering pass.
+            return [int(ids[0])]
         # Fullest (highest level) first; stable tie-break on id for
-        # determinism.
-        order = np.lexsort((ids, -self._level[ids]))
-        return [int(i) for i in ids[order]]
+        # determinism (``ids`` is ascending, so a stable single-key
+        # sort is equivalent to lexsort((ids, -level)) and cheaper).
+        order = np.argsort(-self._level[ids], kind="stable")
+        return ids[order].tolist()
 
     def level(self, server_id: int) -> float:
         self.sync()
+        if server_id < self._size and not self._eligible[server_id]:
+            # Ineligible servers are skipped by sync; recompute on read.
+            self._level[server_id] = \
+                self.placement._servers[server_id].load
         return float(self._level[server_id])
 
     def avail(self, server_id: int) -> float:
+        """True slack of ``server_id`` (even while ineligible — the
+        internal ``-inf`` eligibility sentinel is never returned)."""
         self.sync()
+        if server_id < self._size and not self._eligible[server_id]:
+            server = self.placement._servers[server_id]
+            return float(server.capacity - server.load
+                         - self.placement.worst_failover_load(
+                             server_id, self.failures))
         return float(self._avail[server_id])
 
 
@@ -436,27 +495,50 @@ def worst_shared_sum(placement: PlacementState, server_id: int,
     partners with the given shared loads (used to anticipate sibling
     replicas that have not been placed yet).  This is the primitive
     behind the exact m-fit and RFI feasibility checks.
+
+    Hot-path shape: with no ``bumps`` the live shared-load mapping is
+    read in place (no copy), and when the failure budget covers every
+    partner the values are summed without building a heap.
     """
-    shared = placement.shared_partners(server_id)
+    shared: Dict[int, float] = placement.shared_partners_view(server_id)
     if bumps:
+        merged = dict(shared)
         for other, extra in bumps.items():
             if other == server_id:
                 continue
-            shared[other] = shared.get(other, 0.0) + extra
+            merged[other] = merged.get(other, 0.0) + extra
+        shared = merged
+    if failures <= 0:
+        return 0.0
+    survivors = len(shared) + len(extra_partners)
+    if survivors == 0:
+        return 0.0
+    if survivors <= failures:
+        return sum(shared.values()) + sum(extra_partners)
+    if not extra_partners:
+        return sum(heapq.nlargest(failures, shared.values()))
     values = list(shared.values())
     values.extend(extra_partners)
-    if failures <= 0 or not values:
-        return 0.0
-    if len(values) <= failures:
-        return sum(values)
     return sum(heapq.nlargest(failures, values))
 
 
-def robust_after_placement(placement: PlacementState, server_id: int,
-                           replica_load: float, chosen: Sequence[int],
-                           failures: int,
-                           extra_reserve: float = 0.0,
-                           future_siblings: int = 0) -> bool:
+#: Safety margin on the screened feasibility bounds.  The screen compares
+#: a cached top-``f`` sum against exact top-``f`` sums computed over a
+#: bumped multiset; mathematically ``cached <= exact <= cached + delta``,
+#: but the two float summations can disagree by round-off.  Keeping the
+#: ambiguous band ``_SCREEN_MARGIN`` wide on both sides guarantees a
+#: screened decision never diverges from the exact one (the differential
+#: property suite asserts this).
+_SCREEN_MARGIN = 1e-9
+
+
+def exact_robust_after_placement(placement: PlacementState,
+                                 server_id: int,
+                                 replica_load: float,
+                                 chosen: Sequence[int],
+                                 failures: int,
+                                 extra_reserve: float = 0.0,
+                                 future_siblings: int = 0) -> bool:
     """Exact feasibility of placing a replica on ``server_id``.
 
     Checks that, with the replica added and shared loads bumped against
@@ -477,6 +559,11 @@ def robust_after_placement(placement: PlacementState, server_id: int,
     new server (RFI, the naive baselines) must pass it; CUBEFIT's first
     stage rolls the whole tenant back on any failure, so its final check
     sees all shares and it may pass 0.
+
+    This is the reference semantics; the hot paths call
+    :func:`robust_after_placement`, which screens with cached-slack
+    bounds and falls through to these exact sums only in the ambiguous
+    band.  The two must agree on every input.
     """
     server = placement.server(server_id)
     bumps = {c: replica_load for c in chosen}
@@ -492,6 +579,79 @@ def robust_after_placement(placement: PlacementState, server_id: int,
         if other.capacity - other.load + LOAD_EPS < worst_c:
             return False
     return True
+
+
+def robust_after_placement(placement: PlacementState, server_id: int,
+                           replica_load: float, chosen: Sequence[int],
+                           failures: int,
+                           extra_reserve: float = 0.0,
+                           future_siblings: int = 0,
+                           obs=None) -> bool:
+    """Screened feasibility check — same decisions as
+    :func:`exact_robust_after_placement`, much cheaper per probe.
+
+    Every condition the exact check evaluates compares a server's
+    post-placement headroom against a top-``f`` sum over its *bumped*
+    shared-load multiset.  Two bounds follow from the placement's
+    memoized :meth:`~repro.core.placement.PlacementState
+    .worst_failover_load` (``W``, a cache hit on the hot path):
+
+    * **necessary** — bumping loads and adding partners never shrinks
+      the top-``f`` sum, so headroom below ``W`` rejects outright;
+    * **sufficient** — at most ``min(f, bumped partners)`` of the top
+      ``f`` values grow, each by at most ``replica_load``, so headroom
+      of ``W + min(f, bumped) * replica_load`` accepts outright.
+
+    Only probes landing between the bounds (the ambiguous band) pay for
+    the exact :func:`worst_shared_sum`.  ``obs`` (a
+    :class:`~repro.obs.MetricsRegistry`) records the hit rate: the
+    ``feasibility.screened`` counter counts calls decided purely by the
+    bounds, ``feasibility.exact`` calls that needed at least one exact
+    sum.
+    """
+    server = placement.server(server_id)
+    exact_used = False
+    empty_after = server.capacity - server.load - replica_load \
+        - extra_reserve
+    decision = True
+    future: Optional[List[float]] = None
+    if failures <= 0:
+        decision = empty_after + LOAD_EPS >= 0.0
+    else:
+        cached = placement.worst_failover_load(server_id, failures)
+        if empty_after + LOAD_EPS < cached - _SCREEN_MARGIN:
+            decision = False
+        elif empty_after < cached + _SCREEN_MARGIN + replica_load \
+                * min(failures, len(chosen) + future_siblings):
+            exact_used = True
+            bumps = {c: replica_load for c in chosen}
+            future = [replica_load] * future_siblings
+            worst = worst_shared_sum(placement, server_id, failures,
+                                     bumps, future)
+            decision = empty_after + LOAD_EPS >= worst
+    if decision and failures > 0 and chosen:
+        sibling_delta = replica_load * min(failures, 1 + future_siblings)
+        for c in chosen:
+            other = placement.server(c)
+            headroom = other.capacity - other.load
+            cached_c = placement.worst_failover_load(c, failures)
+            if headroom + LOAD_EPS < cached_c - _SCREEN_MARGIN:
+                decision = False
+                break
+            if headroom >= cached_c + sibling_delta + _SCREEN_MARGIN:
+                continue
+            exact_used = True
+            if future is None:
+                future = [replica_load] * future_siblings
+            worst_c = worst_shared_sum(placement, c, failures,
+                                       {server_id: replica_load}, future)
+            if headroom + LOAD_EPS < worst_c:
+                decision = False
+                break
+    if obs is not None:
+        obs.counter("feasibility.exact" if exact_used
+                    else "feasibility.screened").inc()
+    return decision
 
 
 # ---------------------------------------------------------------------------

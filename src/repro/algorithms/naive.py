@@ -69,7 +69,8 @@ class _CheckedBaseline(OnlinePlacementAlgorithm):
         future = self.gamma - len(chosen) - 1
         return robust_after_placement(self.placement, sid, replica.load,
                                       chosen, failures=self.failures,
-                                      future_siblings=future)
+                                      future_siblings=future,
+                                      obs=self._obs)
 
     def _select(self, replica: Replica,
                 chosen: List[int]) -> Optional[int]:

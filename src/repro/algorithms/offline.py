@@ -165,7 +165,8 @@ class OfflineFirstFitDecreasing(OnlinePlacementAlgorithm):
                 if robust_after_placement(self.placement, sid,
                                           replica.load, chosen,
                                           failures=self.failures,
-                                          future_siblings=future):
+                                          future_siblings=future,
+                                          obs=self._obs):
                     target = sid
                     break
             if target is None:

@@ -206,7 +206,7 @@ class Repacker:
             for server in candidates:
                 if robust_after_placement(
                         placement, server.server_id, replica.load,
-                        chosen, failures=self.failures):
+                        chosen, failures=self.failures, obs=self._obs):
                     target = server.server_id
                     break
             if target is None:

@@ -101,7 +101,8 @@ class RFI(OnlinePlacementAlgorithm):
         for sid in candidates:
             if robust_after_placement(self.placement, sid, replica.load,
                                       chosen, failures=1,
-                                      future_siblings=future):
+                                      future_siblings=future,
+                                      obs=self._obs):
                 return sid
         return None
 

@@ -255,6 +255,37 @@ def _run_explain(args: argparse.Namespace) -> None:
         print()
 
 
+def _run_bench(args: argparse.Namespace) -> None:
+    from .sim.bench import run_bench
+
+    print(f"Placement-speed bench ({args.tenants} tenants, "
+          f"jobs={args.jobs}); deterministic fields: servers, "
+          f"utilization, screened fraction.\n")
+    run_bench(scales=(args.tenants,), rounds=2, jobs=args.jobs,
+              progress=print)
+
+
+def _run_sweep(args: argparse.Namespace) -> None:
+    from .sim.sensitivity import k_sensitivity, mu_sensitivity
+    from .workloads.distributions import UniformLoad
+
+    distribution = UniformLoad(0.6)
+    print(f"Parameter sweeps on {distribution.name} "
+          f"({args.tenants} tenants, jobs={args.jobs}).\n")
+    mu_curve = mu_sensitivity(distribution, n_tenants=args.tenants,
+                              seed=args.seed, jobs=args.jobs)
+    print(mu_curve)
+    best_mu = mu_curve.best()
+    print(f"best mu: {best_mu.parameter} ({best_mu.servers} servers)\n")
+    k_curve = k_sensitivity(distribution, n_tenants=args.tenants,
+                            seed=args.seed, jobs=args.jobs)
+    print(k_curve)
+    best_k = k_curve.best()
+    print(f"best K: {best_k.parameter:.0f} ({best_k.servers} servers)")
+    _export(args, "sweep_mu", mu_curve.to_table)
+    _export(args, "sweep_k", k_curve.to_table)
+
+
 def _run_calibrate(args: argparse.Namespace) -> None:
     result = calibrate_load_model()
     print("Section IV calibration (simulated cluster):")
@@ -274,6 +305,8 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "table1": _run_table1,
     "theorem2": _run_theorem2,
     "calibrate": _run_calibrate,
+    "bench": _run_bench,
+    "sweep": _run_sweep,
     "scaling": _run_scaling,
     "churn": _run_churn,
     "explain": _run_explain,
@@ -309,7 +342,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="durable-store directory (WAL + "
                              "checkpoints) for the soak, checkpoint "
                              "and recover commands")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for parallelizable "
+                             "experiments (bench, sweep); default 1")
+    parser.add_argument("--tenants", type=int, default=2000,
+                        help="sequence length for the bench and sweep "
+                             "commands (default 2000)")
     args = parser.parse_args(argv)
+
+    from .par import validate_jobs
+    try:
+        validate_jobs(args.jobs)
+        if args.tenants < 1:
+            raise ConfigurationError(
+                f"tenants must be >= 1, got {args.tenants}")
+    except ReproError as err:
+        print(f"repro: error: {err}", file=sys.stderr)
+        return 1
 
     profile = current_scale()
     print(f"[scale profile: {profile.name} — "

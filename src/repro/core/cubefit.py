@@ -154,15 +154,17 @@ class CubeFit(OnlinePlacementAlgorithm):
         """Best Fit: fullest mature bin that exactly m-fits ``replica``."""
         candidates = self._index.candidates(min_avail=replica.load,
                                             exclude=chosen)
+        placement = self.placement
+        server_of = placement._servers
+        same_class_ok = self.config.allow_same_class_first_stage
         taken_domains = None
         if self.config.enforce_fault_domains:
             taken_domains = {
-                self.placement.server(c).tags.get(TAG_DOMAIN)
-                for c in chosen}
+                server_of[c].tags.get(TAG_DOMAIN) for c in chosen}
         for sid in candidates:
-            tags = self.placement.server(sid).tags
+            tags = server_of[sid].tags
             bin_class = tags[TAG_CLASS]
-            if self.config.allow_same_class_first_stage:
+            if same_class_ok:
                 if tau < bin_class:
                     continue
             elif tau <= bin_class:
@@ -172,9 +174,10 @@ class CubeFit(OnlinePlacementAlgorithm):
             if taken_domains is not None \
                     and tags.get(TAG_DOMAIN) in taken_domains:
                 continue
-            if robust_after_placement(self.placement, sid, replica.load,
+            if robust_after_placement(placement, sid, replica.load,
                                       chosen,
-                                      failures=self.gamma - 1):
+                                      failures=self.gamma - 1,
+                                      obs=self._obs):
                 return sid
         return None
 
@@ -213,12 +216,13 @@ class CubeFit(OnlinePlacementAlgorithm):
     def _fill_slot(self, sid: int) -> None:
         tags = self.placement.server(sid).tags
         tags[TAG_SLOTS_FILLED] += 1
-        self._maybe_mature(sid)
+        self._maybe_mature(sid, tags)
 
-    def _maybe_mature(self, sid: int) -> None:
+    def _maybe_mature(self, sid: int, tags=None) -> None:
         """Promote a bin to mature when all data slots are occupied and
         no unsealed multi-replica can still grow inside it."""
-        tags = self.placement.server(sid).tags
+        if tags is None:
+            tags = self.placement.server(sid).tags
         mature = (tags[TAG_SLOTS_FILLED] >= tags[TAG_CLASS]
                   and not tags[TAG_ACTIVE_MULTI])
         tags[TAG_MATURE] = mature
@@ -251,7 +255,8 @@ class CubeFit(OnlinePlacementAlgorithm):
             for replica, sid in zip(replicas, sids):
                 if not robust_after_placement(
                         self.placement, sid, replica.load,
-                        chosen=list(placed), failures=self.gamma - 1):
+                        chosen=list(placed), failures=self.gamma - 1,
+                        obs=self._obs):
                     ok = False
                     break
                 self.placement.place(replica, sid)

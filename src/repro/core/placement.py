@@ -358,6 +358,21 @@ class PlacementState:
         """All servers sharing at least one tenant with ``server_id``."""
         return dict(self._shared[server_id])
 
+    def shared_partners_view(self, server_id: int) -> Dict[int, float]:
+        """Live (uncopied) shared-load mapping of ``server_id``.
+
+        The result aliases the internal index and mutates with the
+        placement; callers must treat it as **read-only** and must not
+        hold it across mutations.  Hot paths
+        (:func:`~repro.algorithms.base.worst_shared_sum`) use this to
+        avoid one dict copy per feasibility probe; everything else
+        should prefer :meth:`shared_partners`.
+        """
+        try:
+            return self._shared[server_id]
+        except KeyError:
+            raise PlacementError(f"no such server: {server_id}") from None
+
     def worst_failover_load(self, server_id: int,
                             failures: Optional[int] = None) -> float:
         """Upper bound on load redirected to ``server_id``.

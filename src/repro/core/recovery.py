@@ -177,7 +177,8 @@ class RecoveryPlanner:
         for server in candidates:
             if robust_after_placement(self.placement, server.server_id,
                                       replica.load, chosen,
-                                      failures=self.failures):
+                                      failures=self.failures,
+                                      obs=self._obs):
                 return server.server_id, False
         fresh = self.placement.open_server()
         return fresh.server_id, True

@@ -37,6 +37,10 @@ class Server:
     #: Algorithm-specific annotations (e.g. CUBEFIT bin class, maturity).
     tags: Dict[str, Any] = field(default_factory=dict)
     _load: float = 0.0
+    #: Ids of hosted tenants (each tenant has at most one replica per
+    #: server, so a set mirrors ``replicas`` exactly); kept in sync by
+    #: :meth:`add`/:meth:`remove` for O(1) distinctness checks.
+    _tenants: set = field(default_factory=set)
 
     @property
     def load(self) -> float:
@@ -50,12 +54,12 @@ class Server:
 
     @property
     def tenant_ids(self) -> set:
-        """Ids of tenants with a replica on this server."""
-        return {tenant_id for tenant_id, _ in self.replicas}
+        """Ids of tenants with a replica on this server (a copy)."""
+        return set(self._tenants)
 
     def hosts_tenant(self, tenant_id: int) -> bool:
         """Whether any replica of ``tenant_id`` lives here."""
-        return any(tid == tenant_id for tid, _ in self.replicas)
+        return tenant_id in self._tenants
 
     def add(self, replica: Replica) -> None:
         """Host ``replica``.
@@ -68,7 +72,7 @@ class Server:
         CapacityError
             If hosting the replica would exceed the server capacity.
         """
-        if self.hosts_tenant(replica.tenant_id):
+        if replica.tenant_id in self._tenants:
             raise PlacementError(
                 f"server {self.server_id} already hosts a replica of "
                 f"tenant {replica.tenant_id}")
@@ -77,6 +81,7 @@ class Server:
                 f"server {self.server_id}: load {self._load:.6f} + replica "
                 f"{replica.load:.6f} exceeds capacity {self.capacity}")
         self.replicas[replica.key] = replica
+        self._tenants.add(replica.tenant_id)
         self._load += replica.load
 
     def remove(self, key: ReplicaKey) -> Replica:
@@ -93,6 +98,7 @@ class Server:
             raise PlacementError(
                 f"server {self.server_id} does not host replica {key}"
             ) from None
+        self._tenants.discard(replica.tenant_id)
         self._load -= replica.load
         if -1e-9 < self._load < 0.0:
             # Clamp float drift; leave genuinely negative loads visible

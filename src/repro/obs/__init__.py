@@ -29,12 +29,12 @@ from typing import Optional
 from .journal import (EventJournal, JournalEvent, ReplaySummary,
                       iter_jsonl, read_journal, replay)
 from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
-                      MetricsRegistry, merge_snapshots)
+                      MetricsRegistry, absorb_snapshot, merge_snapshots)
 from .spans import current_span, span
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "DEFAULT_BUCKETS", "merge_snapshots",
+    "DEFAULT_BUCKETS", "merge_snapshots", "absorb_snapshot",
     "span", "current_span",
     "EventJournal", "JournalEvent", "ReplaySummary",
     "read_journal", "iter_jsonl", "replay",

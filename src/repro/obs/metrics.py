@@ -226,6 +226,59 @@ class MetricsRegistry:
         return metrics_table(self.snapshot())
 
 
+def absorb_snapshot(registry: MetricsRegistry,
+                    snapshot: Dict[str, Dict[str, object]]) -> None:
+    """Fold a :meth:`MetricsRegistry.snapshot` into a live registry.
+
+    The additive counterpart of :func:`merge_snapshots` for the
+    parallel experiment engine: each worker process runs with its own
+    registry and ships a snapshot home, and the parent absorbs them in
+    a deterministic order so the merged registry is bit-identical to a
+    serial run.
+
+    * counters are summed,
+    * gauges take the snapshot's value (last absorb wins),
+    * histograms are merged bucket-wise — which requires the snapshot's
+      bucket bounds to match any live histogram of the same name.
+
+    Raises
+    ------
+    ConfigurationError
+        On a name registered as a different metric kind, or a histogram
+        bucket-layout mismatch.
+    """
+    for name, data in snapshot.items():
+        kind = data.get("type")
+        if kind == "counter":
+            registry.counter(name).inc(int(data["value"]))
+        elif kind == "gauge":
+            registry.gauge(name).set(float(data["value"]))
+        elif kind == "histogram":
+            if int(data["count"]) == 0:
+                # Touch the name so it exists, but an empty histogram
+                # has no min/max/buckets worth merging.
+                registry.histogram(name)
+                continue
+            buckets = data["buckets"]
+            bounds = tuple(float(b) for b in buckets)
+            histogram = registry.histogram(name, bounds)
+            if histogram.buckets != bounds:
+                raise ConfigurationError(
+                    f"histogram {name!r}: cannot absorb snapshot with "
+                    f"bounds {bounds} into live bounds "
+                    f"{histogram.buckets}")
+            for index, count in enumerate(buckets.values()):
+                histogram.counts[index] += int(count)
+            histogram.counts[-1] += int(data["overflow"])
+            histogram.count += int(data["count"])
+            histogram.total += float(data["total"])
+            histogram.min = min(histogram.min, float(data["min"]))
+            histogram.max = max(histogram.max, float(data["max"]))
+        else:
+            raise ConfigurationError(
+                f"metric {name!r}: unknown snapshot type {kind!r}")
+
+
 def merge_snapshots(snapshots: Iterable[Dict[str, Dict[str, object]]]
                     ) -> Dict[str, Dict[str, object]]:
     """Sum counters across snapshots (gauges/histograms keep the last).

@@ -1,0 +1,12 @@
+"""``repro.par`` — deterministic parallel experiment engine.
+
+:func:`pmap` fans independent experiment items (sweep points, seeds,
+comparison runs) out over forked worker processes and guarantees the
+outcome — results *and* merged observability — is bit-identical to
+running the same items serially.  See :mod:`repro.par.pool` for the
+design notes.
+"""
+
+from .pool import (derive_seed, fork_available, pmap, validate_jobs)
+
+__all__ = ["pmap", "validate_jobs", "fork_available", "derive_seed"]

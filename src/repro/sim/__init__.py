@@ -8,13 +8,15 @@ from .scenarios import (ScaleProfile, current_scale, FULL_SCALE,
 from .runner import (RunStats, ComparisonResult, run_once, compare,
                      AlgorithmFactory)
 from .timing import ScalingPoint, ScalingStudy, scaling_study
-from .churn import (ChurnConfig, ChurnSample, ChurnResult, run_churn)
+from .churn import (ChurnConfig, ChurnSample, ChurnResult, run_churn,
+                    run_churn_seeds)
 from .sensitivity import (SensitivityPoint, SensitivityCurve,
                           mu_sensitivity, k_sensitivity, DEFAULT_MUS,
                           DEFAULT_KS)
 from .elasticity import (ElasticityConfig, ElasticityResult,
                          run_elasticity)
-from .soak import SoakConfig, SoakResult, run_soak, DEFAULT_MIX
+from .soak import (SoakConfig, SoakResult, run_soak, run_soak_seeds,
+                   DEFAULT_MIX)
 from .figures import (figure5, figure6, table1, theorem2, fill_cluster,
                       FilledCluster, Figure5Result, Figure6Result,
                       Table1Result, Theorem2Result, Figure5Row,
@@ -32,8 +34,9 @@ __all__ = [
     "Figure6Row", "Table1Row", "Theorem2Row", "figure5_configurations",
     "THEOREM2_KS", "ScalingPoint", "ScalingStudy", "scaling_study",
     "ChurnConfig", "ChurnSample", "ChurnResult", "run_churn",
+    "run_churn_seeds",
     "SensitivityPoint", "SensitivityCurve", "mu_sensitivity",
     "k_sensitivity", "DEFAULT_MUS", "DEFAULT_KS", "ElasticityConfig",
     "ElasticityResult", "run_elasticity", "SoakConfig", "SoakResult",
-    "run_soak", "DEFAULT_MIX",
+    "run_soak", "run_soak_seeds", "DEFAULT_MIX",
 ]

@@ -1,0 +1,229 @@
+"""Canonical placement-speed bench scenarios and baseline checking.
+
+One place defines the benched algorithm lineup (:data:`FACTORIES`), the
+timing protocol (:func:`time_scenario`), the feasibility fast-path
+profile (:func:`feasibility_profile`) and the baseline tolerance check
+(:func:`check_against_baseline`).  Both front-ends —
+``tools/run_bench.py`` (writes ``BENCH_placement.json``) and
+``benchmarks/bench_placement_speed.py`` (pytest-benchmark) — import
+from here so the committed baseline and the pytest bench can never
+drift apart on what "the cubefit scenario" means.
+
+Timings are machine-dependent; ``servers`` and ``utilization`` are
+deterministic and meaningful to diff, as are the
+``feasibility.screened`` / ``feasibility.exact`` counters — the
+screened fast path must answer the same placements with strictly fewer
+exact top-``f`` evaluations, and the recorded ratio is the proof.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..algorithms.base import OnlinePlacementAlgorithm
+from ..algorithms.naive import (RobustBestFit, RobustFirstFit,
+                                RobustNextFit)
+from ..algorithms.rfi import RFI
+from ..core.cubefit import CubeFit
+from ..errors import ConfigurationError
+from ..obs import MetricsRegistry
+from ..par import pmap
+from ..workloads.distributions import UniformLoad
+from ..workloads.sequences import generate_sequence
+
+BENCH_FORMAT = "repro-bench"
+BENCH_VERSION = 2
+
+#: The benched lineup.  Keys are scenario names in the baseline file.
+FACTORIES: Dict[str, Callable[[], OnlinePlacementAlgorithm]] = {
+    "cubefit": lambda: CubeFit(gamma=2, num_classes=10),
+    "rfi": lambda: RFI(gamma=2),
+    "bestfit": lambda: RobustBestFit(gamma=2),
+    "firstfit": lambda: RobustFirstFit(gamma=2),
+    "nextfit": lambda: RobustNextFit(gamma=2),
+}
+
+#: Tenant counts timed by default: the historical 2k scenario plus a
+#: 10k scenario that stresses the screened fast path at fleet scale.
+DEFAULT_SCALES: Sequence[int] = (2000, 10000)
+DEFAULT_ROUNDS = 3
+BENCH_SEED = 0
+BENCH_DISTRIBUTION_MAX = 0.6
+
+
+def bench_sequence(n_tenants: int):
+    """The bench workload: ``Uniform(0, 0.6]`` loads, fixed seed."""
+    return generate_sequence(UniformLoad(BENCH_DISTRIBUTION_MAX),
+                             n_tenants, seed=BENCH_SEED)
+
+
+def time_scenario(factory: Callable[[], OnlinePlacementAlgorithm],
+                  sequence, rounds: int = DEFAULT_ROUNDS) -> Dict:
+    """Consolidate ``sequence`` ``rounds`` times on fresh instances.
+
+    ``tenants_per_second`` uses the *fastest* round: consolidation is
+    deterministic compute, so the minimum is the least-noise estimate
+    on a shared machine, while ``seconds_mean`` keeps the noisy average
+    for context.
+    """
+    if rounds < 1:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+    seconds: List[float] = []
+    algo = None
+    for _ in range(rounds):
+        algo = factory()
+        start = time.perf_counter()
+        algo.consolidate(sequence)
+        seconds.append(time.perf_counter() - start)
+    mean = sum(seconds) / len(seconds)
+    return {
+        "seconds_mean": round(mean, 6),
+        "seconds_min": round(min(seconds), 6),
+        "tenants_per_second": round(len(sequence) / max(min(seconds),
+                                                        1e-9)),
+        "servers": algo.placement.num_servers,
+        "utilization": round(algo.placement.utilization(), 4),
+    }
+
+
+def feasibility_profile(factory: Callable[[], OnlinePlacementAlgorithm],
+                        sequence) -> Dict:
+    """Screened-vs-exact feasibility counters for one consolidation.
+
+    Returns ``{"screened": n, "exact": m, "screened_fraction": f}`` —
+    the fraction of single-placement feasibility decisions the bound
+    screen answered without an exact top-``f`` evaluation.
+    """
+    registry = MetricsRegistry()
+    algo = factory()
+    algo.attach_obs(registry)
+    algo.consolidate(sequence)
+    snapshot = registry.snapshot()
+    screened = int(snapshot.get("feasibility.screened",
+                                {"value": 0})["value"])
+    exact = int(snapshot.get("feasibility.exact",
+                             {"value": 0})["value"])
+    checks = screened + exact
+    return {
+        "screened": screened,
+        "exact": exact,
+        "screened_fraction": round(screened / checks, 4) if checks
+        else 0.0,
+    }
+
+
+def run_bench(scales: Sequence[int] = DEFAULT_SCALES,
+              rounds: int = DEFAULT_ROUNDS,
+              jobs: int = 1,
+              names: Optional[Sequence[str]] = None,
+              progress: Optional[Callable[[str], None]] = None) -> Dict:
+    """Time every scenario at every scale; return the v2 payload.
+
+    ``jobs > 1`` times the scenarios of each scale on a forked worker
+    pool — each worker times in its own process, so wall-clock drops
+    while the deterministic fields (servers, utilization, feasibility
+    counters) are unaffected.  On a loaded or single-core machine keep
+    ``jobs=1`` for the least-noise timings.
+
+    The payload keeps the v1 keys (``n_tenants`` + ``scenarios``)
+    aliased to the *first* scale so existing diff tooling keeps
+    working, and adds per-scale sections plus the feasibility
+    screened/exact ratios.
+    """
+    if not scales:
+        raise ConfigurationError("no scales to bench")
+    chosen = sorted(names) if names else sorted(FACTORIES)
+    unknown = set(chosen) - set(FACTORIES)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown bench scenarios: {sorted(unknown)}")
+    say = progress if progress is not None else (lambda line: None)
+    per_scale: Dict[str, Dict] = {}
+    feasibility: Dict[str, Dict] = {}
+    for n_tenants in scales:
+        sequence = bench_sequence(n_tenants)
+
+        def one_scenario(name: str, _obs) -> Dict:
+            timing = time_scenario(FACTORIES[name], sequence, rounds)
+            timing["feasibility"] = feasibility_profile(
+                FACTORIES[name], sequence)
+            return timing
+
+        timed = pmap(one_scenario, chosen, jobs=jobs)
+        scale_key = str(n_tenants)
+        per_scale[scale_key] = {}
+        feasibility[scale_key] = {}
+        for name, timing in zip(chosen, timed):
+            feasibility[scale_key][name] = timing.pop("feasibility")
+            per_scale[scale_key][name] = timing
+            fp = feasibility[scale_key][name]
+            say(f"[{n_tenants}] {name:>9}: "
+                f"{timing['tenants_per_second']:>8,} tenants/s  "
+                f"{timing['servers']:>5} servers  "
+                f"util {timing['utilization']:.4f}  "
+                f"screened {fp['screened_fraction']:.1%}")
+    first_key = str(scales[0])
+    return {
+        "format": BENCH_FORMAT,
+        "version": BENCH_VERSION,
+        "rounds": rounds,
+        "seed": BENCH_SEED,
+        "distribution": f"uniform(0,{BENCH_DISTRIBUTION_MAX}]",
+        "n_tenants": scales[0],
+        "scenarios": per_scale[first_key],
+        "scales": per_scale,
+        "feasibility": feasibility,
+    }
+
+
+def check_against_baseline(payload: Dict, baseline: Dict,
+                           slowdown_tolerance: float = 3.0
+                           ) -> List[str]:
+    """Compare a fresh bench run against a committed baseline.
+
+    Returns a list of problems (empty = pass):
+
+    * packing quality — ``servers`` and ``utilization`` — must match
+      the baseline *exactly* (consolidation is deterministic; any drift
+      is a behaviour change, not noise);
+    * throughput must not be more than ``slowdown_tolerance`` times
+      slower than the baseline (a deliberately loose floor: timings on
+      shared CI boxes are noisy, and the check is meant to catch a
+      10x-regression bug, not a 10% wobble).
+
+    Scales and scenarios present in only one of the two payloads are
+    skipped — a baseline predating a new scale stays usable.
+    """
+    if slowdown_tolerance <= 1.0:
+        raise ConfigurationError(
+            f"slowdown_tolerance must be > 1, got {slowdown_tolerance}")
+    problems: List[str] = []
+    base_scales = baseline.get("scales") \
+        or {str(baseline.get("n_tenants")): baseline.get("scenarios", {})}
+    new_scales = payload.get("scales") \
+        or {str(payload.get("n_tenants")): payload.get("scenarios", {})}
+    for scale_key, base_scenarios in sorted(base_scales.items()):
+        new_scenarios = new_scales.get(scale_key)
+        if new_scenarios is None:
+            continue
+        for name, base in sorted(base_scenarios.items()):
+            fresh = new_scenarios.get(name)
+            if fresh is None:
+                continue
+            where = f"[{scale_key}] {name}"
+            if fresh["servers"] != base["servers"]:
+                problems.append(
+                    f"{where}: servers {fresh['servers']} != baseline "
+                    f"{base['servers']}")
+            if abs(fresh["utilization"] - base["utilization"]) > 5e-5:
+                problems.append(
+                    f"{where}: utilization {fresh['utilization']} != "
+                    f"baseline {base['utilization']}")
+            floor = base["tenants_per_second"] / slowdown_tolerance
+            if fresh["tenants_per_second"] < floor:
+                problems.append(
+                    f"{where}: {fresh['tenants_per_second']} tenants/s "
+                    f"is more than {slowdown_tolerance:g}x slower than "
+                    f"baseline {base['tenants_per_second']}")
+    return problems

@@ -15,8 +15,8 @@ query-level dynamics (that is :mod:`repro.cluster`'s job).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -259,6 +259,33 @@ def run_churn(factory: Callable[[], OnlinePlacementAlgorithm],
                  gated, checkpoint_every=checkpoint_every)
     _finish_churn(algorithm, state, cfg, result, gated)
     return result
+
+
+def run_churn_seeds(factory: Callable[[], OnlinePlacementAlgorithm],
+                    distribution: LoadDistribution,
+                    seeds: Sequence[int],
+                    config: Optional[ChurnConfig] = None,
+                    jobs: int = 1,
+                    obs=None) -> List[ChurnResult]:
+    """Run one churn timeline per seed, optionally on a worker pool.
+
+    Each seed runs ``run_churn`` with ``replace(config, seed=seed)``;
+    results come back in seed order and are bit-identical at any
+    ``jobs``.  Per-run metrics recorded against ``obs`` are merged in
+    seed order via :func:`repro.par.pmap`.  Durable stores are not
+    supported here — a store serializes one run's WAL, not a fan-out.
+    """
+    from ..par import pmap
+    if not seeds:
+        raise ConfigurationError("no seeds to run")
+    cfg = config if config is not None else ChurnConfig()
+
+    def one_seed(seed: int, run_obs) -> ChurnResult:
+        return run_churn(factory, distribution,
+                         config=replace(cfg, seed=int(seed)),
+                         obs=run_obs)
+
+    return pmap(one_seed, seeds, jobs=jobs, obs=obs)
 
 
 def run_churn_with_crash(factory: Callable[[],

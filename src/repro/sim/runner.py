@@ -24,6 +24,7 @@ from ..analysis.stats import (ConfidenceInterval, confidence_interval_95,
 from ..core.tenant import TenantSequence
 from ..core.validation import audit
 from ..errors import ConfigurationError
+from ..par import pmap
 from ..workloads.distributions import LoadDistribution
 from ..workloads.sequences import generate_sequence
 
@@ -115,9 +116,20 @@ def compare(factories: Dict[str, AlgorithmFactory],
             distribution: LoadDistribution,
             n_tenants: int, runs: int,
             base_seed: int = 0,
-            verify: bool = False) -> ComparisonResult:
+            verify: bool = False,
+            jobs: int = 1,
+            obs=None) -> ComparisonResult:
     """Paired comparison: every algorithm sees the same ``runs``
-    independent sequences (seeds ``base_seed .. base_seed+runs-1``)."""
+    independent sequences (seeds ``base_seed .. base_seed+runs-1``).
+
+    With ``jobs > 1`` the repetitions fan out over a forked worker
+    pool (:func:`repro.par.pmap`), one worker per run; each worker
+    regenerates its sequence from the same seed the serial loop would
+    use and results are folded back in run order, so the aggregate is
+    bit-identical at any ``jobs``.  Server counts, wall seconds and
+    utilizations are keyed by the factory-dict name exactly as in the
+    serial path.
+    """
     if runs < 1:
         raise ConfigurationError(f"runs must be >= 1, got {runs}")
     if not factories:
@@ -128,11 +140,15 @@ def compare(factories: Dict[str, AlgorithmFactory],
         result.servers[name] = []
         result.seconds[name] = []
         result.utilization[name] = []
-    for run_index in range(runs):
-        seed = base_seed + run_index
-        sequence = generate_sequence(distribution, n_tenants, seed=seed)
-        for name, factory in factories.items():
-            stats = run_once(factory, sequence, verify=verify)
+
+    def one_run(run_index: int, run_obs) -> List[RunStats]:
+        sequence = generate_sequence(distribution, n_tenants,
+                                     seed=base_seed + run_index)
+        return [run_once(factory, sequence, verify=verify, obs=run_obs)
+                for factory in factories.values()]
+
+    for per_run in pmap(one_run, range(runs), jobs=jobs, obs=obs):
+        for name, stats in zip(factories, per_run):
             result.servers[name].append(stats.servers)
             result.seconds[name].append(stats.placement_seconds)
             result.utilization[name].append(stats.utilization)

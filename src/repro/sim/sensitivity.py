@@ -22,6 +22,7 @@ from ..algorithms.rfi import RFI
 from ..analysis.report import Table
 from ..core.cubefit import CubeFit
 from ..errors import ConfigurationError
+from ..par import pmap
 from ..workloads.distributions import LoadDistribution
 from ..workloads.sequences import generate_sequence
 
@@ -75,21 +76,33 @@ def mu_sensitivity(distribution: LoadDistribution,
                    n_tenants: int = 2000,
                    mus: Sequence[float] = DEFAULT_MUS,
                    gamma: int = 2,
-                   seed: int = 0) -> SensitivityCurve:
-    """Sweep RFI's interleaving threshold over one workload."""
+                   seed: int = 0,
+                   jobs: int = 1,
+                   obs=None) -> SensitivityCurve:
+    """Sweep RFI's interleaving threshold over one workload.
+
+    ``jobs > 1`` runs the sweep points on a forked worker pool
+    (:func:`repro.par.pmap`); every point consolidates the same
+    seed-generated sequence in its own process, so the curve is
+    bit-identical at any ``jobs``.
+    """
     if not mus:
         raise ConfigurationError("no mu values to sweep")
     sequence = generate_sequence(distribution, n_tenants, seed=seed)
     curve = SensitivityCurve(parameter_name="mu",
                              distribution=distribution.name,
                              tenants=n_tenants)
-    for mu in mus:
+
+    def measure(mu: float, point_obs) -> SensitivityPoint:
         algo = RFI(gamma=gamma, mu=mu)
+        algo.attach_obs(point_obs)
         algo.consolidate(sequence)
-        curve.points.append(SensitivityPoint(
+        return SensitivityPoint(
             parameter=mu,
             servers=algo.placement.num_servers,
-            utilization=algo.placement.utilization()))
+            utilization=algo.placement.utilization())
+
+    curve.points.extend(pmap(measure, mus, jobs=jobs, obs=obs))
     return curve
 
 
@@ -100,19 +113,29 @@ def k_sensitivity(distribution: LoadDistribution,
                   n_tenants: int = 2000,
                   ks: Sequence[int] = DEFAULT_KS,
                   gamma: int = 2,
-                  seed: int = 0) -> SensitivityCurve:
-    """Sweep CUBEFIT's class count over one workload."""
+                  seed: int = 0,
+                  jobs: int = 1,
+                  obs=None) -> SensitivityCurve:
+    """Sweep CUBEFIT's class count over one workload.
+
+    Parallelizes exactly like :func:`mu_sensitivity`: one worker per
+    ``K``, bit-identical results at any ``jobs``.
+    """
     if not ks:
         raise ConfigurationError("no K values to sweep")
     sequence = generate_sequence(distribution, n_tenants, seed=seed)
     curve = SensitivityCurve(parameter_name="K",
                              distribution=distribution.name,
                              tenants=n_tenants)
-    for k in ks:
+
+    def measure(k: int, point_obs) -> SensitivityPoint:
         algo = CubeFit(gamma=gamma, num_classes=k)
+        algo.attach_obs(point_obs)
         algo.consolidate(sequence)
-        curve.points.append(SensitivityPoint(
+        return SensitivityPoint(
             parameter=float(k),
             servers=algo.placement.num_servers,
-            utilization=algo.placement.utilization()))
+            utilization=algo.placement.utilization())
+
+    curve.points.extend(pmap(measure, ks, jobs=jobs, obs=obs))
     return curve

@@ -17,8 +17,8 @@ Run via ``python -m repro soak`` or directly::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -270,6 +270,32 @@ def run_soak(factory: Callable[[], OnlinePlacementAlgorithm],
         driver.step(op_index)
     driver.finish()
     return result
+
+
+def run_soak_seeds(factory: Callable[[], OnlinePlacementAlgorithm],
+                   seeds: Sequence[int],
+                   config: Optional[SoakConfig] = None,
+                   jobs: int = 1,
+                   obs=None) -> List[SoakResult]:
+    """Run one soak per seed, optionally on a forked worker pool.
+
+    Each seed runs ``run_soak`` with ``replace(config, seed=seed)``;
+    results come back in seed order and are bit-identical at any
+    ``jobs`` (every run re-derives its stream from its own seed).
+    Per-run metrics recorded against ``obs`` are merged in seed order
+    via :func:`repro.par.pmap`.  Durable stores are not supported here
+    — a store serializes one run's WAL, not a fan-out.
+    """
+    from ..par import pmap
+    if not seeds:
+        raise ConfigurationError("no seeds to run")
+    cfg = config if config is not None else SoakConfig()
+
+    def one_seed(seed: int, run_obs) -> SoakResult:
+        return run_soak(factory, config=replace(cfg, seed=int(seed)),
+                        obs=run_obs)
+
+    return pmap(one_seed, seeds, jobs=jobs, obs=obs)
 
 
 @dataclass

@@ -15,6 +15,31 @@ class TestArgumentParsing:
         with pytest.raises(SystemExit):
             cli.main([])
 
+    @pytest.mark.parametrize("jobs", ["0", "-3"])
+    def test_invalid_jobs_one_line_error_exit_1(self, jobs, capsys):
+        # ReproError convention: one line on stderr, exit code 1,
+        # never a traceback.
+        assert cli.main(["sweep", "--jobs", jobs]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("repro: error:")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_invalid_tenants_one_line_error_exit_1(self, capsys):
+        assert cli.main(["bench", "--tenants", "0"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("repro: error:")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_jobs_validated_before_any_command_runs(self, monkeypatch,
+                                                    capsys):
+        calls = []
+        for name in list(cli._COMMANDS):
+            monkeypatch.setitem(cli._COMMANDS, name,
+                                lambda args, n=name: calls.append(n))
+        assert cli.main(["all", "--jobs", "0"]) == 1
+        assert calls == []
+
 
 class TestDispatch:
     def test_theorem2_stub(self, monkeypatch, capsys):

@@ -175,3 +175,68 @@ class TestServerIndex:
             idx.track(s.server_id)
         assert idx.level(1400) == 0.0
         assert len(idx.candidates(min_avail=0.5)) == 1500
+
+    @pytest.mark.parametrize("container", [list, tuple, set, frozenset])
+    def test_exclude_accepts_any_container(self, container):
+        ps = placed(gamma=2, servers=3)
+        idx = ServerIndex(ps, failures=1)
+        for sid in (0, 1, 2):
+            idx.track(sid)
+        assert idx.candidates(min_avail=0.0,
+                              exclude=container((0, 2))) == [1]
+
+    def test_single_survivor_skips_sort(self):
+        # The single-survivor fast path must return the same answer the
+        # general path would: the one id, regardless of its level.
+        ps = placed(gamma=2, servers=3)
+        idx = ServerIndex(ps, failures=1)
+        for sid in (0, 1, 2):
+            idx.track(sid)
+        ps.place_tenant(Tenant(0, 0.9), [0, 1])  # only 2 stays wide open
+        assert idx.candidates(min_avail=0.6) == [2]
+        assert idx.candidates(min_avail=0.0, exclude={0, 2}) == [1]
+
+    def test_ineligible_servers_defer_recomputation(self):
+        """Mutations while ineligible must not be lost: flipping a server
+        eligible again surfaces its *current* state, even though the
+        index skipped it on every intermediate sync."""
+        ps = placed(gamma=2, servers=3)
+        idx = ServerIndex(ps, failures=1)
+        idx.track(0, eligible=True)
+        idx.track(1, eligible=False)
+        idx.track(2, eligible=True)
+        ps.place_tenant(Tenant(0, 0.6), [1, 2])   # mutates ineligible 1
+        ps.place_tenant(Tenant(1, 0.2), [1, 0])   # ... twice
+        assert 1 not in idx.candidates(min_avail=0.0)
+        idx.set_eligible(1, True)
+        # level reflects both placements, avail the true slack.
+        assert idx.level(1) == pytest.approx(0.4)
+        expected = 1.0 - 0.4 - ps.worst_failover_load(1, 1)
+        assert idx.avail(1) == pytest.approx(expected)
+        assert 1 in idx.candidates(min_avail=0.0)
+
+    def test_avail_and_level_exact_while_ineligible(self):
+        """Reads bypass the eligibility sentinel: an ineligible server
+        still reports its true load and slack, never -inf."""
+        ps = placed(gamma=2, servers=2)
+        idx = ServerIndex(ps, failures=1)
+        idx.track(0, eligible=False)
+        idx.track(1, eligible=True)
+        ps.place_tenant(Tenant(0, 0.5), [0, 1])
+        assert idx.level(0) == pytest.approx(0.25)
+        expected = 1.0 - 0.25 - ps.worst_failover_load(0, 1)
+        assert idx.avail(0) == pytest.approx(expected)
+        assert idx.avail(0) > float("-inf")
+
+    def test_eligibility_toggle_is_idempotent(self):
+        ps = placed(gamma=2, servers=2)
+        idx = ServerIndex(ps, failures=1)
+        idx.track(0)
+        idx.track(1)
+        before = idx.candidates(min_avail=0.0)
+        idx.set_eligible(0, True)   # no-op: already eligible
+        idx.set_eligible(1, False)
+        idx.set_eligible(1, False)  # no-op: already ineligible
+        assert idx.candidates(min_avail=0.0) == [0]
+        idx.set_eligible(1, True)
+        assert sorted(idx.candidates(min_avail=0.0)) == sorted(before)

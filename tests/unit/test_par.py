@@ -1,0 +1,160 @@
+"""Unit tests for the parallel experiment engine (repro.par)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import EventJournal, MetricsRegistry, absorb_snapshot
+from repro.par import derive_seed, fork_available, pmap, validate_jobs
+from repro.par import pool as par_pool
+
+
+def square(item, obs):
+    if obs is not None:
+        obs.counter("calls").inc()
+        obs.histogram("value", (1.0, 10.0)).observe(float(item))
+        obs.emit("squared", item=item)
+    return item * item
+
+
+class TestValidateJobs:
+    def test_accepts_positive_integers(self):
+        assert validate_jobs(1) == 1
+        assert validate_jobs(16) == 16
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "2", None, True, False])
+    def test_rejects_non_positive_and_non_int(self, bad):
+        with pytest.raises(ConfigurationError):
+            validate_jobs(bad)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, 3) == derive_seed(7, 3)
+
+    def test_varies_with_index_and_base(self):
+        seeds = {derive_seed(base, index)
+                 for base in range(4) for index in range(16)}
+        assert len(seeds) == 4 * 16
+
+    def test_plain_int(self):
+        assert isinstance(derive_seed(0, 0), int)
+
+
+class TestPmap:
+    def test_results_in_item_order(self):
+        assert pmap(square, [3, 1, 2], jobs=1) == [9, 1, 4]
+        if fork_available():
+            assert pmap(square, [3, 1, 2], jobs=3) == [9, 1, 4]
+
+    def test_empty_items(self):
+        assert pmap(square, [], jobs=4) == []
+
+    def test_single_item_runs_inline(self):
+        assert pmap(square, [5], jobs=8) == [25]
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ConfigurationError):
+            pmap(square, [1, 2], jobs=0)
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_obs_identical_across_jobs(self, jobs):
+        registry = MetricsRegistry(journal=EventJournal())
+        results = pmap(square, [1, 2, 3, 4], jobs=jobs, obs=registry)
+        assert results == [1, 4, 9, 16]
+        snapshot = registry.snapshot()
+        assert snapshot["calls"]["value"] == 4
+        assert snapshot["value"]["count"] == 4
+        assert snapshot["value"]["total"] == 10.0
+        assert snapshot["value"]["min"] == 1.0
+        assert snapshot["value"]["max"] == 4.0
+        events = [(e.type, e.data) for e in registry.journal]
+        assert events == [("squared", {"item": i}) for i in (1, 2, 3, 4)]
+        # Re-emitted events are renumbered coherently by the parent.
+        assert [e.seq for e in registry.journal] == [0, 1, 2, 3]
+
+    def test_without_obs_fn_sees_none(self):
+        seen = []
+
+        def spy(item, obs):
+            seen.append(obs)
+            return item
+
+        pmap(spy, [1, 2], jobs=1)
+        assert seen == [None, None]
+
+    def test_exceptions_propagate_serial_and_parallel(self):
+        def boom(item, obs):
+            raise ValueError(f"item {item}")
+
+        with pytest.raises(ValueError):
+            pmap(boom, [1, 2], jobs=1)
+        if fork_available():
+            with pytest.raises(ValueError):
+                pmap(boom, [1, 2], jobs=2)
+
+    def test_nested_pmap_degrades_to_serial(self, monkeypatch):
+        # Simulate being inside a worker: nesting must not fork again.
+        monkeypatch.setattr(par_pool, "_IN_WORKER", True)
+        assert pmap(square, [2, 3], jobs=4) == [4, 9]
+
+    def test_lambda_and_closure_items_work_parallel(self):
+        if not fork_available():
+            pytest.skip("no fork on this platform")
+        offset = 10
+        results = pmap(lambda item, obs: item + offset, [1, 2, 3],
+                       jobs=2)
+        assert results == [11, 12, 13]
+
+
+class TestAbsorbSnapshot:
+    def test_counters_sum_gauges_overwrite(self):
+        source = MetricsRegistry()
+        source.counter("c").inc(3)
+        source.gauge("g").set(1.5)
+        target = MetricsRegistry()
+        target.counter("c").inc(2)
+        absorb_snapshot(target, source.snapshot())
+        absorb_snapshot(target, source.snapshot())
+        assert target.counter("c").value == 8
+        assert target.gauge("g").value == 1.5
+
+    def test_histograms_merge_bucketwise(self):
+        source = MetricsRegistry()
+        histogram = source.histogram("h", (1.0, 2.0))
+        for value in (0.5, 1.5, 99.0):
+            histogram.observe(value)
+        target = MetricsRegistry()
+        target.histogram("h", (1.0, 2.0)).observe(1.2)
+        absorb_snapshot(target, source.snapshot())
+        merged = target.histogram("h")
+        assert merged.count == 4
+        assert merged.counts == [1, 2, 1]
+        assert merged.min == 0.5
+        assert merged.max == 99.0
+        assert merged.total == pytest.approx(0.5 + 1.5 + 99.0 + 1.2)
+
+    def test_empty_histogram_does_not_pollute_min_max(self):
+        source = MetricsRegistry()
+        source.histogram("h", (1.0,))
+        target = MetricsRegistry()
+        target.histogram("h", (1.0,)).observe(5.0)
+        absorb_snapshot(target, source.snapshot())
+        merged = target.histogram("h")
+        assert merged.count == 1
+        assert merged.min == 5.0
+
+    def test_bucket_mismatch_raises(self):
+        source = MetricsRegistry()
+        source.histogram("h", (1.0, 2.0)).observe(0.5)
+        target = MetricsRegistry()
+        target.histogram("h", (5.0,)).observe(0.5)
+        with pytest.raises(ConfigurationError):
+            absorb_snapshot(target, source.snapshot())
+
+    def test_kind_mismatch_raises(self):
+        source = MetricsRegistry()
+        source.counter("x").inc()
+        target = MetricsRegistry()
+        target.gauge("x").set(1.0)
+        with pytest.raises(ConfigurationError):
+            absorb_snapshot(target, source.snapshot())

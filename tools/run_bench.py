@@ -1,101 +1,98 @@
 #!/usr/bin/env python
-"""Run the placement-speed benchmark scenarios and record a baseline.
+"""Run the placement-speed bench scenarios; write or check a baseline.
 
-``benchmarks/bench_placement_speed.py`` measures consolidation wall
-time under pytest-benchmark; this runner re-times the same scenarios
-standalone (no pytest dependency, no statistics plugin) and writes the
-results to ``BENCH_placement.json`` so the bench trajectory can be
+The scenario lineup, timing protocol and tolerance check live in
+:mod:`repro.sim.bench`; this runner is the command-line front-end that
+maintains ``BENCH_placement.json`` so the bench trajectory can be
 diffed commit over commit.
 
 Usage::
 
-    PYTHONPATH=src python tools/run_bench.py [--output BENCH_placement.json]
+    PYTHONPATH=src python tools/run_bench.py              # full run, write
+    PYTHONPATH=src python tools/run_bench.py --jobs 4     # parallel timing
+    PYTHONPATH=src python tools/run_bench.py --quick      # CI smoke: run a
+        # reduced protocol and check against the committed baseline
+        # instead of writing; exits 1 on packing drift or gross slowdown
 
-Environment:
-    REPRO_BENCH_N   sequence length (default 2000, same as the bench).
+The default run times every scenario at 2,000 and 10,000 tenants
+(override with ``--scales``), records screened-vs-exact feasibility
+counters per scenario, and writes the version-2 schema::
 
-The output schema::
+    {"format": "repro-bench", "version": 2, "rounds": ...,
+     "n_tenants": 2000, "scenarios": {...},        # first scale (v1 alias)
+     "scales": {"2000": {...}, "10000": {...}},
+     "feasibility": {"2000": {"cubefit": {"screened": ..., "exact": ...,
+                                          "screened_fraction": ...}}}}
 
-    {"format": "repro-bench", "version": 1, "n_tenants": 2000,
-     "rounds": 3,
-     "scenarios": {"cubefit": {"seconds_mean": ..., "seconds_min": ...,
-                               "tenants_per_second": ...,
-                               "servers": ..., "utilization": ...},
-                   ...}}
-
-Timings are machine-dependent; ``servers`` and ``utilization`` are
-deterministic and meaningful to diff.  A committed baseline therefore
-carries the packing-quality numbers as regression anchors and the
-throughput numbers as order-of-magnitude context.
+``servers``, ``utilization`` and the feasibility counters are
+deterministic and meaningful to diff; throughput numbers are
+machine-dependent context.
 """
 
 import argparse
 import json
-import os
 import sys
-import time
 from pathlib import Path
 
 _ROOT = Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(_ROOT))
 sys.path.insert(0, str(_ROOT / "src"))
 
-from benchmarks.bench_placement_speed import FACTORIES, N_TENANTS  # noqa: E402
-from repro.workloads.distributions import UniformLoad  # noqa: E402
-from repro.workloads.sequences import generate_sequence  # noqa: E402
+from repro.sim.bench import (DEFAULT_ROUNDS, DEFAULT_SCALES,  # noqa: E402
+                             check_against_baseline, run_bench)
 
-BENCH_FORMAT = "repro-bench"
-BENCH_VERSION = 1
-DEFAULT_ROUNDS = 3
-
-
-def time_scenario(factory, sequence, rounds):
-    """Consolidate ``sequence`` ``rounds`` times on fresh instances."""
-    seconds = []
-    algo = None
-    for _ in range(rounds):
-        algo = factory()
-        start = time.perf_counter()
-        algo.consolidate(sequence)
-        seconds.append(time.perf_counter() - start)
-    mean = sum(seconds) / len(seconds)
-    return {
-        "seconds_mean": round(mean, 6),
-        "seconds_min": round(min(seconds), 6),
-        "tenants_per_second": round(len(sequence) / max(mean, 1e-9)),
-        "servers": algo.placement.num_servers,
-        "utilization": round(algo.placement.utilization(), 4),
-    }
-
-
-def run(rounds=DEFAULT_ROUNDS, n_tenants=None):
-    n = n_tenants if n_tenants is not None else N_TENANTS
-    sequence = generate_sequence(UniformLoad(0.6), n, seed=0)
-    scenarios = {}
-    for name in sorted(FACTORIES):
-        scenarios[name] = time_scenario(FACTORIES[name], sequence,
-                                        rounds)
-        print(f"{name:>9}: {scenarios[name]['tenants_per_second']:>8,} "
-              f"tenants/s  {scenarios[name]['servers']:>4} servers  "
-              f"util {scenarios[name]['utilization']:.4f}")
-    return {
-        "format": BENCH_FORMAT,
-        "version": BENCH_VERSION,
-        "n_tenants": n,
-        "rounds": rounds,
-        "scenarios": scenarios,
-    }
+QUICK_SCALES = (2000,)
+QUICK_ROUNDS = 2
 
 
 def main(argv=None):
-    repo_root = Path(__file__).resolve().parent.parent
     parser = argparse.ArgumentParser(
-        description="Time placement algorithms; write a bench baseline.")
+        description="Time placement algorithms; write or check the "
+                    "bench baseline.")
     parser.add_argument("--output", type=Path,
-                        default=repo_root / "BENCH_placement.json")
-    parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS)
+                        default=_ROOT / "BENCH_placement.json")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help=f"timing rounds per scenario "
+                             f"(default {DEFAULT_ROUNDS})")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the scenario fan-out")
+    parser.add_argument("--scales", type=str, default=None,
+                        help="comma-separated tenant counts "
+                             f"(default {','.join(map(str, DEFAULT_SCALES))})")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced protocol + baseline check; does "
+                             "not write the baseline")
+    parser.add_argument("--baseline", type=Path,
+                        default=_ROOT / "BENCH_placement.json",
+                        help="baseline to check --quick runs against")
+    parser.add_argument("--tolerance", type=float, default=3.0,
+                        help="allowed throughput slowdown factor for "
+                             "--quick (default 3.0)")
     args = parser.parse_args(argv)
-    payload = run(rounds=args.rounds)
+
+    if args.scales is not None:
+        scales = tuple(int(s) for s in args.scales.split(","))
+    elif args.quick:
+        scales = QUICK_SCALES
+    else:
+        scales = DEFAULT_SCALES
+    rounds = args.rounds if args.rounds is not None else \
+        (QUICK_ROUNDS if args.quick else DEFAULT_ROUNDS)
+
+    payload = run_bench(scales=scales, rounds=rounds, jobs=args.jobs,
+                        progress=print)
+
+    if args.quick:
+        baseline = json.loads(args.baseline.read_text())
+        problems = check_against_baseline(payload, baseline,
+                                          slowdown_tolerance=args.tolerance)
+        if problems:
+            for problem in problems:
+                print(f"BASELINE CHECK FAILED: {problem}",
+                      file=sys.stderr)
+            return 1
+        print(f"baseline check passed against {args.baseline}")
+        return 0
+
     args.output.write_text(json.dumps(payload, indent=1) + "\n")
     print(f"wrote {args.output}")
     return 0
