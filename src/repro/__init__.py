@@ -40,7 +40,8 @@ from .algorithms.offline import OfflineFirstFitDecreasing, optimal_servers
 from .core.recovery import RecoveryPlanner, RecoveryPlan
 from .errors import (ReproError, ConfigurationError, PlacementError,
                      CapacityError, RobustnessViolation, SimulationError,
-                     CalibrationError)
+                     CalibrationError, FaultInjected, SimulatedCrash)
+from . import faults
 
 __all__ = [
     "__version__",
@@ -61,4 +62,7 @@ __all__ = [
     # errors
     "ReproError", "ConfigurationError", "PlacementError", "CapacityError",
     "RobustnessViolation", "SimulationError", "CalibrationError",
+    "FaultInjected", "SimulatedCrash",
+    # fault injection
+    "faults",
 ]

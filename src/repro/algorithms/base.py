@@ -21,9 +21,10 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
+from .. import faults
 from ..core.placement import PlacementState
-from ..core.tenant import LOAD_EPS, Tenant
-from ..errors import ConfigurationError
+from ..core.tenant import LOAD_EPS, Replica, Tenant
+from ..errors import ConfigurationError, FaultInjected
 
 
 class OnlinePlacementAlgorithm(ABC):
@@ -126,15 +127,34 @@ class OnlinePlacementAlgorithm(ABC):
         crash recovery.
         """
 
+    def _rollback_partial(self, tenant_id: int) -> None:
+        """Unwind whatever replicas of ``tenant_id`` a hook interrupted
+        by an injected fault left behind (fault-transactional place).
+
+        Index-based algorithms heal through the placement's dirty
+        tracker; algorithms with per-tenant side bookkeeping outside
+        the placement (CUBEFIT's multi-replica slots) are only safe
+        against faults at seams that fire *before* the hook mutates
+        anything — see ``docs/testing.md``.
+        """
+        for index, sid in sorted(
+                self.placement.tenant_servers(tenant_id).items()):
+            self.placement.unplace((tenant_id, index), sid)
+
     def place(self, tenant: Tenant) -> Tuple[int, ...]:
         """Place all replicas of ``tenant``; return the server ids used."""
         obs = self._obs
         store = self._store
-        if obs is None and store is None:
+        if obs is None and store is None and not faults.active():
             return self._place(tenant)
+        faults.fire("algo.place")
         before = self.placement.num_servers
         start = time.perf_counter()
-        chosen = self._place(tenant)
+        try:
+            chosen = self._place(tenant)
+        except FaultInjected:
+            self._rollback_partial(tenant.tenant_id)
+            raise
         seconds = time.perf_counter() - start
         if store is not None:
             store.log_open_through(self.placement._next_server_id)
@@ -173,9 +193,10 @@ class OnlinePlacementAlgorithm(ABC):
         """
         obs = self._obs
         store = self._store
-        if obs is None and store is None:
+        if obs is None and store is None and not faults.active():
             self._remove(tenant_id)
             return
+        faults.fire("algo.remove")
         before = self.placement.num_servers
         start = time.perf_counter()
         self._remove(tenant_id)
@@ -221,11 +242,30 @@ class OnlinePlacementAlgorithm(ABC):
                 f"tenant {tenant_id} is not placed")
         obs = self._obs
         store = self._store
-        if obs is None and store is None:
+        if obs is None and store is None and not faults.active():
             return self._update_load(tenant_id, new_load)
+        faults.fire("algo.update_load")
+        prior = None
+        if faults.active():
+            # Captured only under active fault injection: an injected
+            # fault mid-resize restores the pre-resize replicas with
+            # their exact loads (fault-transactional update_load).
+            prior = [(index, sid,
+                      self.placement.server(sid)
+                          .replicas[(tenant_id, index)].load)
+                     for index, sid in sorted(
+                         self.placement.tenant_servers(tenant_id).items())]
         before = self.placement.num_servers
         start = time.perf_counter()
-        chosen = self._update_load(tenant_id, new_load)
+        try:
+            chosen = self._update_load(tenant_id, new_load)
+        except FaultInjected:
+            self._rollback_partial(tenant_id)
+            for index, sid, load in prior or ():
+                self.placement.place(
+                    Replica(tenant_id=tenant_id, index=index, load=load),
+                    sid)
+            raise
         seconds = time.perf_counter() - start
         if store is not None:
             store.log_open_through(self.placement._next_server_id)
@@ -609,6 +649,11 @@ def robust_after_placement(placement: PlacementState, server_id: int,
     bounds, ``feasibility.exact`` calls that needed at least one exact
     sum.
     """
+    if faults.FAILPOINTS._active:
+        # Inlined emptiness guard: this is the hottest seam in the
+        # package (one hit per candidate probe), so the disabled cost
+        # must stay at two attribute loads and a truth test.
+        faults.FAILPOINTS.fire("algo.feasibility")
     server = placement.server(server_id)
     exact_used = False
     empty_after = server.capacity - server.load - replica_load \

@@ -7,6 +7,7 @@ Usage::
     python -m repro table1             # Table I dollar savings
     python -m repro theorem2           # competitive-ratio sweep
     python -m repro calibrate          # Section IV load-model calibration
+    python -m repro chaos              # fault-injection conformance soak
     python -m repro all                # everything, in order
 
 Set ``REPRO_FULL_SCALE=1`` for paper-scale runs (50,000 tenants x 10
@@ -24,7 +25,7 @@ from typing import Callable, Dict, List, Optional
 from .analysis.report import (figure5_table, figure6_table,
                               table1_table, theorem2_table)
 from .cluster.calibration import calibrate_load_model
-from .errors import ConfigurationError, ReproError
+from .errors import ConfigurationError, ReproError, SimulationError
 from .sim.figures import figure5, figure6, table1, theorem2
 from .sim.scenarios import current_scale
 
@@ -286,6 +287,60 @@ def _run_sweep(args: argparse.Namespace) -> None:
     _export(args, "sweep_k", k_curve.to_table)
 
 
+def _run_chaos(args: argparse.Namespace) -> None:
+    from .algorithms.naive import RobustBestFit
+    from .sim.chaos import (ChaosConfig, default_schedule, parse_schedule,
+                            run_chaos_soak)
+
+    if args.gamma < 1:
+        raise ConfigurationError(f"gamma must be >= 1, got {args.gamma}")
+    if args.schedule and args.faults:
+        raise ConfigurationError(
+            "--schedule and --faults are mutually exclusive: --schedule "
+            "replays an exact run, --faults derives one from the seed")
+    if args.schedule:
+        schedule = parse_schedule(args.schedule)
+        if not schedule:
+            raise ConfigurationError("--schedule is empty")
+    elif args.faults:
+        names = tuple(sorted({part.strip()
+                              for part in args.faults.split(",")
+                              if part.strip()}))
+        if not names:
+            raise ConfigurationError("--faults is empty")
+        schedule = default_schedule(args.ops, args.seed,
+                                    failpoints=names)
+    else:
+        schedule = ()  # default_schedule over every soak failpoint
+    config = ChaosConfig(operations=args.ops, seed=args.seed,
+                         schedule=schedule)
+
+    if args.store:
+        from pathlib import Path
+        store_dir = Path(args.store) / "chaos"
+    else:
+        import tempfile
+        tmp = tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        store_dir = tmp.name
+    from .obs import MetricsRegistry
+    print(f"Chaos soak: bestfit gamma={args.gamma}, {args.ops} ops, "
+          f"seed {args.seed}; every fault must surface typed or leave "
+          f"an audit-clean placement.\n")
+    report = run_chaos_soak(lambda: RobustBestFit(gamma=args.gamma),
+                            store_dir, config, obs=MetricsRegistry())
+    for line in report.error_log:
+        print(f"  {line}")
+    print()
+    print(report)
+    if not report.ok:
+        for failure in report.failures:
+            print(f"  FAIL: {failure}", file=sys.stderr)
+        reason = (f"{len(report.failures)} conformance failure(s)"
+                  if report.failures else "post-fault audit failed")
+        raise SimulationError(
+            f"{reason}; reproduce: {report.repro_line}")
+
+
 def _run_calibrate(args: argparse.Namespace) -> None:
     result = calibrate_load_model()
     print("Section IV calibration (simulated cluster):")
@@ -305,6 +360,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "table1": _run_table1,
     "theorem2": _run_theorem2,
     "calibrate": _run_calibrate,
+    "chaos": _run_chaos,
     "bench": _run_bench,
     "sweep": _run_sweep,
     "scaling": _run_scaling,
@@ -342,6 +398,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="durable-store directory (WAL + "
                              "checkpoints) for the soak, checkpoint "
                              "and recover commands")
+    parser.add_argument("--ops", type=int, default=150,
+                        help="operation count for the chaos command "
+                             "(default 150)")
+    parser.add_argument("--gamma", type=int, default=2,
+                        help="replication factor for the chaos "
+                             "command's bestfit controller (default 2)")
+    parser.add_argument("--faults", metavar="LIST", default=None,
+                        help="comma-separated failpoint names for the "
+                             "chaos command; a deterministic schedule "
+                             "over them is derived from --seed")
+    parser.add_argument("--schedule", metavar="SCHED", default=None,
+                        help="exact chaos fault schedule "
+                             "('at_op:name=action[:k=v]*', "
+                             "comma-separated); reproduces a prior run")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for parallelizable "
                              "experiments (bench, sweep); default 1")

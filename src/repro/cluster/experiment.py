@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import faults
 from ..errors import ConfigurationError, SimulationError
 from ..workloads.tpch import QueryStream, DEMAND_SCALE
 from .background import (MaintenanceTask, DEFAULT_MAINTENANCE_DEMAND,
@@ -210,6 +211,19 @@ class ClusterExperiment:
                 tasks.append(task)
 
         recovered = [0]
+        chaos_victims: List[int] = []
+        if faults.active() and faults.should("cluster.machine.fail"):
+            # Fail one machine the scenario did not plan to lose, at
+            # the moment planned failures would land.  The firing *is*
+            # the scheduling decision (deterministic: highest live id).
+            spare = [mid for mid in machine_ids
+                     if mid not in set(fail_servers)]
+            if spare:
+                victim = spare[-1]
+                chaos_victims.append(victim)
+                sim.schedule_at(
+                    max(0.0, warmup - cfg.failure_lead * cfg.time_scale),
+                    lambda: router.fail_machine(victim))
         if fail_servers:
             fail_at = max(0.0, warmup - cfg.failure_lead * cfg.time_scale)
 
@@ -269,7 +283,7 @@ class ClusterExperiment:
                 mean_latency=float("inf"), completed=0,
                 dropped=recorder.dropped, reissued=router.reissued,
                 meets_sla=False, violating_tenants=[],
-                failed_servers=list(fail_servers),
+                failed_servers=list(fail_servers) + chaos_victims,
                 utilization=utilization, events=sim.events_dispatched,
                 recovered_replicas=recovered[0])
         meets = recorder.meets_sla(cfg.sla_seconds)
@@ -287,7 +301,7 @@ class ClusterExperiment:
             reissued=router.reissued,
             meets_sla=meets,
             violating_tenants=recorder.violating_tenants(cfg.sla_seconds),
-            failed_servers=list(fail_servers),
+            failed_servers=list(fail_servers) + chaos_victims,
             utilization=utilization,
             events=sim.events_dispatched,
             recovered_replicas=recovered[0],

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence
 
+from .. import faults
 from ..errors import SimulationError
 from ..workloads.tpch import QueryExecution
 from .datastore import DataStore
@@ -151,6 +152,14 @@ class ReplicaRouter:
             ctx.finished = True
             ctx.on_complete(None, -1)
             return
+        if faults.active() and faults.should("cluster.route.dead"):
+            # A stale routing table points at a failed home: the
+            # machine rejects the submission with a SimulationError.
+            dead = [mid for mid in self._homes[ctx.tenant_id]
+                    if self.machines[mid].failed]
+            if dead:
+                self._submit(ctx, dead[0], was_read=True)
+                return
         cursor = self._cursor[ctx.tenant_id]
         target = alive[cursor % len(alive)]
         self._cursor[ctx.tenant_id] = (cursor + 1) % max(len(alive), 1)

@@ -95,6 +95,32 @@ class StoreCorruptionError(StoreError):
     """
 
 
+class FaultInjected(ReproError):
+    """A failpoint fired with a ``raise`` policy.
+
+    Carries the failpoint's registered name so harnesses (and the chaos
+    conformance checks) can attribute the error to the exact seam that
+    produced it.  Injected faults are *typed* errors by construction:
+    catching :class:`ReproError` is always sufficient to contain them.
+    """
+
+    def __init__(self, message: str, failpoint: str = "") -> None:
+        super().__init__(message)
+        #: Registered name of the failpoint that fired.
+        self.failpoint = failpoint
+
+
+class SimulatedCrash(FaultInjected):
+    """A failpoint simulated a process crash (kill -9 semantics).
+
+    Unlike a plain :class:`FaultInjected`, the seam that raises this may
+    deliberately leave *torn* on-disk state behind (a half-written WAL
+    line, an un-renamed checkpoint temp file) — exactly what a real
+    crash leaves.  Harnesses treat it as controller death: recover from
+    the durable store and resume, rather than handling it in place.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event cluster simulation reached an invalid state."""
 

@@ -34,6 +34,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..errors import ConfigurationError
 from ..obs import EventJournal, MetricsRegistry, absorb_snapshot, active
 
@@ -93,6 +94,11 @@ def _run_item(index: int):
     global _IN_WORKER
     _IN_WORKER = True
     fn, items, want_obs = _PAYLOAD
+    if faults.active():
+        # Worker death mid-item: forked workers inherit the parent's
+        # armed failpoints, so the raise happens in the child and
+        # propagates to the parent through pool.map.
+        faults.fire("par.worker")
     registry = _item_registry(want_obs)
     result = fn(items[index], registry)
     if registry is None:
@@ -103,6 +109,10 @@ def _run_item(index: int):
 
 def _absorb(obs: Optional[MetricsRegistry], snapshot, events) -> None:
     if obs is None or snapshot is None:
+        return
+    if faults.active() and faults.should("par.absorb.drop"):
+        # One worker's observability snapshot is lost in transit: the
+        # results are intact, the merged counters under-count.
         return
     absorb_snapshot(obs, snapshot)
     for event_type, data in events:
@@ -136,6 +146,8 @@ def pmap(fn: Callable, items: Sequence, jobs: int = 1,
     if workers < 2 or _IN_WORKER or not fork_available():
         results = []
         for item in items:
+            if faults.active():
+                faults.fire("par.worker")  # same seam as the fork path
             registry = _item_registry(want_obs)
             result = fn(item, registry)
             if registry is not None:

@@ -17,6 +17,9 @@ from .elasticity import (ElasticityConfig, ElasticityResult,
                          run_elasticity)
 from .soak import (SoakConfig, SoakResult, run_soak, run_soak_seeds,
                    DEFAULT_MIX)
+from .chaos import (ChaosConfig, ChaosReport, FaultEvent,
+                    SOAK_FAILPOINTS, default_schedule, format_schedule,
+                    parse_schedule, run_chaos_soak)
 from .figures import (figure5, figure6, table1, theorem2, fill_cluster,
                       FilledCluster, Figure5Result, Figure6Result,
                       Table1Result, Theorem2Result, Figure5Row,
@@ -39,4 +42,7 @@ __all__ = [
     "k_sensitivity", "DEFAULT_MUS", "DEFAULT_KS", "ElasticityConfig",
     "ElasticityResult", "run_elasticity", "SoakConfig", "SoakResult",
     "run_soak", "run_soak_seeds", "DEFAULT_MIX",
+    "ChaosConfig", "ChaosReport", "FaultEvent", "SOAK_FAILPOINTS",
+    "default_schedule", "format_schedule", "parse_schedule",
+    "run_chaos_soak",
 ]

@@ -126,6 +126,12 @@ class _SoakDriver:
         self.checkpoint_every = checkpoint_every
         self.alive: List[int] = list(alive) if alive is not None else []
         self.next_id = next_id
+        #: Kind of the operation the last ``step`` ran (or started):
+        #: the chaos harness uses it to tell roll-backable wrapper ops
+        #: (place/remove/resize) from compound plan-and-apply ops
+        #: (fail_and_recover, repack) that cannot be contained in
+        #: place when a fault interrupts them.
+        self.last_op = ""
         self.budget = algorithm.guaranteed_failures
         mix = dict(DEFAULT_MIX)
         if cfg.mix:
@@ -166,6 +172,7 @@ class _SoakDriver:
             op = "place"
         result.counts[op] = result.counts.get(op, 0) + 1
         result.operations += 1
+        self.last_op = op
 
         if op == "place":
             load = float(rng.uniform(cfg.min_load, cfg.max_load))

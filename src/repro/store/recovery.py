@@ -313,6 +313,11 @@ class DurableStore:
         if audit_failures is not None:
             failures = audit_failures
 
+        from .. import faults
+        if faults.active():
+            # Recovery interrupted before the WAL tail replay: nothing
+            # was mutated, a retry starts from scratch.
+            faults.fire("store.recover.replay")
         replayed = 0
         for record in self.wal.records(start_seq):
             try:

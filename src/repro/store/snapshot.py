@@ -33,9 +33,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
 
+from .. import faults
 from ..core.placement import PlacementState
 from ..core.tenant import LOAD_EPS, Replica
-from ..errors import ConfigurationError, StoreCorruptionError
+from ..errors import (ConfigurationError, SimulatedCrash,
+                      StoreCorruptionError)
 
 PathLike = Union[str, Path]
 
@@ -133,10 +135,25 @@ def save_checkpoint(placement: PlacementState, path: PathLike,
     }
     target = Path(path)
     tmp = target.with_name(target.name + ".tmp")
+    if faults.active():
+        # Before the temp file exists: the previous checkpoint (if
+        # any) stays untouched and authoritative.
+        faults.fire("store.checkpoint.write")
     with open(tmp, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, sort_keys=True, default=_jsonable)
         handle.flush()
         os.fsync(handle.fileno())
+    if faults.active() and faults.should("store.checkpoint.partial"):
+        # Crash between writing the temp file and the atomic rename:
+        # truncate the temp to half so the artifact is genuinely
+        # partial, then die.  Recovery never reads ``*.tmp`` files,
+        # so the previous checkpoint still governs.
+        with open(tmp, "r+", encoding="utf-8") as handle:
+            size = handle.seek(0, os.SEEK_END)
+            handle.truncate(size // 2)
+        raise SimulatedCrash(
+            f"failpoint store.checkpoint.partial left {tmp.name} "
+            f"half-written", failpoint="store.checkpoint.partial")
     os.replace(tmp, target)
 
 
@@ -175,7 +192,8 @@ def load_checkpoint(path: PathLike) -> Checkpoint:
 
 def diff_placements(a: PlacementState, b: PlacementState,
                     load_tol: float = LOAD_EPS,
-                    compare_tags: bool = True) -> List[str]:
+                    compare_tags: bool = True,
+                    ignore_provisioning: bool = False) -> List[str]:
     """Differences between two placement states (empty == identical).
 
     Replica *assignments* and per-replica loads are compared exactly
@@ -189,19 +207,31 @@ def diff_placements(a: PlacementState, b: PlacementState,
     logged operations, so they are durable only up to the latest
     *checkpoint*, not the WAL tail; crash-recovery differentials
     compare them loosely for that reason (see ``docs/durability.md``).
+
+    ``ignore_provisioning=True`` skips the server-count and
+    next-server-id comparison.  A fault between an ``open_server``
+    record and the operation that needed the server (e.g. an fsync
+    failure mid-operation) legitimately leaves the recovered state with
+    a trailing *empty* server the in-memory state rolled back; the
+    chaos conformance differential tolerates exactly that, and nothing
+    else.
     """
     diffs: List[str] = []
     if a.gamma != b.gamma:
         diffs.append(f"gamma: {a.gamma} != {b.gamma}")
     if a.capacity != b.capacity:
         diffs.append(f"capacity: {a.capacity!r} != {b.capacity!r}")
-    if a.num_servers != b.num_servers:
-        diffs.append(
-            f"num_servers: {a.num_servers} != {b.num_servers}")
-    if a._next_server_id != b._next_server_id:
-        diffs.append(f"next_server_id: {a._next_server_id} != "
-                     f"{b._next_server_id}")
+    if not ignore_provisioning:
+        if a.num_servers != b.num_servers:
+            diffs.append(
+                f"num_servers: {a.num_servers} != {b.num_servers}")
+        if a._next_server_id != b._next_server_id:
+            diffs.append(f"next_server_id: {a._next_server_id} != "
+                         f"{b._next_server_id}")
     snap_a, snap_b = a.snapshot(), b.snapshot()
+    if ignore_provisioning:
+        snap_a = {sid: reps for sid, reps in snap_a.items() if reps}
+        snap_b = {sid: reps for sid, reps in snap_b.items() if reps}
     if snap_a != snap_b:
         changed = sorted(sid for sid in set(snap_a) | set(snap_b)
                          if snap_a.get(sid) != snap_b.get(sid))

@@ -47,7 +47,9 @@ import re
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
-from ..errors import ConfigurationError, StoreCorruptionError
+from .. import faults
+from ..errors import (ConfigurationError, SimulatedCrash,
+                      StoreCorruptionError)
 
 PathLike = Union[str, Path]
 
@@ -210,12 +212,24 @@ class WriteAheadLog:
         self._file = open(path, "a", encoding="utf-8")
         self._segment_count = 0
 
+    def _fsync(self, fileno: int) -> None:
+        """fsync with the ``store.wal.fsync`` failpoint in front.
+
+        A fired failpoint models an fsync *failure*: the bytes already
+        reached the OS (the append wrote and flushed them), but the
+        controller cannot confirm durability — so it must treat the
+        operation as failed even though recovery may well see it.
+        """
+        if faults.active():
+            faults.fire("store.wal.fsync")
+        os.fsync(fileno)
+
     def _close_segment(self) -> None:
         if self._file is None:
             return
         self._file.flush()
         if self.fsync in (FSYNC_ALWAYS, FSYNC_ROTATE):
-            os.fsync(self._file.fileno())
+            self._fsync(self._file.fileno())
         self._file.close()
         self._file = None
 
@@ -234,10 +248,23 @@ class WriteAheadLog:
         elif self._segment_count >= self.segment_records:
             self._open_segment()
         record = WalRecord(seq=self._next_seq, op=op, data=dict(data))
-        self._file.write(record.to_json() + "\n")
+        line = record.to_json() + "\n"
+        if faults.active():
+            # Before any byte: the record is never committed.
+            faults.fire("store.wal.append")
+            if faults.should("store.wal.torn_tail"):
+                # Crash mid-write: half the line reaches the file, no
+                # newline — the torn tail _recover_tail must repair.
+                self._file.write(line[: max(1, len(line) // 2)])
+                self._file.flush()
+                raise SimulatedCrash(
+                    f"failpoint store.wal.torn_tail tore record seq="
+                    f"{record.seq} mid-write",
+                    failpoint="store.wal.torn_tail")
+        self._file.write(line)
         self._file.flush()
         if self.fsync == FSYNC_ALWAYS:
-            os.fsync(self._file.fileno())
+            self._fsync(self._file.fileno())
         self._next_seq += 1
         self._segment_count += 1
         if self._segment_count >= self.segment_records:
@@ -249,7 +276,7 @@ class WriteAheadLog:
         if self._file is not None:
             self._file.flush()
             if self.fsync in (FSYNC_ALWAYS, FSYNC_ROTATE):
-                os.fsync(self._file.fileno())
+                self._fsync(self._file.fileno())
 
     def close(self) -> None:
         self._close_segment()
@@ -293,6 +320,12 @@ class WriteAheadLog:
                 stripped = line.strip()
                 if not stripped:
                     continue
+                if faults.active():
+                    # The default string mutator yields valid JSON with
+                    # an impossible seq, so corruption is detected by
+                    # the sequence check even on the final line (where
+                    # unparseable bytes would pass as a torn tail).
+                    stripped = faults.corrupt("store.wal.read", stripped)
                 try:
                     raw = json.loads(stripped)
                     record = WalRecord(seq=int(raw["seq"]),

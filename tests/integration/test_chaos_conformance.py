@@ -1,0 +1,157 @@
+"""Chaos conformance: every catalogued failpoint fires, and every
+firing either surfaces typed or leaves an audit-clean system.
+
+The soak-reachable points run under :func:`repro.sim.chaos.run_chaos_soak`
+with its full conformance contract (typed-or-clean, crash differential,
+accounting).  The par and cluster seams — which a placement soak never
+reaches — get dedicated exercises here with the same typed-or-clean
+assertion.  The final test closes the loop: the union of everything
+fired in this module equals :data:`repro.faults.CATALOG`, so a
+failpoint cannot be added to the catalogue without a conformance
+exercise.
+"""
+
+import pytest
+
+from repro import faults
+from repro.algorithms.naive import RobustBestFit
+from repro.cluster.experiment import ClusterConfig, ClusterExperiment
+from repro.core.cubefit import CubeFit
+from repro.errors import FaultInjected, SimulationError
+from repro.obs import MetricsRegistry
+from repro.sim.chaos import (SOAK_FAILPOINTS, ChaosConfig, FaultEvent,
+                             default_schedule, format_schedule,
+                             parse_schedule, run_chaos_soak)
+
+#: Accumulates every failpoint name fired by this module's tests; the
+#: catalogue-coverage test at the bottom audits it.  Session-scoped by
+#: module-global on purpose: pytest runs this file's tests in order.
+_FIRED = set()
+
+
+def _record_fired(counts):
+    _FIRED.update(name for name, n in counts.items() if n > 0)
+
+
+class TestSoakConformance:
+    @pytest.mark.parametrize("seed,gamma", [(7, 2), (11, 3)])
+    def test_full_schedule_is_conformant(self, tmp_path, seed, gamma):
+        report = run_chaos_soak(
+            lambda: RobustBestFit(gamma=gamma), tmp_path / "chaos",
+            ChaosConfig(operations=150, seed=seed),
+            obs=MetricsRegistry())
+        assert report.ok, "\n".join(report.failures)
+        # Every soak-reachable failpoint fired exactly once.
+        assert report.fired == {name: 1 for name in SOAK_FAILPOINTS}
+        assert report.crashes >= 1
+        assert report.recoveries == report.crashes
+        assert report.typed_errors >= 1
+        _record_fired(report.fired)
+
+    def test_cubefit_controller_survives_chaos(self, tmp_path):
+        """CUBEFIT cannot be re-adopted after a crash; the harness must
+        resume under bestfit and stay conformant."""
+        report = run_chaos_soak(
+            lambda: CubeFit(gamma=2, num_classes=10),
+            tmp_path / "chaos",
+            ChaosConfig(operations=150, seed=3), obs=MetricsRegistry())
+        assert report.ok, "\n".join(report.failures)
+        assert report.crashes >= 1
+        _record_fired(report.fired)
+
+    def test_schedule_reproduces_identically(self, tmp_path):
+        config = ChaosConfig(operations=120, seed=5)
+        first = run_chaos_soak(lambda: RobustBestFit(gamma=2),
+                               tmp_path / "a", config)
+        replay = ChaosConfig(
+            operations=120, seed=5,
+            schedule=parse_schedule(format_schedule(first.schedule)))
+        second = run_chaos_soak(lambda: RobustBestFit(gamma=2),
+                                tmp_path / "b", replay)
+        assert first.ok and second.ok
+        assert second.schedule == first.schedule
+
+        def normalized(report, store):
+            return [line.replace(str(tmp_path / store), "STORE")
+                    for line in report.error_log]
+
+        assert normalized(second, "b") == normalized(first, "a")
+        assert second.result.counts == first.result.counts
+        _record_fired(first.fired)
+
+    def test_explicit_schedule_entry_beyond_ops_rejected(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(operations=10, schedule=(
+                FaultEvent(at_op=10, spec="algo.place=raise"),))
+
+    def test_default_schedule_is_deterministic(self):
+        assert default_schedule(150, 9) == default_schedule(150, 9)
+        assert default_schedule(150, 9) != default_schedule(150, 10)
+
+
+class TestParSeams:
+    def test_worker_death_mid_batch_is_typed(self):
+        from repro.par import pmap
+        with faults.injected("par.worker", action="raise",
+                             after_hits=2):
+            with pytest.raises(FaultInjected) as exc:
+                pmap(lambda item, registry: item, [1, 2, 3], jobs=1)
+        assert exc.value.failpoint == "par.worker"
+        _record_fired(faults.FAILPOINTS.fired_counts())
+
+    def test_absorb_drop_undercounts_only_obs(self):
+        from repro.par import pmap
+        obs = MetricsRegistry()
+
+        def work(item, registry):
+            if registry is not None:
+                registry.counter("n").inc()
+            return item
+
+        with faults.injected("par.absorb.drop", action="raise"):
+            assert pmap(work, [1, 2, 3], jobs=1, obs=obs) == [1, 2, 3]
+        assert obs.counter("n").value == 2
+        _record_fired(faults.FAILPOINTS.fired_counts())
+
+
+class TestClusterSeams:
+    def _experiment(self, clients=12):
+        homes = {0: [0, 1, 2], 1: [0, 1, 2]}
+        counts = {0: clients, 1: clients}
+        return ClusterExperiment(
+            homes, counts, ClusterConfig(warmup=5.0, measure=15.0,
+                                         seed=0))
+
+    def test_machine_failure_mid_experiment(self):
+        """The chaos victim joins failed_servers and the run completes
+        on the survivors — degraded, never silently wrong."""
+        healthy = self._experiment().run()
+        with faults.injected("cluster.machine.fail", action="raise"):
+            chaotic = self._experiment().run()
+        assert chaotic.failed_servers == [2]
+        assert chaotic.completed > 0
+        # The victim died before the measurement window: it did less
+        # work than in the healthy run (latency itself is stochastic
+        # under rebalanced round-robin, so compare utilization).
+        assert chaotic.utilization[2] < healthy.utilization[2]
+        _record_fired(faults.FAILPOINTS.fired_counts())
+
+    def test_routing_to_dead_machine_is_typed(self):
+        """A stale routing table submits to a failed machine: the
+        machine rejects it with a typed SimulationError."""
+        exp = self._experiment()
+        with faults.injected("cluster.route.dead", action="raise"):
+            with pytest.raises(SimulationError):
+                exp.run(fail_servers=[2])
+        _record_fired(faults.FAILPOINTS.fired_counts())
+
+
+class TestCatalogueCoverage:
+    def test_every_catalogued_failpoint_fired_in_this_module(self):
+        """Adding a CATALOG entry without a conformance exercise is a
+        test failure, not silent drift."""
+        missing = set(faults.CATALOG) - _FIRED
+        assert not missing, (
+            f"catalogued failpoints never fired in the conformance "
+            f"suite: {sorted(missing)}")

@@ -214,6 +214,76 @@ class TestErrorHandling:
         assert "Traceback" not in captured.err
 
 
+class TestChaosCommand:
+    """`repro chaos` regression: conformant runs exit 0 with a repro
+    line; bad arguments follow the one-line-stderr/exit-1 convention."""
+
+    def test_small_run_is_conformant(self, capsys):
+        code = cli.main(["chaos", "--faults",
+                         "algo.place,store.wal.torn_tail",
+                         "--ops", "40", "--seed", "3"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "CONFORMANT" in captured.out
+        assert "reproduce: repro chaos --seed 3" in captured.out
+
+    def test_bogus_fault_name_lists_catalogue(self, capsys):
+        from repro.faults import CATALOG
+        code = cli.main(["chaos", "--faults", "store.wal.tornn_tail"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("repro chaos: error:")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+        # The error names the catalogue so a typo is self-correcting.
+        for name in CATALOG:
+            assert name in captured.err
+
+    def test_invalid_gamma_one_line_error(self, capsys):
+        code = cli.main(["chaos", "--gamma", "0"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("repro chaos: error:")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_schedule_and_faults_mutually_exclusive(self, capsys):
+        code = cli.main(["chaos", "--faults", "algo.place",
+                         "--schedule", "3:algo.place=raise"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("repro chaos: error:")
+        assert "mutually exclusive" in captured.err
+
+    def test_malformed_schedule_one_line_error(self, capsys):
+        code = cli.main(["chaos", "--schedule", "not-a-schedule"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("repro chaos: error:")
+        assert "Traceback" not in captured.err
+
+    def test_failure_prints_repro_line_on_stderr(self, monkeypatch,
+                                                 capsys):
+        import repro.sim.chaos as chaos_mod
+
+        real = chaos_mod.run_chaos_soak
+
+        def sabotaged(factory, store_dir, config, obs=None):
+            report = real(factory, store_dir, config, obs=obs)
+            report.failures.append("synthetic conformance failure")
+            return report
+
+        monkeypatch.setattr(cli, "run_chaos_soak", sabotaged,
+                            raising=False)
+        monkeypatch.setattr(chaos_mod, "run_chaos_soak", sabotaged)
+        code = cli.main(["chaos", "--faults", "algo.place",
+                        "--ops", "30"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAIL: synthetic conformance failure" in captured.err
+        err_tail = captured.err.strip().splitlines()[-1]
+        assert "reproduce: repro chaos --seed 0" in err_tail
+
+
 class TestStoreCommands:
     @staticmethod
     def _populated_store(tmp_path):

@@ -1,0 +1,129 @@
+"""Property tests relating the whole-domain audit to the brute-force one.
+
+:func:`domain_failure_audit` generalizes single-server failures to
+fault domains (racks / availability zones).  Three properties pin its
+semantics to the independently-written :func:`brute_force_audit`:
+
+* **Singleton reduction** — when every server is its own domain (an
+  empty ``domain_of``, or all-distinct tags), failing one domain is
+  failing one server, so the report must agree with
+  ``brute_force_audit(failures=1)`` on both ``min_slack`` and the set
+  of violating servers.
+* **Untagged fallback** — servers missing from ``domain_of`` are
+  implicit singletons: tagging them all with fresh unique domains must
+  not change the report.
+* **Partition reference** — for an arbitrary domain map, the report
+  must equal a direct evaluation of the conservative failover formula
+  for every (failed domain, survivor) pair.
+
+The brute audit also considers the empty failure set, which can only
+*raise* its worst case; with at least two servers every server has a
+non-empty partner set, so the reduction is exact.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.placement import PlacementState
+from repro.core.tenant import LOAD_EPS, Tenant
+from repro.core.validation import brute_force_audit, domain_failure_audit
+from repro.errors import CapacityError
+
+MAX_SERVERS = 7
+
+
+@st.composite
+def packings_with_domains(draw):
+    """A small random packing plus a random (partial) domain map.
+
+    Built through the normal mutation API with no robustness admission
+    control, so overloaded packings are generated too — the audits must
+    agree on violations as well as clean reports.  Roughly half the
+    servers stay untagged to exercise the singleton fallback.
+    """
+    gamma = draw(st.integers(min_value=2, max_value=3))
+    ps = PlacementState(gamma=gamma)
+    n_servers = draw(st.integers(min_value=max(2, gamma),
+                                 max_value=MAX_SERVERS))
+    for _ in range(n_servers):
+        ps.open_server()
+    n_tenants = draw(st.integers(min_value=0, max_value=6))
+    for tid in range(n_tenants):
+        load = draw(st.floats(min_value=0.05, max_value=1.0))
+        targets = draw(st.permutations(range(n_servers)))[:gamma]
+        try:
+            ps.place_tenant(Tenant(tid, load), targets)
+        except CapacityError:
+            continue
+    domain_of = {}
+    for sid in ps.server_ids:
+        if draw(st.booleans()):
+            domain_of[sid] = draw(
+                st.integers(min_value=0, max_value=n_servers - 1))
+    return ps, domain_of
+
+
+def _reference(placement, domain_of):
+    """Direct per-(domain, survivor) evaluation of the formula."""
+    domains = {}
+    for sid in placement.server_ids:
+        domains.setdefault(domain_of.get(sid, -1 - sid), []).append(sid)
+    min_slack = math.inf
+    violators = set()
+    for failed in domains.values():
+        failed_set = set(failed)
+        for server in placement:
+            if server.server_id in failed_set:
+                continue
+            extra = placement.failover_load(server.server_id, failed)
+            slack = server.capacity - server.load - extra
+            min_slack = min(min_slack, slack)
+            if slack < -LOAD_EPS:
+                violators.add(server.server_id)
+    return min_slack, violators
+
+
+@given(data=packings_with_domains())
+@settings(max_examples=60, deadline=None)
+def test_singleton_domains_reduce_to_single_failure_brute_force(data):
+    placement, _ = data
+    singleton = domain_failure_audit(placement, {})
+    brute = brute_force_audit(placement, failures=1)
+    assert singleton.min_slack == pytest.approx(brute.min_slack,
+                                                abs=1e-9)
+    assert {v.server_id for v in singleton.violations} \
+        == {v.server_id for v in brute.violations}
+
+
+@given(data=packings_with_domains())
+@settings(max_examples=60, deadline=None)
+def test_untagged_servers_behave_as_fresh_singleton_domains(data):
+    placement, domain_of = data
+    explicit = dict(domain_of)
+    fresh = max(domain_of.values(), default=-1) + 1
+    for sid in placement.server_ids:
+        if sid not in explicit:
+            explicit[sid] = fresh
+            fresh += 1
+    partial = domain_failure_audit(placement, domain_of)
+    full = domain_failure_audit(placement, explicit)
+    assert partial.min_slack == pytest.approx(full.min_slack, abs=1e-9)
+    assert {(v.server_id, v.failed_set) for v in partial.violations} \
+        == {(v.server_id, v.failed_set) for v in full.violations}
+
+
+@given(data=packings_with_domains())
+@settings(max_examples=60, deadline=None)
+def test_matches_per_domain_reference(data):
+    placement, domain_of = data
+    report = domain_failure_audit(placement, domain_of)
+    min_slack, violators = _reference(placement, domain_of)
+    assert report.min_slack == pytest.approx(min_slack, abs=1e-9)
+    assert {v.server_id for v in report.violations} == violators
+    # Every recorded violation names the whole failed domain it is
+    # overloaded under, and never its own server.
+    for violation in report.violations:
+        assert violation.server_id not in violation.failed_set
+        assert violation.failed_set

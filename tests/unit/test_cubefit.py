@@ -24,9 +24,8 @@ class TestBasics:
         homes = algo.placement.tenant_servers(0)
         assert len(set(homes.values())) == 3
 
-    def test_every_tenant_fully_placed(self):
-        rng = np.random.default_rng(1)
-        loads = list(rng.uniform(0.01, 1.0, 200))
+    def test_every_tenant_fully_placed(self, seeded_loads):
+        loads = seeded_loads(200, seed=1)
         algo = consolidate(loads, gamma=2, num_classes=10)
         for tid in range(len(loads)):
             assert len(algo.placement.tenant_servers(tid)) == 2
@@ -51,17 +50,15 @@ class TestRobustness:
     """Theorem 1: no bin overloaded under any gamma-1 failures."""
 
     @pytest.mark.parametrize("gamma,K", [(2, 5), (2, 10), (3, 5), (3, 10)])
-    def test_audit_random_uniform(self, gamma, K):
-        rng = np.random.default_rng(42)
-        loads = list(rng.uniform(0.001, 1.0, 300))
+    def test_audit_random_uniform(self, gamma, K, seeded_loads):
+        loads = seeded_loads(300, 0.001, 1.0, seed=42)
         algo = consolidate(loads, gamma=gamma, num_classes=K)
         report = audit(algo.placement)
         assert report.ok, str(report)
         assert report.min_slack >= -1e-9
 
-    def test_brute_force_agrees_small_instance(self):
-        rng = np.random.default_rng(7)
-        loads = list(rng.uniform(0.05, 1.0, 25))
+    def test_brute_force_agrees_small_instance(self, seeded_loads):
+        loads = seeded_loads(25, 0.05, 1.0, seed=7)
         algo = consolidate(loads, gamma=3, num_classes=5)
         assert brute_force_audit(algo.placement).ok
         assert exact_failure_audit(algo.placement).ok
@@ -87,12 +84,11 @@ class TestRobustness:
 
 
 class TestStructure:
-    def test_lemma1_without_first_stage(self):
+    def test_lemma1_without_first_stage(self, seeded_loads):
         """Pure second-stage, non-tiny packings: any two bins share at
         most one tenant."""
-        rng = np.random.default_rng(3)
         # all replicas in classes 1..K-1 (avoid multi-replicas)
-        loads = list(rng.uniform(0.34, 1.0, 120))
+        loads = seeded_loads(120, 0.34, 1.0, seed=3)
         algo = consolidate(loads, gamma=2, num_classes=5,
                            first_stage=False)
         assert max_shared_tenants(algo.placement) <= 1
@@ -104,9 +100,8 @@ class TestStructure:
             if len(server) > 0:
                 assert server.tags[TAG_CLASS] == 1
 
-    def test_mature_bins_have_full_slots(self):
-        rng = np.random.default_rng(5)
-        loads = list(rng.uniform(0.3, 1.0, 60))
+    def test_mature_bins_have_full_slots(self, seeded_loads):
+        loads = seeded_loads(60, 0.3, 1.0, seed=5)
         algo = consolidate(loads, gamma=2, num_classes=5)
         for sid in algo.mature_bin_ids():
             server = algo.placement.server(sid)

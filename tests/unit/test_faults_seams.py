@@ -1,0 +1,234 @@
+"""Failpoint seams wired through store, algorithms, and the pool.
+
+Each test arms one failpoint, drives the real code path through it,
+and asserts the conformance-relevant consequence: the typed error
+carries the failpoint name, the on-disk damage is exactly what the
+seam advertises, and every interrupted algorithm operation rolls back
+to the pre-operation placement.
+"""
+
+import pytest
+
+from repro import faults
+from repro.algorithms.naive import RobustBestFit
+from repro.core.tenant import Tenant
+from repro.core.validation import audit
+from repro.errors import (FaultInjected, SimulatedCrash,
+                          StoreCorruptionError)
+from repro.store import diff_placements, recover
+from repro.store.wal import WriteAheadLog
+
+
+def _clone(placement):
+    from repro.sim.chaos import _clone
+    return _clone(placement)
+
+
+class TestWalSeams:
+    def test_append_fault_commits_nothing(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append("op", {"n": 0})
+        with faults.injected("store.wal.append", action="raise"):
+            with pytest.raises(FaultInjected) as exc:
+                wal.append("op", {"n": 1})
+        assert exc.value.failpoint == "store.wal.append"
+        wal.close()
+        reopened = WriteAheadLog(tmp_path)
+        assert [r.data["n"] for r in reopened.records()] == [0]
+        assert reopened.next_seq == 1
+        reopened.close()
+
+    def test_torn_tail_crash_is_repaired_on_reopen(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append("op", {"n": 0})
+        with faults.injected("store.wal.torn_tail", action="crash"):
+            with pytest.raises(SimulatedCrash):
+                wal.append("op", {"n": 1})
+        # The torn half-line really reached the segment file.
+        segment = wal.segments()[-1]
+        wal.close()
+        assert not segment.read_text().endswith("\n")
+        reopened = WriteAheadLog(tmp_path)
+        assert [r.data["n"] for r in reopened.records()] == [0]
+        assert reopened.next_seq == 1  # seq 1 was never committed
+        reopened.append("op", {"n": 1})  # the tail is writable again
+        assert [r.data["n"] for r in reopened.records()] == [0, 1]
+        reopened.close()
+
+    def test_fsync_fault_surfaces_after_bytes_flushed(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        with faults.injected("store.wal.fsync", action="raise"):
+            with pytest.raises(FaultInjected) as exc:
+                wal.append("op", {"n": 0})
+        assert exc.value.failpoint == "store.wal.fsync"
+        wal.close()
+        # The record was durable even though the caller saw an error —
+        # the classic ambiguous-outcome fsync failure.
+        reopened = WriteAheadLog(tmp_path)
+        assert [r.data["n"] for r in reopened.records()] == [0]
+        reopened.close()
+
+    def test_read_corruption_is_detected_not_tolerated(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append("op", {"n": 0})
+        wal.close()
+        reopened = WriteAheadLog(tmp_path)
+        with faults.injected("store.wal.read", action="corrupt",
+                             max_fires=1):
+            with pytest.raises(StoreCorruptionError):
+                list(reopened.records())
+        reopened.close()
+
+
+class TestCheckpointSeams:
+    def _store_with_ops(self, store_factory, count=6):
+        store = store_factory()
+        algo = RobustBestFit(gamma=2)
+        algo.attach_store(store)
+        for i in range(count):
+            algo.place(Tenant(i, 0.2))
+        return store, algo
+
+    def test_checkpoint_write_fault_leaves_no_file(self, tmp_path,
+                                                   store_factory):
+        store, algo = self._store_with_ops(store_factory)
+        with faults.injected("store.checkpoint.write", action="raise"):
+            with pytest.raises(FaultInjected):
+                store.checkpoint(algo.placement)
+        assert not (tmp_path / "st" / "checkpoint.json").exists()
+        state = recover(tmp_path / "st")  # WAL alone still recovers
+        assert diff_placements(algo.placement, state.placement,
+                               compare_tags=False) == []
+
+    def test_partial_checkpoint_crash_never_replaces(self, tmp_path,
+                                                     store_factory):
+        store, algo = self._store_with_ops(store_factory)
+        store.checkpoint(algo.placement)  # a good prior checkpoint
+        algo.place(Tenant(100, 0.1))
+        with faults.injected("store.checkpoint.partial",
+                             action="crash"):
+            with pytest.raises(SimulatedCrash):
+                store.checkpoint(algo.placement)
+        # The atomic rename never happened: the good checkpoint (plus
+        # the WAL tail) still recovers the exact live state.
+        state = recover(tmp_path / "st")
+        assert diff_placements(algo.placement, state.placement,
+                               compare_tags=False) == []
+
+    def test_recover_replay_fault_then_retry_succeeds(self, tmp_path,
+                                                      store_factory):
+        _store, algo = self._store_with_ops(store_factory)
+        with faults.injected("store.recover.replay", action="raise"):
+            with pytest.raises(FaultInjected):
+                recover(tmp_path / "st")
+        # max_fires=1 disarmed the point: the retry converges.
+        state = recover(tmp_path / "st")
+        assert diff_placements(algo.placement, state.placement,
+                               compare_tags=False) == []
+
+
+class TestAlgorithmRollback:
+    """A fault anywhere inside _place/_update_load must leave the
+    placement exactly as it was — at *every* interruption depth."""
+
+    def _loaded(self):
+        algo = RobustBestFit(gamma=2)
+        for i in range(8):
+            algo.place(Tenant(i, 0.25))
+        return algo
+
+    def test_place_entry_fault_changes_nothing(self):
+        algo = self._loaded()
+        pre = _clone(algo.placement)
+        with faults.injected("algo.place", action="raise"):
+            with pytest.raises(FaultInjected):
+                algo.place(Tenant(50, 0.3))
+        assert diff_placements(algo.placement, pre) == []
+
+    def test_place_rolls_back_at_every_probe_depth(self):
+        for depth in range(1, 30):
+            algo = self._loaded()
+            pre = _clone(algo.placement)
+            faults.FAILPOINTS.activate("algo.feasibility",
+                                       action="raise", after_hits=depth)
+            try:
+                algo.place(Tenant(50, 0.3))
+            except FaultInjected:
+                assert diff_placements(algo.placement, pre) == [], \
+                    f"partial placement leaked at probe depth {depth}"
+                assert audit(algo.placement,
+                             failures=algo.failures).ok
+            else:
+                # Deeper than the operation probes: nothing to test.
+                faults.FAILPOINTS.clear()
+                assert 50 in algo.placement.tenant_ids
+                break
+            finally:
+                faults.FAILPOINTS.clear()
+        else:
+            pytest.fail("algo.feasibility never stopped firing")
+
+    def test_update_load_restores_at_every_probe_depth(self):
+        for depth in range(1, 40):
+            algo = self._loaded()
+            pre = _clone(algo.placement)
+            faults.FAILPOINTS.activate("algo.feasibility",
+                                       action="raise", after_hits=depth)
+            try:
+                algo.update_load(3, 0.6)
+            except FaultInjected:
+                assert diff_placements(algo.placement, pre) == [], \
+                    f"partial update leaked at probe depth {depth}"
+            else:
+                faults.FAILPOINTS.clear()
+                homes = algo.placement.tenant_servers(3)
+                assert homes  # the update really went through
+                break
+            finally:
+                faults.FAILPOINTS.clear()
+        else:
+            pytest.fail("algo.feasibility never stopped firing")
+
+    def test_remove_entry_fault_keeps_tenant(self):
+        algo = self._loaded()
+        pre = _clone(algo.placement)
+        with faults.injected("algo.remove", action="raise"):
+            with pytest.raises(FaultInjected):
+                algo.remove(2)
+        assert diff_placements(algo.placement, pre) == []
+        assert 2 in algo.placement.tenant_ids
+
+
+class TestPoolSeams:
+    def test_worker_fault_propagates_serially(self):
+        from repro.par import pmap
+        with faults.injected("par.worker", action="raise"):
+            with pytest.raises(FaultInjected):
+                pmap(lambda item, registry: item, [1, 2, 3], jobs=1)
+
+    def test_worker_fault_after_hits_lets_early_items_run(self):
+        from repro.par import pmap
+        ran = []
+        with faults.injected("par.worker", action="raise",
+                             after_hits=3):
+            with pytest.raises(FaultInjected):
+                pmap(lambda item, registry: ran.append(item),
+                     [1, 2, 3], jobs=1)
+        assert ran == [1, 2]
+
+    def test_absorb_drop_loses_counters_not_results(self):
+        from repro.obs import MetricsRegistry
+        from repro.par import pmap
+
+        def work(item, registry):
+            if registry is not None:
+                registry.counter("work.items").inc()
+            return item * 2
+
+        obs = MetricsRegistry()
+        with faults.injected("par.absorb.drop", action="raise",
+                             max_fires=1):
+            results = pmap(work, [1, 2, 3], jobs=1, obs=obs)
+        assert results == [2, 4, 6]  # results intact
+        # Exactly one worker's snapshot was dropped in transit.
+        assert obs.counter("work.items").value == 2

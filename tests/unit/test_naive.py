@@ -1,6 +1,5 @@
 """Unit tests for the checked baseline heuristics."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms.naive import (RobustBestFit, RobustFirstFit,
@@ -22,20 +21,16 @@ def test_default_failure_budget_is_gamma_minus_one(cls, gamma):
 
 @pytest.mark.parametrize("cls", ALL)
 @pytest.mark.parametrize("gamma", [2, 3])
-def test_robustness_random_loads(cls, gamma):
-    rng = np.random.default_rng(53)
-    loads = list(rng.uniform(0.01, 1.0, 200))
+def test_robustness_random_loads(cls, gamma, seeded_tenants):
     algo = cls(gamma=gamma)
-    algo.consolidate(make_tenants(loads))
+    algo.consolidate(seeded_tenants(200, seed=53))
     assert audit(algo.placement, failures=algo.failures).ok
 
 
 @pytest.mark.parametrize("cls", ALL)
-def test_custom_failure_budget(cls):
-    rng = np.random.default_rng(59)
-    loads = list(rng.uniform(0.01, 0.5, 100))
+def test_custom_failure_budget(cls, seeded_tenants):
     algo = cls(gamma=2, failures=1)
-    algo.consolidate(make_tenants(loads))
+    algo.consolidate(seeded_tenants(100, 0.01, 0.5, seed=59))
     assert audit(algo.placement, failures=1).ok
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the RFI baseline."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms.rfi import RFI, DEFAULT_MU
@@ -31,34 +30,26 @@ class TestPlacement:
         homes = algo.placement.tenant_servers(0)
         assert len(set(homes.values())) == 2
 
-    def test_single_failure_robustness_random(self):
-        rng = np.random.default_rng(31)
-        loads = list(rng.uniform(0.01, 1.0, 300))
+    def test_single_failure_robustness_random(self, seeded_tenants):
         algo = RFI(gamma=2)
-        algo.consolidate(make_tenants(loads))
+        algo.consolidate(seeded_tenants(300, seed=31))
         assert audit(algo.placement, failures=1).ok
 
-    def test_single_failure_robustness_gamma3(self):
-        rng = np.random.default_rng(37)
-        loads = list(rng.uniform(0.01, 1.0, 150))
+    def test_single_failure_robustness_gamma3(self, seeded_tenants):
         algo = RFI(gamma=3)
-        algo.consolidate(make_tenants(loads))
+        algo.consolidate(seeded_tenants(150, seed=37))
         assert audit(algo.placement, failures=1).ok
 
-    def test_brute_force_small(self):
-        rng = np.random.default_rng(41)
-        loads = list(rng.uniform(0.05, 1.0, 30))
+    def test_brute_force_small(self, seeded_tenants):
         algo = RFI(gamma=2)
-        algo.consolidate(make_tenants(loads))
+        algo.consolidate(seeded_tenants(30, 0.05, 1.0, seed=41))
         assert brute_force_audit(algo.placement, failures=1).ok
 
-    def test_not_robust_to_two_failures_in_general(self):
+    def test_not_robust_to_two_failures_in_general(self, seeded_tenants):
         """RFI only reserves for one failure; find a workload where two
         simultaneous failures would overload (the premise of Figure 5)."""
-        rng = np.random.default_rng(43)
-        loads = list(rng.uniform(0.2, 0.6, 200))
         algo = RFI(gamma=2)
-        algo.consolidate(make_tenants(loads))
+        algo.consolidate(seeded_tenants(200, 0.2, 0.6, seed=43))
         assert audit(algo.placement, failures=1).ok
         assert not audit(algo.placement, failures=2).ok
 
@@ -82,9 +73,7 @@ class TestPlacement:
         # hosting tenant 0's 0.25-replicas rather than new servers.
         assert algo.placement.num_nonempty_servers == 2
 
-    def test_uses_fewer_servers_than_one_per_replica(self):
-        rng = np.random.default_rng(47)
-        loads = list(rng.uniform(0.05, 0.3, 100))
+    def test_uses_fewer_servers_than_one_per_replica(self, seeded_tenants):
         algo = RFI(gamma=2)
-        algo.consolidate(make_tenants(loads))
+        algo.consolidate(seeded_tenants(100, 0.05, 0.3, seed=47))
         assert algo.placement.num_servers < 200

@@ -1,4 +1,9 @@
-"""Unit tests for the durable store: bind, logging, recovery, compaction."""
+"""Unit tests for the durable store: bind, logging, recovery, compaction.
+
+Stores come from the shared ``store_factory`` fixture (tests/conftest),
+which guarantees every store is closed at teardown — tests that
+simulate a crash simply never close explicitly.
+"""
 
 import json
 
@@ -21,31 +26,29 @@ def _run_ops(algo, count=10, load=0.2, start_id=0):
 
 
 class TestBindAndMeta:
-    def test_bind_writes_meta(self, tmp_path):
-        store = DurableStore(tmp_path / "st")
+    def test_bind_writes_meta(self, tmp_path, store_factory):
+        store = store_factory()
         algo = RobustBestFit(gamma=2)
         algo.attach_store(store)
         meta = json.loads((tmp_path / "st" / "meta.json").read_text())
         assert meta["algorithm"] == "bestfit"
         assert meta["gamma"] == 2
         assert meta["capacity"] == 1.0
-        store.close()
 
-    def test_rebind_with_different_gamma_rejected(self, tmp_path):
-        store = DurableStore(tmp_path / "st")
+    def test_rebind_with_different_gamma_rejected(self, store_factory):
+        store = store_factory()
         RobustBestFit(gamma=2).attach_store(store)
         store.close()
-        store2 = DurableStore(tmp_path / "st")
+        store2 = store_factory()
         with pytest.raises(ConfigurationError):
             RobustBestFit(gamma=3).attach_store(store2)
-        store2.close()
 
     def test_missing_store_requires_create(self, tmp_path):
         with pytest.raises(ConfigurationError):
             DurableStore(tmp_path / "nope", create=False)
 
-    def test_recover_unbound_store_rejected(self, tmp_path):
-        DurableStore(tmp_path / "st").close()
+    def test_recover_unbound_store_rejected(self, tmp_path, store_factory):
+        store_factory().close()
         with pytest.raises(ConfigurationError):
             recover(tmp_path / "st")
 
@@ -59,9 +62,10 @@ class TestReplay:
         lambda: RFI(gamma=2),
         lambda: CubeFit(gamma=2),
     ])
-    def test_wal_only_replay_matches_live_state(self, tmp_path, factory):
+    def test_wal_only_replay_matches_live_state(self, tmp_path,
+                                                store_factory, factory):
         algo = factory()
-        algo.attach_store(DurableStore(tmp_path / "st"))
+        algo.attach_store(store_factory())
         _run_ops(algo, count=12)
         algo.remove(3)
         algo.update_load(5, 0.45)
@@ -72,15 +76,16 @@ class TestReplay:
         assert diff_placements(algo.placement, state.placement,
                                compare_tags=False) == []
 
-    def test_audit_runs_on_recovery(self, tmp_path):
+    def test_audit_runs_on_recovery(self, tmp_path, store_factory):
         algo = RobustBestFit(gamma=2)
-        algo.attach_store(DurableStore(tmp_path / "st"))
+        algo.attach_store(store_factory())
         _run_ops(algo, count=8)
         assert recover(tmp_path / "st").audit.ok
 
-    def test_recover_rejects_gamma_tampering(self, tmp_path):
+    def test_recover_rejects_gamma_tampering(self, tmp_path,
+                                             store_factory):
         algo = RobustBestFit(gamma=2)
-        store = DurableStore(tmp_path / "st")
+        store = store_factory()
         algo.attach_store(store)
         _run_ops(algo, count=4)
         store.checkpoint(algo.placement)
@@ -92,9 +97,10 @@ class TestReplay:
         with pytest.raises(StoreCorruptionError):
             recover(tmp_path / "st")
 
-    def test_checkpoint_beyond_wal_is_corruption(self, tmp_path):
+    def test_checkpoint_beyond_wal_is_corruption(self, tmp_path,
+                                                 store_factory):
         algo = RobustBestFit(gamma=2)
-        store = DurableStore(tmp_path / "st")
+        store = store_factory()
         algo.attach_store(store)
         _run_ops(algo, count=4)
         store.checkpoint(algo.placement)
@@ -108,15 +114,15 @@ class TestReplay:
 
 
 class TestCheckpointAndCompaction:
-    def _store_with_history(self, tmp_path, ops=40):
-        store = DurableStore(tmp_path / "st", segment_records=8)
+    def _store_with_history(self, store_factory, ops=40):
+        store = store_factory(segment_records=8)
         algo = RobustBestFit(gamma=2)
         algo.attach_store(store)
         _run_ops(algo, count=ops)
         return store, algo
 
-    def test_tail_replay_is_o_of_k(self, tmp_path):
-        store, algo = self._store_with_history(tmp_path)
+    def test_tail_replay_is_o_of_k(self, tmp_path, store_factory):
+        store, algo = self._store_with_history(store_factory)
         store.checkpoint(algo.placement)
         _run_ops(algo, count=3, start_id=100)  # the k-event tail
         obs = MetricsRegistry()
@@ -129,8 +135,9 @@ class TestCheckpointAndCompaction:
         assert 3 <= replayed <= 9
         assert diff_placements(algo.placement, state.placement) == []
 
-    def test_compaction_preserves_recovered_state(self, tmp_path):
-        store, algo = self._store_with_history(tmp_path)
+    def test_compaction_preserves_recovered_state(self, tmp_path,
+                                                  store_factory):
+        store, algo = self._store_with_history(store_factory)
         store.checkpoint(algo.placement)
         _run_ops(algo, count=2, start_id=100)
         before = recover(tmp_path / "st")
@@ -139,50 +146,50 @@ class TestCheckpointAndCompaction:
         after = recover(tmp_path / "st")
         assert diff_placements(before.placement, after.placement) == []
         assert after.records_replayed == before.records_replayed
-        store.close()
 
-    def test_compact_without_checkpoint_is_noop(self, tmp_path):
-        store, _algo = self._store_with_history(tmp_path)
+    def test_compact_without_checkpoint_is_noop(self, store_factory):
+        store, _algo = self._store_with_history(store_factory)
         assert store.compact() == []
-        store.close()
 
-    def test_checkpoint_then_empty_tail_replays_nothing(self, tmp_path):
-        store, algo = self._store_with_history(tmp_path)
+    def test_checkpoint_then_empty_tail_replays_nothing(self, tmp_path,
+                                                        store_factory):
+        store, algo = self._store_with_history(store_factory)
         store.checkpoint(algo.placement)
         store.close()
         assert recover(tmp_path / "st").records_replayed == 0
 
 
 class TestAdopt:
-    def _recovered(self, tmp_path, gamma=2):
+    def _recovered(self, tmp_path, store_factory, gamma=2):
         algo = RobustBestFit(gamma=gamma)
-        algo.attach_store(DurableStore(tmp_path / "st"))
+        algo.attach_store(store_factory())
         _run_ops(algo, count=10)
         return recover(tmp_path / "st")
 
     @pytest.mark.parametrize("resume_cls", [
         RobustBestFit, RobustFirstFit, RobustNextFit, RFI,
     ])
-    def test_adopt_then_continue(self, tmp_path, resume_cls):
-        state = self._recovered(tmp_path)
+    def test_adopt_then_continue(self, tmp_path, store_factory,
+                                 resume_cls):
+        state = self._recovered(tmp_path, store_factory)
         resume = resume_cls(gamma=state.gamma)
         resume.adopt(state.placement)
         assert resume.placement is state.placement
         resume.place(Tenant(500, 0.3))  # index must be live
         resume.remove(500)
 
-    def test_cubefit_cannot_adopt(self, tmp_path):
-        state = self._recovered(tmp_path)
+    def test_cubefit_cannot_adopt(self, tmp_path, store_factory):
+        state = self._recovered(tmp_path, store_factory)
         with pytest.raises(ConfigurationError):
             CubeFit(gamma=state.gamma).adopt(state.placement)
 
-    def test_adopt_rejects_gamma_mismatch(self, tmp_path):
-        state = self._recovered(tmp_path, gamma=2)
+    def test_adopt_rejects_gamma_mismatch(self, tmp_path, store_factory):
+        state = self._recovered(tmp_path, store_factory, gamma=2)
         with pytest.raises(ConfigurationError):
             RobustBestFit(gamma=3).adopt(state.placement)
 
-    def test_adopt_rejects_used_algorithm(self, tmp_path):
-        state = self._recovered(tmp_path)
+    def test_adopt_rejects_used_algorithm(self, tmp_path, store_factory):
+        state = self._recovered(tmp_path, store_factory)
         resume = RobustBestFit(gamma=state.gamma)
         resume.place(Tenant(0, 0.2))
         with pytest.raises(ConfigurationError):
@@ -190,9 +197,9 @@ class TestAdopt:
 
 
 class TestObsIntegration:
-    def test_wal_append_counter(self, tmp_path):
+    def test_wal_append_counter(self, store_factory):
         obs = MetricsRegistry()
-        store = DurableStore(tmp_path / "st", obs=obs)
+        store = store_factory(obs=obs)
         algo = RobustBestFit(gamma=2)
         algo.attach_store(store)
         _run_ops(algo, count=5)
@@ -200,4 +207,3 @@ class TestObsIntegration:
         assert snap["store.wal_append"]["value"] == store.wal.next_seq
         store.checkpoint(algo.placement)
         assert obs.snapshot()["store.checkpoint"]["value"] == 1
-        store.close()
