@@ -17,11 +17,14 @@ from __future__ import annotations
 import heapq
 import time
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+from typing import (Dict, Iterable, Iterator, List, Optional, Sequence,
+                    Tuple, Type)
 
 import numpy as np
 
 from .. import faults
+from ..core import arrays
+from ..core.arrays import SCREEN_MARGIN as _SCREEN_MARGIN
 from ..core.placement import PlacementState
 from ..core.tenant import LOAD_EPS, Replica, Tenant
 from ..errors import ConfigurationError, FaultInjected
@@ -368,21 +371,45 @@ class ServerIndex:
 
     _GROW = 1024
 
+    #: Lazy extraction budget of :meth:`iter_candidates`: after this
+    #: many argmax pulls the remainder is sorted in one pass (a consumer
+    #: that scans this deep is probably consuming everything).
+    _LAZY_PULLS = 12
+    #: Below this many survivors the full sort is cheaper than pulling.
+    _LAZY_CUTOFF = 4
+
     def __init__(self, placement: PlacementState, failures: int) -> None:
         self.placement = placement
         self.failures = failures
-        self._level = np.zeros(self._GROW, dtype=np.float64)
-        self._avail = np.full(self._GROW, -np.inf, dtype=np.float64)
-        #: Servers eligible for candidate queries (e.g. CUBEFIT maturity).
-        self._eligible = np.zeros(self._GROW, dtype=bool)
-        self._size = 0
-        self._tracker = placement.dirty_tracker()
+        if arrays.enabled():
+            # Array-core engine: level/avail/eligibility (and the
+            # worst-failover and headroom vectors) live in a
+            # struct-of-arrays mirror synced through the dirty tracker.
+            # Registering it makes the same vectors serve the scalar
+            # probe path (robust_after_placement) — the index's own
+            # candidate queries keep them fresh, so probes right after
+            # a query are pure vector reads.
+            self._core: Optional[arrays.ArrayCore] = arrays.ArrayCore(
+                placement, failures, eligibility=True)
+            self._tracker = self._core._tracker
+            placement.register_array_core(self._core)
+        else:
+            # Legacy engine (PR 4): the index maintains its own level
+            # and availability arrays.  Preserved verbatim behind the
+            # ``REPRO_ARRAY_CORE`` off-switch as the differential
+            # reference.
+            self._core = None
+            self._level = np.zeros(self._GROW, dtype=np.float64)
+            self._avail = np.full(self._GROW, -np.inf, dtype=np.float64)
+            #: Servers eligible for candidate queries (CUBEFIT maturity).
+            self._eligible = np.zeros(self._GROW, dtype=bool)
+            self._size = 0
+            self._tracker = placement.dirty_tracker()
 
     def _ensure(self, server_id: int) -> None:
         while server_id >= len(self._level):
             for attr in ("_level", "_avail", "_eligible"):
                 arr = getattr(self, attr)
-                pad_value: object
                 if arr.dtype == bool:
                     pad = np.zeros(self._GROW, dtype=bool)
                 elif attr == "_avail":
@@ -394,11 +421,17 @@ class ServerIndex:
 
     def track(self, server_id: int, eligible: bool = True) -> None:
         """Start indexing ``server_id`` (must exist in the placement)."""
+        if self._core is not None:
+            self._core.track(server_id, eligible)
+            return
         self._ensure(server_id)
         self._eligible[server_id] = eligible
         self.refresh([server_id])
 
     def set_eligible(self, server_id: int, eligible: bool) -> None:
+        if self._core is not None:
+            self._core.set_eligible(server_id, eligible)
+            return
         self._ensure(server_id)
         if bool(self._eligible[server_id]) == eligible:
             return
@@ -406,6 +439,8 @@ class ServerIndex:
         self.refresh([server_id])
 
     def is_eligible(self, server_id: int) -> bool:
+        if self._core is not None:
+            return self._core.is_eligible(server_id)
         return server_id < self._size and bool(self._eligible[server_id])
 
     def refresh(self, server_ids: Iterable[int]) -> None:
@@ -417,6 +452,9 @@ class ServerIndex:
         availability is recomputed the moment :meth:`set_eligible`
         promotes them.
         """
+        if self._core is not None:
+            self._core.refresh(server_ids)
+            return
         placement = self.placement
         servers = placement._servers
         wfl = placement.worst_failover_load
@@ -447,6 +485,9 @@ class ServerIndex:
         automatically by :meth:`candidates`, :meth:`level` and
         :meth:`avail`.
         """
+        if self._core is not None:
+            self._core.sync()
+            return
         dirty = self._tracker.drain()
         if not dirty:
             return
@@ -465,6 +506,30 @@ class ServerIndex:
                 avail[sid] = (server.capacity - server.load
                               - wfl(sid, failures))
 
+    def _arrays(self):
+        """Post-sync ``(level, avail, size)`` views of either engine."""
+        core = self._core
+        if core is not None:
+            core.sync()
+            return core._load, core._avail, core.size
+        if self._tracker._dirty:
+            self.sync()
+        return self._level, self._avail, self._size
+
+    @staticmethod
+    def _survivors(level, avail, size, min_avail, max_level, exclude):
+        """Ascending ids passing the avail/level filters, or None."""
+        # Ineligible servers sit at avail == -inf (see refresh), so one
+        # float compare is both the availability and eligibility filter.
+        mask = avail[:size] >= min_avail - LOAD_EPS
+        if max_level is not None:
+            mask &= level[:size] <= max_level + LOAD_EPS
+        ids = np.nonzero(mask)[0]
+        if exclude and len(ids):
+            for excluded_id in exclude:
+                ids = ids[ids != excluded_id]
+        return ids
+
     def candidates(self, min_avail: float,
                    max_level: Optional[float] = None,
                    exclude: Iterable[int] = ()) -> List[int]:
@@ -477,33 +542,91 @@ class ServerIndex:
         (the typical exclusion is the ``gamma - 1`` sibling servers, so
         a per-id vectorized compare beats ``np.isin``'s sort).
         """
-        if self._tracker._dirty:
-            self.sync()
-        if self._size == 0:
+        level, avail, size = self._arrays()
+        if size == 0:
             return []
-        # Ineligible servers sit at avail == -inf (see refresh), so one
-        # float compare is both the availability and eligibility filter.
-        mask = self._avail[:self._size] >= min_avail - LOAD_EPS
-        if max_level is not None:
-            mask &= self._level[:self._size] <= max_level + LOAD_EPS
-        ids = np.nonzero(mask)[0]
+        ids = self._survivors(level, avail, size, min_avail, max_level,
+                              exclude)
         if len(ids) == 0:
             return []
-        if exclude:
-            for excluded_id in exclude:
-                ids = ids[ids != excluded_id]
-            if len(ids) == 0:
-                return []
         if len(ids) == 1:
             # A single survivor needs no ordering pass.
             return [int(ids[0])]
         # Fullest (highest level) first; stable tie-break on id for
         # determinism (``ids`` is ascending, so a stable single-key
         # sort is equivalent to lexsort((ids, -level)) and cheaper).
-        order = np.argsort(-self._level[ids], kind="stable")
+        order = np.argsort(-level[ids], kind="stable")
         return ids[order].tolist()
 
+    def iter_candidates(self, min_avail: float,
+                        max_level: Optional[float] = None,
+                        exclude: Iterable[int] = ()) -> Iterable[int]:
+        """Same ids in the same order as :meth:`candidates`, lazily.
+
+        First-feasible consumers (Best Fit scans, CUBEFIT's mature-bin
+        search) typically accept one of the first few candidates; this
+        pulls them by repeated masked argmax and only sorts the
+        remainder if a scan runs deep, so the common probe never pays
+        the full fullest-first sort of a large survivor set.
+
+        Ordering identity with :meth:`candidates` holds because
+        ``argmax`` returns the *first* maximum — over ascending ids
+        that is exactly the stable sort's smallest-id tie-break.
+        """
+        level, avail, size = self._arrays()
+        if size == 0:
+            return iter(())
+        ids = self._survivors(level, avail, size, min_avail, max_level,
+                              exclude)
+        n = len(ids)
+        if n == 0:
+            return iter(())
+        if n == 1:
+            return iter((int(ids[0]),))
+        if n <= self._LAZY_CUTOFF:
+            order = np.argsort(-level[ids], kind="stable")
+            return iter(ids[order].tolist())
+        return self._pull_candidates(ids, level[ids])
+
+    def _pull_candidates(self, ids, keys) -> Iterator[int]:
+        for _ in range(self._LAZY_PULLS):
+            best = int(keys.argmax())
+            if keys[best] == -np.inf:
+                return
+            yield int(ids[best])
+            keys[best] = -np.inf
+        remaining = np.nonzero(keys != -np.inf)[0]
+        if len(remaining) == 0:
+            return
+        order = np.argsort(-keys[remaining], kind="stable")
+        for position in remaining[order].tolist():
+            yield int(ids[position])
+
+    def candidates_by_id(self, min_avail: float,
+                         max_level: Optional[float] = None,
+                         exclude: Iterable[int] = ()) -> List[int]:
+        """Filtered ids in ascending id order.
+
+        Identical to ``sorted(candidates(...))`` without paying for the
+        fullest-first sort it would immediately throw away (First Fit's
+        and the offline baseline's scan order).
+        """
+        level, avail, size = self._arrays()
+        if size == 0:
+            return []
+        ids = self._survivors(level, avail, size, min_avail, max_level,
+                              exclude)
+        return ids.tolist()
+
     def level(self, server_id: int) -> float:
+        core = self._core
+        if core is not None:
+            core.sync()
+            if not core.is_eligible(server_id):
+                # Ineligible servers are skipped by sync; recompute.
+                core._load[server_id] = \
+                    self.placement._servers[server_id].load
+            return float(core._load[server_id])
         self.sync()
         if server_id < self._size and not self._eligible[server_id]:
             # Ineligible servers are skipped by sync; recompute on read.
@@ -514,6 +637,15 @@ class ServerIndex:
     def avail(self, server_id: int) -> float:
         """True slack of ``server_id`` (even while ineligible — the
         internal ``-inf`` eligibility sentinel is never returned)."""
+        core = self._core
+        if core is not None:
+            core.sync()
+            if not core.is_eligible(server_id):
+                server = self.placement._servers[server_id]
+                return float(server.capacity - server.load
+                             - self.placement.worst_failover_load(
+                                 server_id, self.failures))
+            return float(core._avail[server_id])
         self.sync()
         if server_id < self._size and not self._eligible[server_id]:
             server = self.placement._servers[server_id]
@@ -538,38 +670,66 @@ def worst_shared_sum(placement: PlacementState, server_id: int,
 
     Hot-path shape: with no ``bumps`` the live shared-load mapping is
     read in place (no copy), and when the failure budget covers every
-    partner the values are summed without building a heap.
+    partner the values are summed without building a heap.  When a
+    top-``failures`` selection is needed it comes from the placement's
+    memoized :meth:`~repro.core.placement.PlacementState.top_partners`
+    (invalidated through the dirty tracker), so repeated ambiguous-band
+    probes against an unchanged server re-rank only the handful of
+    bumped values instead of re-heaping the whole partner set.
     """
     shared: Dict[int, float] = placement.shared_partners_view(server_id)
-    if bumps:
-        merged = dict(shared)
-        for other, extra in bumps.items():
-            if other == server_id:
-                continue
-            merged[other] = merged.get(other, 0.0) + extra
-        shared = merged
     if failures <= 0:
         return 0.0
-    survivors = len(shared) + len(extra_partners)
+    if not bumps:
+        survivors = len(shared) + len(extra_partners)
+        if survivors == 0:
+            return 0.0
+        if survivors <= failures:
+            return sum(shared.values()) + sum(extra_partners)
+        top = placement.top_partners(server_id, failures)
+        if not extra_partners:
+            return sum(value for value, _ in top)
+        pool = [value for value, _ in top]
+        pool.extend(extra_partners)
+        return sum(heapq.nlargest(failures, pool))
+    new_partners = 0
+    for other in bumps:
+        if other != server_id and other not in shared:
+            new_partners += 1
+    survivors = len(shared) + new_partners + len(extra_partners)
     if survivors == 0:
         return 0.0
     if survivors <= failures:
-        return sum(shared.values()) + sum(extra_partners)
-    if not extra_partners:
-        return sum(heapq.nlargest(failures, shared.values()))
-    values = list(shared.values())
-    values.extend(extra_partners)
-    return sum(heapq.nlargest(failures, values))
-
-
-#: Safety margin on the screened feasibility bounds.  The screen compares
-#: a cached top-``f`` sum against exact top-``f`` sums computed over a
-#: bumped multiset; mathematically ``cached <= exact <= cached + delta``,
-#: but the two float summations can disagree by round-off.  Keeping the
-#: ambiguous band ``_SCREEN_MARGIN`` wide on both sides guarantees a
-#: screened decision never diverges from the exact one (the differential
-#: property suite asserts this).
-_SCREEN_MARGIN = 1e-9
+        # Every partner survives the cut: reproduce the merged-mapping
+        # summation order bit for bit — existing partners in shared
+        # order (bumped in place), fresh bump partners in bump order,
+        # then the extras as their own accumulation.
+        total = 0.0
+        for other, value in shared.items():
+            extra = bumps.get(other)
+            if extra is not None and other != server_id:
+                total += value + extra
+            else:
+                total += value
+        for other, extra in bumps.items():
+            if other != server_id and other not in shared:
+                total += extra
+        return total + sum(extra_partners)
+    # Ranking pass.  Any non-bumped partner appearing in the bumped
+    # multiset's top-``failures`` must already sit in the memoized
+    # top-``failures`` of the unbumped mapping (bumps only increase
+    # values), so the cached selection minus the bumped entries, plus
+    # the bumped values and the extras, is an exhaustive pool — the
+    # resulting value multiset (hence the descending float sum) is
+    # identical to heaping the full merged mapping.
+    top = placement.top_partners(server_id, failures)
+    pool = [value for value, other in top if other not in bumps]
+    for other, extra in bumps.items():
+        if other == server_id:
+            continue
+        pool.append(shared.get(other, 0.0) + extra)
+    pool.extend(extra_partners)
+    return sum(heapq.nlargest(failures, pool))
 
 
 def exact_robust_after_placement(placement: PlacementState,
@@ -654,16 +814,44 @@ def robust_after_placement(placement: PlacementState, server_id: int,
         # package (one hit per candidate probe), so the disabled cost
         # must stay at two attribute loads and a truth test.
         faults.FAILPOINTS.fire("algo.feasibility")
-    server = placement.server(server_id)
+    # Array-core fast path, fully inlined (this is the hottest read in
+    # the package, so both the accessor gates and the staleness checks
+    # are flattened into one conditional): a server untouched since the
+    # last refresh is answered straight from the vectors — for
+    # index-driven algorithms every probe follows a candidate query,
+    # whose sync just refreshed exactly these servers.  The staleness
+    # memberships come first: probe-only flows (Next Fit) never drain
+    # the tracker, so their probes must fail out after one set lookup.
+    # Capacity and load are mirrored exactly and the expression below
+    # keeps the scalar parse order, so ``empty_after`` is bit-identical
+    # to the dict path (taken for dirty, untracked or ineligible
+    # servers — it reads the same memoized values the next refresh
+    # would assign).
+    core = placement._array_cores.get(failures)
     exact_used = False
-    empty_after = server.capacity - server.load - replica_load \
-        - extra_reserve
+    if core is not None \
+            and server_id not in core._tracker._dirty \
+            and server_id not in core._pending \
+            and server_id < core.size \
+            and core._eligible[server_id] \
+            and arrays._ENABLED \
+            and placement._slack_cache_enabled \
+            and not placement.shadow_audit:
+        cached = core._wfl.item(server_id)
+        empty_after = ((core._cap.item(server_id)
+                        - core._load.item(server_id)) - replica_load) \
+            - extra_reserve
+    else:
+        server = placement.server(server_id)
+        empty_after = server.capacity - server.load - replica_load \
+            - extra_reserve
+        cached = (placement.worst_failover_load(server_id, failures)
+                  if failures > 0 else 0.0)
     decision = True
     future: Optional[List[float]] = None
     if failures <= 0:
         decision = empty_after + LOAD_EPS >= 0.0
     else:
-        cached = placement.worst_failover_load(server_id, failures)
         if empty_after + LOAD_EPS < cached - _SCREEN_MARGIN:
             decision = False
         elif empty_after < cached + _SCREEN_MARGIN + replica_load \
@@ -677,6 +865,9 @@ def robust_after_placement(placement: PlacementState, server_id: int,
     if decision and failures > 0 and chosen:
         sibling_delta = replica_load * min(failures, 1 + future_siblings)
         for c in chosen:
+            # Sibling servers were mutated moments ago (their replicas
+            # were just placed), so an array-core read would fall back
+            # to the dict path anyway — consult it directly.
             other = placement.server(c)
             headroom = other.capacity - other.load
             cached_c = placement.worst_failover_load(c, failures)
@@ -696,7 +887,65 @@ def robust_after_placement(placement: PlacementState, server_id: int,
     if obs is not None:
         obs.counter("feasibility.exact" if exact_used
                     else "feasibility.screened").inc()
-    return decision
+    return bool(decision)
+
+
+def batch_robust_after_placement(placement: PlacementState,
+                                 server_ids: Sequence[int],
+                                 replica_load: float,
+                                 chosen: Sequence[int] = (),
+                                 failures: int = 0,
+                                 extra_reserve: float = 0.0,
+                                 future_siblings: int = 0,
+                                 obs=None) -> List[bool]:
+    """Vectorized bulk form of :func:`robust_after_placement`.
+
+    Classifies every server in ``server_ids`` with one
+    :meth:`~repro.core.arrays.ArrayCore.batch_screen` pass: servers the
+    necessary bound rejects are settled without touching Python-object
+    state at all, and only screen-feasible or ambiguous servers fall
+    through to the scalar check (which itself resolves via the cached
+    bounds and drops to :func:`worst_shared_sum` in the ambiguous band).
+
+    Decisions, ``feasibility.screened`` / ``feasibility.exact``
+    accounting and ``algo.feasibility`` failpoint hits are all identical
+    to calling :func:`robust_after_placement` once per id, in order.
+    Falls back to exactly that loop when the array core is unavailable
+    (no :class:`ServerIndex` registered one for this failure budget,
+    switch off, slack cache disabled, or shadow audit).
+    """
+    ids = [int(sid) for sid in server_ids]
+    core = placement.array_core(failures)
+    if core is None:
+        return [robust_after_placement(placement, sid, replica_load,
+                                       chosen, failures, extra_reserve,
+                                       future_siblings, obs=obs)
+                for sid in ids]
+    verdict = core.batch_screen(
+        replica_load, n_bumped=len(chosen) + future_siblings,
+        extra_reserve=extra_reserve)
+    size = len(verdict)
+    eligible = core._eligible
+    infeasible = arrays.INFEASIBLE
+    failpoints = faults.FAILPOINTS
+    decisions: List[bool] = []
+    screen_rejects = 0
+    for sid in ids:
+        if 0 <= sid < size and eligible[sid] \
+                and verdict[sid] == infeasible:
+            # The scalar path would fire the probe failpoint, reject on
+            # the necessary bound and count one screened decision.
+            if failpoints._active:
+                failpoints.fire("algo.feasibility")
+            screen_rejects += 1
+            decisions.append(False)
+        else:
+            decisions.append(robust_after_placement(
+                placement, sid, replica_load, chosen, failures,
+                extra_reserve, future_siblings, obs=obs))
+    if obs is not None and screen_rejects:
+        obs.counter("feasibility.screened").inc(screen_rejects)
+    return decisions
 
 
 # ---------------------------------------------------------------------------

@@ -101,8 +101,8 @@ class RobustBestFit(_CheckedBaseline):
 
     def _select(self, replica: Replica,
                 chosen: List[int]) -> Optional[int]:
-        for sid in self._index.candidates(min_avail=replica.load,
-                                          exclude=chosen):
+        for sid in self._index.iter_candidates(min_avail=replica.load,
+                                               exclude=chosen):
             if self._feasible(sid, replica, chosen):
                 return sid
         return None
@@ -116,9 +116,9 @@ class RobustFirstFit(_CheckedBaseline):
 
     def _select(self, replica: Replica,
                 chosen: List[int]) -> Optional[int]:
-        candidates = self._index.candidates(min_avail=replica.load,
-                                            exclude=chosen)
-        for sid in sorted(candidates):
+        candidates = self._index.candidates_by_id(min_avail=replica.load,
+                                                  exclude=chosen)
+        for sid in candidates:
             if self._feasible(sid, replica, chosen):
                 return sid
         return None

@@ -160,8 +160,8 @@ class OfflineFirstFitDecreasing(OnlinePlacementAlgorithm):
         for replica in tenant.replicas(self.gamma):
             future = self.gamma - len(chosen) - 1
             target = None
-            for sid in sorted(self._index.candidates(
-                    min_avail=replica.load, exclude=chosen)):
+            for sid in self._index.candidates_by_id(
+                    min_avail=replica.load, exclude=chosen):
                 if robust_after_placement(self.placement, sid,
                                           replica.load, chosen,
                                           failures=self.failures,

@@ -94,9 +94,9 @@ class RFI(OnlinePlacementAlgorithm):
         """Fullest feasible server for ``replica`` (Best Fit), or None."""
         max_level = (self.mu * self.placement.capacity - replica.load
                      if is_primary else None)
-        candidates = self._index.candidates(min_avail=replica.load,
-                                            max_level=max_level,
-                                            exclude=chosen)
+        candidates = self._index.iter_candidates(min_avail=replica.load,
+                                                 max_level=max_level,
+                                                 exclude=chosen)
         future = self.gamma - len(chosen) - 1
         for sid in candidates:
             if robust_after_placement(self.placement, sid, replica.load,

@@ -1,0 +1,391 @@
+"""Struct-of-arrays mirror of placement state (the *array core*).
+
+:class:`~repro.core.placement.PlacementState` keeps exact per-server
+state in Python objects and dicts; every feasibility probe then pays a
+chain of attribute lookups and memo-dict probes per server.  This module
+mirrors the quantities the hot paths actually read into flat numpy
+vectors — per server id:
+
+* ``capacity`` and ``load`` (the bin level),
+* the memoized worst-case failover load (the paper's top-``f``
+  shared-load sum),
+* ``headroom = capacity - load`` and the robust availability
+  ``avail = headroom - worst_failover``,
+* the replica count and an eligibility mask (CUBEFIT maturity).
+
+The vectors are kept in sync *incrementally* through the placement's
+existing invalidation stream (:meth:`PlacementState.dirty_tracker`):
+each mutation marks the affected servers, and the core refreshes
+exactly those — eagerly before a vector query (:meth:`sync`), or lazily
+per server id on scalar reads (:meth:`scalar`), so probe-heavy
+algorithms never pay for servers they are not looking at.
+
+Crucially the worst-failover entries are **assigned from**
+:meth:`PlacementState.worst_failover_load` — never maintained by
+incremental float arithmetic — so a scalar read from the core is
+bit-identical to the dict path and the array core can never drift the
+screened-feasibility decisions of
+:func:`repro.algorithms.base.robust_after_placement`.  The
+``REPRO_ARRAY_CORE`` switch (on by default) disables the whole layer for
+differential testing: the property suite replays identical workloads
+with the core on and off and demands identical packings and identical
+``feasibility.*`` accounting.
+
+:meth:`ArrayCore.batch_screen` is the vectorized face of PR 4's
+screened feasibility: one pass classifies every server as
+screen-feasible / screen-infeasible / ambiguous using the same
+``1e-9`` guard band; only the ambiguous band needs the scalar exact
+``worst_shared_sum`` (see
+:func:`repro.algorithms.base.batch_robust_after_placement` for the
+resolver that drops to it).
+
+The ``array_core.desync`` failpoint corrupts a worst-failover value as
+it is written into the vector (a simulated stale read).  The default
+float mutator *inflates* the value, which keeps the screen conservative
+— a desynced core may refuse placements but never admits a
+non-robust one — so under chaos the conformance contract (typed error
+XOR audit-clean) holds on the audit-clean side; ``raise``/``crash``
+policies exercise the typed side.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Set, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from .. import faults
+from ..errors import ConfigurationError, PlacementError
+from .tenant import LOAD_EPS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .placement import PlacementState
+
+#: Environment switch for the array-core layer (on unless "0"/"false"/...).
+ARRAY_CORE_ENV_VAR = "REPRO_ARRAY_CORE"
+
+#: Safety margin on the screened feasibility bounds (see
+#: :func:`repro.algorithms.base.robust_after_placement`): decisions
+#: closer than this to a cached bound fall into the ambiguous band and
+#: are settled by the exact top-``f`` sum.
+SCREEN_MARGIN = 1e-9
+
+#: :meth:`ArrayCore.batch_screen` verdict codes.
+FEASIBLE = np.int8(1)
+INFEASIBLE = np.int8(-1)
+AMBIGUOUS = np.int8(0)
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(ARRAY_CORE_ENV_VAR, "").strip().lower() \
+        not in ("0", "false", "no", "off")
+
+
+_ENABLED = _env_enabled()
+
+
+def enabled() -> bool:
+    """Whether new indexes/placements build array cores."""
+    return _ENABLED
+
+
+def set_enabled(value: bool) -> bool:
+    """Set the switch; returns the previous value.
+
+    Only affects *newly constructed* cores/indexes — live objects keep
+    the engine they were built with (that is what makes on/off
+    differential runs meaningful).
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(value)
+    return previous
+
+
+@contextmanager
+def overridden(value: bool) -> Iterator[None]:
+    """Scoped :func:`set_enabled` (the differential-test helper)."""
+    previous = set_enabled(value)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+class ArrayCore:
+    """Per-``failures`` struct-of-arrays view over one placement.
+
+    Two usage modes share the implementation:
+
+    * ``eligibility=True`` — owned by a
+      :class:`~repro.algorithms.base.ServerIndex`: servers are tracked
+      explicitly via :meth:`track`, ineligible servers keep the
+      ``avail = -inf`` sentinel (one float compare doubles as the
+      eligibility filter) and are skipped by :meth:`sync`, exactly the
+      PR 4 semantics.  The index *registers* its core with the
+      placement (:meth:`PlacementState.register_array_core`), so the
+      scalar probe path (:func:`~repro.algorithms.base
+      .robust_after_placement`) reads ``headroom``/``worst_failover``
+      out of the very vectors the index's candidate queries keep
+      synced — one set of arrays per failure budget, no duplicate
+      bookkeeping.
+    * ``eligibility=False`` — standalone: every placement server is
+      tracked automatically on sync, for direct :meth:`batch_screen`
+      use over a whole placement without an index.
+    """
+
+    _GROW = 1024
+
+    def __init__(self, placement: "PlacementState", failures: int,
+                 eligibility: bool = False) -> None:
+        if failures < 0:
+            raise ConfigurationError(
+                f"failures must be non-negative, got {failures}")
+        self.placement = placement
+        self.failures = failures
+        self._explicit_eligibility = eligibility
+        n = self._GROW
+        self._cap = np.zeros(n, dtype=np.float64)
+        self._load = np.zeros(n, dtype=np.float64)
+        self._wfl = np.zeros(n, dtype=np.float64)
+        self._avail = np.full(n, -np.inf, dtype=np.float64)
+        self._nrep = np.zeros(n, dtype=np.int64)
+        self._eligible = np.zeros(n, dtype=bool)
+        self.size = 0
+        self._tracker = placement.dirty_tracker()
+        #: Drained-but-unrefreshed ids (the lazy scalar-read mode).
+        self._pending: Set[int] = set()
+
+    def close(self) -> None:
+        """Unsubscribe from the placement's invalidation stream."""
+        self._tracker.close()
+
+    # ------------------------------------------------------------------
+    # Growth / tracking
+    # ------------------------------------------------------------------
+    def _ensure(self, server_id: int) -> None:
+        while server_id >= len(self._load):
+            grow = self._GROW
+            self._cap = np.concatenate(
+                [self._cap, np.zeros(grow, dtype=np.float64)])
+            self._load = np.concatenate(
+                [self._load, np.zeros(grow, dtype=np.float64)])
+            self._wfl = np.concatenate(
+                [self._wfl, np.zeros(grow, dtype=np.float64)])
+            self._avail = np.concatenate(
+                [self._avail, np.full(grow, -np.inf, dtype=np.float64)])
+            self._nrep = np.concatenate(
+                [self._nrep, np.zeros(grow, dtype=np.int64)])
+            self._eligible = np.concatenate(
+                [self._eligible, np.zeros(grow, dtype=bool)])
+        self.size = max(self.size, server_id + 1)
+
+    def track(self, server_id: int, eligible: bool = True) -> None:
+        """Start mirroring ``server_id`` (must exist in the placement)."""
+        self._ensure(server_id)
+        # Capacity is fixed at server creation; mirror it once here so
+        # refresh never re-writes it.
+        self._cap[server_id] = self.placement._servers[server_id].capacity
+        self._eligible[server_id] = eligible
+        self.refresh((server_id,))
+
+    def set_eligible(self, server_id: int, eligible: bool) -> None:
+        self._ensure(server_id)
+        if bool(self._eligible[server_id]) == eligible:
+            return
+        self._eligible[server_id] = eligible
+        self.refresh((server_id,))
+
+    def is_eligible(self, server_id: int) -> bool:
+        return server_id < self.size and bool(self._eligible[server_id])
+
+    # ------------------------------------------------------------------
+    # Incremental sync
+    # ------------------------------------------------------------------
+    def refresh(self, server_ids: Iterable[int]) -> None:
+        """Recompute the vectors for the given (tracked) servers.
+
+        Ineligible servers keep ``avail = -inf`` and skip the
+        worst-failover recomputation — candidate queries cannot return
+        them, and their vectors are rebuilt the moment
+        :meth:`set_eligible` promotes them.  Only the mutable hot
+        quantities are written here (load, worst-failover,
+        availability); capacity is mirrored once at :meth:`track` time
+        and headroom / replica counts are derived on read, which keeps
+        the per-server refresh at three array writes — the incremental
+        cost that every candidate-query sync pays.
+        """
+        placement = self.placement
+        servers = placement._servers
+        wfl_of = placement.worst_failover_load
+        failures = self.failures
+        size = self.size
+        eligible = self._eligible
+        failpoints = faults.FAILPOINTS
+        for sid in server_ids:
+            if sid >= size:
+                continue
+            server = servers[sid]
+            load = server.load
+            self._load[sid] = load
+            if eligible[sid]:
+                value = wfl_of(sid, failures)
+                if failpoints._active:
+                    value = failpoints.corrupt("array_core.desync", value)
+                self._wfl[sid] = value
+                self._avail[sid] = (server.capacity - load) - value
+            else:
+                self._avail[sid] = -np.inf
+
+    def sync(self) -> None:
+        """Eagerly refresh every server mutated since the last query."""
+        tracker = self._tracker
+        pending = self._pending
+        if tracker._dirty:
+            pending |= tracker.drain()
+        if not pending:
+            return
+        if not self._explicit_eligibility:
+            for sid in pending:
+                self._auto_track(sid)
+        self.refresh(pending)
+        pending.clear()
+
+    def _auto_track(self, server_id: int) -> None:
+        """Automatic tracking (standalone mode)."""
+        if server_id >= self.size:
+            self._ensure(server_id)
+        self._cap[server_id] = self.placement._servers[server_id].capacity
+        self._eligible[server_id] = True
+
+    def scalar(self, server_id: int) -> Tuple[float, float]:
+        """``(headroom, worst_failover)`` of one server, lazily synced.
+
+        Probes of servers untouched since the last refresh read straight
+        out of the vectors (as plain Python floats — downstream float
+        arithmetic is much cheaper than on numpy scalars).  Dirty,
+        untracked or ineligible servers are answered from the placement
+        — the same memoized values a refresh would assign, so the
+        result is identical — without writing the vectors, and dirty
+        ids stay pending for the next vector query: a probe after a
+        mutation costs O(1) regardless of how many servers the mutation
+        touched, and pure scalar workloads never pay for array writes
+        at all.
+        """
+        # Membership tests only — the dirty set is left for the next
+        # vector query to drain, so a scalar probe never allocates.
+        if server_id not in self._tracker._dirty \
+                and server_id not in self._pending \
+                and server_id < self.size \
+                and self._eligible[server_id]:
+            return (self._cap.item(server_id)
+                    - self._load.item(server_id),
+                    self._wfl.item(server_id))
+        placement = self.placement
+        try:
+            server = placement._servers[server_id]
+        except KeyError:
+            raise PlacementError(
+                f"no such server: {server_id}") from None
+        if self._explicit_eligibility and server_id >= self.size:
+            raise PlacementError(
+                f"server {server_id} is not tracked by this index")
+        value = placement.worst_failover_load(server_id, self.failures)
+        if faults.FAILPOINTS._active:
+            value = faults.FAILPOINTS.corrupt("array_core.desync", value)
+        return server.capacity - server.load, value
+
+    # ------------------------------------------------------------------
+    # Vector reads (tests / reporting)
+    # ------------------------------------------------------------------
+    def loads(self) -> np.ndarray:
+        """Per-server load vector (synced view, length :attr:`size`)."""
+        self.sync()
+        return self._load[:self.size]
+
+    def worst_failovers(self) -> np.ndarray:
+        self.sync()
+        return self._wfl[:self.size]
+
+    def avails(self) -> np.ndarray:
+        self.sync()
+        return self._avail[:self.size]
+
+    def headrooms(self) -> np.ndarray:
+        """Per-server ``capacity - load`` (derived; not stored)."""
+        self.sync()
+        n = self.size
+        return self._cap[:n] - self._load[:n]
+
+    def replica_counts(self) -> np.ndarray:
+        """Per-server replica counts, rebuilt on read.
+
+        Counts are reporting-only, so they are not maintained by the
+        incremental refresh (that would tax every candidate-query
+        sync); this recounts the tracked prefix from the placement.
+        """
+        self.sync()
+        servers = self.placement._servers
+        for sid in range(self.size):
+            server = servers.get(sid)
+            self._nrep[sid] = 0 if server is None else len(server)
+        return self._nrep[:self.size]
+
+    def eligibles(self) -> np.ndarray:
+        self.sync()
+        return self._eligible[:self.size]
+
+    # ------------------------------------------------------------------
+    # Vectorized screening
+    # ------------------------------------------------------------------
+    def batch_screen(self, replica_load: float, n_bumped: int = 0,
+                     extra_reserve: float = 0.0) -> np.ndarray:
+        """Classify every tracked server for hosting one replica.
+
+        Returns an ``int8`` array of length :attr:`size`:
+        :data:`FEASIBLE` (+1) where the sufficient bound accepts,
+        :data:`INFEASIBLE` (-1) where the necessary bound rejects, and
+        :data:`AMBIGUOUS` (0) in between — exactly the bounds of
+        :func:`repro.algorithms.base.robust_after_placement` with
+        ``n_bumped`` anticipated shared-load bumps (placed siblings
+        plus future siblings), evaluated in one vectorized pass.
+        Ineligible servers are reported infeasible.
+
+        Ambiguous entries must be settled by the exact
+        ``worst_shared_sum``; see
+        :func:`repro.algorithms.base.batch_robust_after_placement`.
+        """
+        for name, value in (("replica_load", replica_load),
+                            ("extra_reserve", extra_reserve)):
+            if not math.isfinite(value):
+                raise ConfigurationError(
+                    f"{name} must be finite, got {value!r}")
+        if n_bumped < 0:
+            raise ConfigurationError(
+                f"n_bumped must be non-negative, got {n_bumped}")
+        self.sync()
+        n = self.size
+        verdict = np.zeros(n, dtype=np.int8)
+        if n == 0:
+            return verdict
+        # Mirror the scalar screen's float expressions operation for
+        # operation so batch and scalar classifications are bit-equal.
+        empty_after = ((self._cap[:n] - self._load[:n]) - replica_load) \
+            - extra_reserve
+        failures = self.failures
+        if failures <= 0:
+            feasible = empty_after + LOAD_EPS >= 0.0
+            verdict[feasible] = FEASIBLE
+            verdict[~feasible] = INFEASIBLE
+        else:
+            wfl = self._wfl[:n]
+            delta = replica_load * min(failures, n_bumped)
+            infeasible = empty_after + LOAD_EPS < wfl - SCREEN_MARGIN
+            feasible = empty_after >= (wfl + SCREEN_MARGIN) + delta
+            verdict[feasible] = FEASIBLE
+            verdict[infeasible] = INFEASIBLE
+        verdict[~self._eligible[:n]] = INFEASIBLE
+        return verdict

@@ -152,8 +152,8 @@ class CubeFit(OnlinePlacementAlgorithm):
     def _find_mature_fit(self, replica: Replica, tau: int,
                          chosen: Sequence[int]) -> Optional[int]:
         """Best Fit: fullest mature bin that exactly m-fits ``replica``."""
-        candidates = self._index.candidates(min_avail=replica.load,
-                                            exclude=chosen)
+        candidates = self._index.iter_candidates(min_avail=replica.load,
+                                                 exclude=chosen)
         placement = self.placement
         server_of = placement._servers
         same_class_ok = self.config.allow_same_class_first_stage

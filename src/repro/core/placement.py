@@ -46,6 +46,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, \
     Set, Tuple
 
 from ..errors import ConfigurationError, PlacementError, ShadowAuditError
+from . import arrays as _arrays
 from .server import Server, UNIT_CAPACITY
 from .tenant import LOAD_EPS, Replica, Tenant
 
@@ -152,6 +153,14 @@ class PlacementState:
         self._slack_cache_enabled = slack_cache
         #: server id -> {failure budget -> worst-case failover load}
         self._wfl_cache: Dict[int, Dict[int, float]] = {}
+        #: server id -> {count -> top-``count`` (value, partner) pairs}
+        self._top_cache: Dict[int, Dict[int, List[Tuple[float, int]]]] = {}
+        #: Times :meth:`top_partners` had to recompute a top set (the
+        #: memoization regression counter; probes between mutations of
+        #: a server must not grow it).
+        self.top_partner_recomputes = 0
+        #: failure budget -> shared struct-of-arrays mirror
+        self._array_cores: Dict[int, "_arrays.ArrayCore"] = {}
         #: live consumer handles fed by every mutation
         self._trackers: List[DirtyTracker] = []
         self.shadow_audit = _shadow_audit_default() \
@@ -169,6 +178,7 @@ class PlacementState:
         ids = list(server_ids)
         for sid in ids:
             self._wfl_cache.pop(sid, None)
+            self._top_cache.pop(sid, None)
         for tracker in self._trackers:
             tracker._dirty.update(ids)
 
@@ -185,10 +195,53 @@ class PlacementState:
         return tracker
 
     def set_slack_cache(self, enabled: bool) -> None:
-        """Enable or disable worst-failover memoization at run time."""
+        """Enable or disable worst-failover memoization at run time.
+
+        Disabling restores the naive recompute-every-time behaviour
+        (the benchmark baseline), so it also drops the top-partner memo.
+        Registered array cores are *not* closed — a live
+        :class:`~repro.algorithms.base.ServerIndex` owns them and they
+        stay correct either way (refreshes assign from
+        :meth:`worst_failover_load`, which now recomputes) — but
+        :meth:`array_core` stops handing them to the probe paths, so
+        naive-mode feasibility checks pay the full naive cost.
+        """
         self._slack_cache_enabled = enabled
         if not enabled:
             self._wfl_cache.clear()
+            self._top_cache.clear()
+
+    def register_array_core(self, core: "_arrays.ArrayCore") -> None:
+        """Publish ``core`` as this placement's mirror for its failure
+        budget.
+
+        Called by :class:`~repro.algorithms.base.ServerIndex` so the
+        scalar probe path (:func:`~repro.algorithms.base
+        .robust_after_placement`) reads the *same* vectors the index
+        maintains — one set of arrays, synced by the index's own
+        candidate queries, instead of duplicate bookkeeping per
+        consumer.  A later registration for the same budget displaces
+        the earlier one (index rebuilds on adoption).
+        """
+        self._array_cores[core.failures] = core
+
+    def array_core(self, failures: int) -> Optional["_arrays.ArrayCore"]:
+        """The registered struct-of-arrays mirror for one failure
+        budget, or ``None``.
+
+        ``None`` when no :class:`~repro.algorithms.base.ServerIndex`
+        has registered a core for this budget, or when the array layer
+        is gated off: the ``REPRO_ARRAY_CORE`` switch is off, the slack
+        cache is disabled (naive mode must pay the naive recompute on
+        every probe), or shadow auditing is on (every read must flow
+        through the audited scalar path).
+        """
+        core = self._array_cores.get(failures)
+        if core is None or self.shadow_audit \
+                or not self._slack_cache_enabled \
+                or not _arrays.enabled():
+            return None
+        return core
 
     @property
     def slack_cache_enabled(self) -> bool:
@@ -406,7 +459,48 @@ class PlacementState:
         values = self._shared[server_id].values()
         if len(values) <= f:
             return sum(values)
-        return sum(heapq.nlargest(f, values))
+        return sum(v for v, _ in self.top_partners(server_id, f))
+
+    def top_partners(self, server_id: int,
+                     count: int) -> List[Tuple[float, int]]:
+        """The ``count`` largest shared loads as ``(value, partner)``
+        pairs, value-descending.
+
+        Memoized per ``(server, count)`` and invalidated through the
+        same :meth:`_touch` stream as the worst-failover cache, so
+        repeated ambiguous-band probes of an unmutated server reuse one
+        top-set instead of re-heaping the partner dict every time
+        (:attr:`top_partner_recomputes` counts the recomputations).
+        Bypasses the memo while the slack cache is disabled.
+        """
+        shared = self._shared[server_id]
+        if not self._slack_cache_enabled:
+            self.top_partner_recomputes += 1
+            return self._top_of(shared, count)
+        per_server = self._top_cache.get(server_id)
+        if per_server is None:
+            per_server = self._top_cache[server_id] = {}
+        entry = per_server.get(count)
+        if entry is None:
+            self.top_partner_recomputes += 1
+            entry = per_server[count] = self._top_of(shared, count)
+        return entry
+
+    @staticmethod
+    def _top_of(shared: Dict[int, float],
+                count: int) -> List[Tuple[float, int]]:
+        if count <= 0 or not shared:
+            return []
+        if count == 1:
+            best_id, best = None, float("-inf")
+            for other, value in shared.items():
+                if value > best:
+                    best, best_id = value, other
+            return [(best, best_id)]
+        pairs = ((value, other) for other, value in shared.items())
+        if len(shared) <= count:
+            return sorted(pairs, key=lambda pair: -pair[0])
+        return heapq.nlargest(count, pairs)
 
     # ------------------------------------------------------------------
     # Shadow audit (falsifiability of the slack index)

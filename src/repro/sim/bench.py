@@ -44,9 +44,11 @@ FACTORIES: Dict[str, Callable[[], OnlinePlacementAlgorithm]] = {
     "nextfit": lambda: RobustNextFit(gamma=2),
 }
 
-#: Tenant counts timed by default: the historical 2k scenario plus a
-#: 10k scenario that stresses the screened fast path at fleet scale.
-DEFAULT_SCALES: Sequence[int] = (2000, 10000)
+#: Tenant counts timed by default: the historical 2k scenario, a 10k
+#: scenario that stresses the screened fast path at fleet scale, and a
+#: 100k scenario where the array core's batch screening and candidate
+#: vectors carry tens of thousands of servers per query.
+DEFAULT_SCALES: Sequence[int] = (2000, 10000, 100000)
 DEFAULT_ROUNDS = 3
 BENCH_SEED = 0
 BENCH_DISTRIBUTION_MAX = 0.6

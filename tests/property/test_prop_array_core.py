@@ -1,0 +1,239 @@
+"""Differential property: the array core changes nothing but speed.
+
+The ``REPRO_ARRAY_CORE`` switch selects between two engines for the
+candidate index and the feasibility probe path: the struct-of-arrays
+core (:mod:`repro.core.arrays`, the default) and the PR 4 scalar
+engine preserved verbatim behind the off-switch.  The core is only
+sound if a whole run — arrivals, departures, elastic resizes, every
+candidate query and every screened probe — is *bit-identical* under
+both engines: same replica-to-server assignments, same server counts,
+and the same ``feasibility.screened`` / ``feasibility.exact``
+accounting.  These tests replay random workloads and random probes
+under both settings and demand exactly that, including loads nudged
+onto the ``1e-9`` guard band where a single ULP of drift would flip a
+decision.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.base import ServerIndex, robust_after_placement
+from repro.algorithms.naive import (RobustBestFit, RobustFirstFit,
+                                    RobustNextFit)
+from repro.algorithms.rfi import RFI
+from repro.core import arrays
+from repro.core.arrays import SCREEN_MARGIN
+from repro.core.placement import PlacementState
+from repro.core.tenant import Tenant
+from repro.errors import CapacityError
+from repro.obs import MetricsRegistry
+
+MAX_SERVERS = 8
+
+FACTORIES = {
+    "bestfit": RobustBestFit,
+    "firstfit": RobustFirstFit,
+    "nextfit": RobustNextFit,
+    "rfi": RFI,
+}
+
+
+def _draw_ops(data, n_min=4, n_max=24):
+    """A reproducible interleaving of place / remove / resize ops."""
+    ops = []
+    live = []
+    next_tid = 0
+    for step in range(data.draw(st.integers(n_min, n_max),
+                                label="n_ops")):
+        kinds = ["place", "place"]
+        if live:
+            kinds += ["remove", "resize"]
+        kind = data.draw(st.sampled_from(kinds), label=f"op[{step}]")
+        if kind == "place":
+            load = data.draw(st.floats(0.01, 0.9),
+                             label=f"load[{step}]")
+            ops.append(("place", next_tid, load))
+            live.append(next_tid)
+            next_tid += 1
+        elif kind == "remove":
+            tid = data.draw(st.sampled_from(live),
+                            label=f"victim[{step}]")
+            live.remove(tid)
+            ops.append(("remove", tid, None))
+        else:
+            tid = data.draw(st.sampled_from(live),
+                            label=f"resized[{step}]")
+            load = data.draw(st.floats(0.01, 0.9),
+                             label=f"newload[{step}]")
+            ops.append(("resize", tid, load))
+    return ops
+
+
+def _replay(name, gamma, ops, core_on):
+    """Run one algorithm over ``ops``; return its observable outcome."""
+    with arrays.overridden(core_on):
+        algo = FACTORIES[name](gamma=gamma)
+        registry = MetricsRegistry()
+        algo.attach_obs(registry)
+        for kind, tid, load in ops:
+            if kind == "place":
+                algo.place(Tenant(tid, load))
+            elif kind == "remove":
+                algo.remove(tid)
+            else:
+                algo.update_load(tid, load)
+        placement = algo.placement
+        fingerprint = sorted(
+            (tid, index, sid)
+            for tid in placement.tenant_ids
+            for index, sid in placement.tenant_servers(tid).items())
+        snapshot = registry.snapshot()
+        counters = {
+            key: snapshot.get(key, {}).get("value", 0)
+            for key in ("feasibility.screened", "feasibility.exact")}
+        return fingerprint, placement.num_servers, counters
+
+
+@given(name=st.sampled_from(sorted(FACTORIES)),
+       gamma=st.integers(1, 3), data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_interleaved_workload_is_engine_invariant(name, gamma, data):
+    """Same ops, both engines: identical placements, server counts and
+    ``feasibility.*`` accounting — across gammas including 1 (a zero
+    failure budget) and all the scalar baselines plus RFI."""
+    if name == "rfi" and gamma < 2:
+        gamma = 2  # RFI's one-failure reserve needs replication
+    ops = _draw_ops(data)
+    outcome_on = _replay(name, gamma, ops, core_on=True)
+    outcome_off = _replay(name, gamma, ops, core_on=False)
+    assert outcome_on == outcome_off, (
+        f"engines diverged for {name} gamma={gamma}: "
+        f"on={outcome_on} off={outcome_off}")
+
+
+def _random_placement(data, gamma):
+    """Grow a placement through a drawn interleaving of mutations
+    (mirrors the feasibility-screen property suite)."""
+    ps = PlacementState(gamma=gamma)
+    for _ in range(gamma + 1):
+        ps.open_server()
+    next_tid = 0
+    for step in range(data.draw(st.integers(3, 20), label="n_grow")):
+        op = data.draw(
+            st.sampled_from(["place_tenant", "partial", "remove",
+                             "open_server"]),
+            label=f"grow[{step}]")
+        if op == "open_server" and ps.num_servers < MAX_SERVERS:
+            ps.open_server()
+        elif op == "place_tenant":
+            load = data.draw(st.floats(0.01, 0.8), label="load")
+            perm = data.draw(st.permutations(ps.server_ids),
+                             label="targets")
+            try:
+                ps.place_tenant(Tenant(next_tid, load), perm[:gamma])
+            except CapacityError:
+                continue
+            next_tid += 1
+        elif op == "partial":
+            load = data.draw(st.floats(0.01, 0.8), label="load")
+            tenant = Tenant(next_tid, load)
+            count = data.draw(st.integers(1, gamma), label="count")
+            perm = data.draw(st.permutations(ps.server_ids),
+                             label="targets")
+            try:
+                for replica, sid in zip(tenant.replicas(gamma)[:count],
+                                        perm):
+                    ps.place(replica, sid)
+            except CapacityError:
+                pass
+            next_tid += 1
+        elif op == "remove" and ps.tenant_ids:
+            victim = data.draw(st.sampled_from(ps.tenant_ids),
+                               label="victim")
+            ps.remove_tenant(victim)
+    return ps
+
+
+def _indexed(ps, failures):
+    """Register an array core for ``failures`` and make it clean, so
+    vector-path probes actually read the vectors."""
+    with arrays.overridden(True):
+        index = ServerIndex(ps, failures=failures)
+        for sid in ps.server_ids:
+            index.track(sid)
+        index.candidates(min_avail=0.0)  # sync: drain the tracker
+    return index
+
+
+def _differential_probe(ps, reg_on, reg_off, *args, **kwargs):
+    with arrays.overridden(True):
+        on = robust_after_placement(*((ps,) + args), obs=reg_on,
+                                    **kwargs)
+    with arrays.overridden(False):
+        off = robust_after_placement(*((ps,) + args), obs=reg_off,
+                                     **kwargs)
+    assert on == off, (
+        f"probe diverged: args={args} kwargs={kwargs} "
+        f"vector={on} scalar={off}")
+    return on
+
+
+@given(gamma=st.integers(2, 4), data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_probe_decisions_and_accounting_match(gamma, data):
+    """Every probe answers identically through the vectors and through
+    the dict path, and both modes charge the same counter."""
+    ps = _random_placement(data, gamma)
+    failures = gamma - 1
+    _indexed(ps, failures)
+    reg_on, reg_off = MetricsRegistry(), MetricsRegistry()
+    n_probes = data.draw(st.integers(1, 10), label="n_probes")
+    for probe in range(n_probes):
+        replica_load = data.draw(st.floats(0.001, 1.2),
+                                 label=f"replica_load[{probe}]")
+        perm = data.draw(st.permutations(ps.server_ids),
+                         label=f"servers[{probe}]")
+        n_chosen = data.draw(st.integers(0, min(gamma - 1,
+                                                len(perm) - 1)),
+                             label=f"n_chosen[{probe}]")
+        # Mostly probe the registered failure budget (the vector path);
+        # sometimes another budget (dict path in both modes).
+        f = data.draw(st.sampled_from([failures, failures, failures,
+                                       0, gamma]),
+                      label=f"f[{probe}]")
+        future = data.draw(st.integers(0, gamma - 1 - n_chosen),
+                           label=f"future[{probe}]")
+        _differential_probe(
+            ps, reg_on, reg_off, perm[0], replica_load,
+            perm[1:1 + n_chosen], f,
+            extra_reserve=data.draw(st.sampled_from([0.0, 0.05, 0.3]),
+                                    label=f"reserve[{probe}]"),
+            future_siblings=future)
+    assert reg_on.snapshot() == reg_off.snapshot()
+    snapshot = reg_on.snapshot()
+    counted = snapshot.get("feasibility.screened", {}).get("value", 0) \
+        + snapshot.get("feasibility.exact", {}).get("value", 0)
+    assert counted == n_probes
+
+
+@given(gamma=st.integers(2, 3), data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_guard_band_boundaries_are_engine_invariant(gamma, data):
+    """Loads nudged onto the screen's ``1e-9`` guard band: the one
+    place a single ULP of float drift between the engines would
+    surface as a flipped decision."""
+    ps = _random_placement(data, gamma)
+    failures = gamma - 1
+    _indexed(ps, failures)
+    reg_on, reg_off = MetricsRegistry(), MetricsRegistry()
+    for sid in ps.server_ids:
+        server = ps.server(sid)
+        cached = ps.worst_failover_load(sid, failures)
+        headroom = server.capacity - server.load - cached
+        for nudge in (-1e-6, -1e-12, -SCREEN_MARGIN, 0.0,
+                      SCREEN_MARGIN, 1e-12, 1e-6):
+            replica_load = headroom + nudge
+            if replica_load <= 0.0:
+                continue
+            _differential_probe(ps, reg_on, reg_off, sid,
+                                replica_load, (), failures)
+    assert reg_on.snapshot() == reg_off.snapshot()

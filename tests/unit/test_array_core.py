@@ -1,0 +1,352 @@
+"""Unit tests for the struct-of-arrays placement core.
+
+Covers the incremental sync contract (dirty-tracker flush ordering,
+eligibility flips, the ``-inf`` availability sentinel), the
+:meth:`~repro.core.arrays.ArrayCore.batch_screen` edge cases (empty
+fleet, single server, an all-ambiguous band, non-finite inputs), the
+scalar/batch classification identity, the engine switch helpers, and
+the top-partner memoization that keeps ambiguous-band probes cheap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import (ServerIndex,
+                                   batch_robust_after_placement,
+                                   robust_after_placement)
+from repro.core import arrays
+from repro.core.arrays import (AMBIGUOUS, FEASIBLE, INFEASIBLE,
+                               ArrayCore)
+from repro.core.placement import PlacementState
+from repro.core.tenant import Tenant
+from repro.errors import ConfigurationError, PlacementError
+from repro.obs import MetricsRegistry
+
+
+def _placement(gamma=2, servers=4):
+    ps = PlacementState(gamma=gamma)
+    for _ in range(servers):
+        ps.open_server()
+    return ps
+
+
+def _tracked_core(ps, failures=1):
+    core = ArrayCore(ps, failures, eligibility=True)
+    for sid in ps.server_ids:
+        core.track(sid)
+    return core
+
+
+class TestConstruction:
+    def test_negative_failures_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArrayCore(_placement(), failures=-1)
+
+    def test_switch_helpers_round_trip(self):
+        before = arrays.enabled()
+        previous = arrays.set_enabled(not before)
+        assert previous == before
+        assert arrays.enabled() == (not before)
+        with arrays.overridden(before):
+            assert arrays.enabled() == before
+        assert arrays.enabled() == (not before)
+        arrays.set_enabled(before)
+
+    def test_growth_past_initial_capacity(self):
+        ps = PlacementState(gamma=2)
+        core = ArrayCore(ps, failures=1, eligibility=True)
+        for _ in range(ArrayCore._GROW + 3):
+            ps.open_server()
+        core.track(ArrayCore._GROW + 2)
+        assert core.size == ArrayCore._GROW + 3
+        assert core.is_eligible(ArrayCore._GROW + 2)
+
+
+class TestIncrementalSync:
+    def test_mutations_flush_on_next_vector_query(self):
+        ps = _placement()
+        core = _tracked_core(ps)
+        ps.place_tenant(Tenant(0, 0.4), [0, 1])
+        # The mutation is only staged: the tracker holds the dirty ids
+        # until a vector query drains them.
+        assert 0 in core._tracker._dirty
+        loads = core.loads()
+        assert loads[0] == ps.server(0).load
+        assert loads[1] == ps.server(1).load
+        assert loads[0] > 0.0
+        assert not core._tracker._dirty
+        assert not core._pending
+
+    def test_vectors_match_placement_after_interleaved_mutations(self):
+        ps = _placement()
+        core = _tracked_core(ps)
+        ps.place_tenant(Tenant(0, 0.3), [0, 1])
+        ps.place_tenant(Tenant(1, 0.2), [1, 2])
+        ps.remove_tenant(0)
+        ps.place_tenant(Tenant(2, 0.25), [0, 2])
+        core.sync()
+        for sid in ps.server_ids:
+            server = ps.server(sid)
+            assert core.loads()[sid] == server.load
+            expected = (server.capacity - server.load
+                        - ps.worst_failover_load(sid, core.failures))
+            assert core.avails()[sid] == expected
+
+    def test_ineligible_servers_hold_the_sentinel(self):
+        ps = _placement()
+        core = _tracked_core(ps)
+        core.set_eligible(2, False)
+        assert core.avails()[2] == -np.inf
+        # Mutations of ineligible servers are skipped by sync...
+        ps.place_tenant(Tenant(0, 0.5), [2, 3])
+        core.sync()
+        assert core.avails()[2] == -np.inf
+        # ...and rebuilt the moment eligibility is restored.
+        core.set_eligible(2, True)
+        server = ps.server(2)
+        expected = (server.capacity - server.load) \
+            - ps.worst_failover_load(2, 1)
+        assert core.avails()[2] == expected
+
+    def test_eligibility_flip_is_idempotent(self):
+        ps = _placement()
+        core = _tracked_core(ps)
+        before = core.avails().copy()
+        core.set_eligible(1, True)  # already eligible: no refresh
+        assert np.array_equal(core.avails(), before)
+
+    def test_scalar_matches_post_sync_vectors(self):
+        ps = _placement()
+        core = _tracked_core(ps)
+        ps.place_tenant(Tenant(0, 0.35), [0, 1])
+        # Dirty read (answered from the placement)...
+        dirty_answer = core.scalar(0)
+        core.sync()
+        # ...must equal the refreshed vector read bit for bit.
+        assert core.scalar(0) == dirty_answer
+
+    def test_scalar_untracked_raises_for_explicit_core(self):
+        ps = _placement(servers=2)
+        core = ArrayCore(ps, failures=1, eligibility=True)
+        core.track(0)
+        ps.open_server()  # server 2, never tracked
+        with pytest.raises(PlacementError):
+            core.scalar(2)
+
+    def test_scalar_missing_server_raises(self):
+        core = _tracked_core(_placement())
+        with pytest.raises(PlacementError):
+            core.scalar(99)
+
+    def test_replica_counts_and_headrooms_are_derived(self):
+        ps = _placement()
+        core = _tracked_core(ps)
+        ps.place_tenant(Tenant(0, 0.3), [0, 1])
+        assert core.replica_counts().tolist() == [1, 1, 0, 0]
+        assert core.headrooms()[0] == 1.0 - ps.server(0).load
+        assert core.eligibles().all()
+
+
+class TestBatchScreen:
+    def test_empty_fleet(self):
+        ps = PlacementState(gamma=2)
+        core = ArrayCore(ps, failures=1)
+        verdict = core.batch_screen(0.1)
+        assert verdict.shape == (0,)
+        assert verdict.dtype == np.int8
+
+    def test_single_server(self):
+        ps = _placement(servers=1)
+        core = _tracked_core(ps)
+        assert core.batch_screen(0.1).tolist() == [FEASIBLE]
+        assert core.batch_screen(5.0).tolist() == [INFEASIBLE]
+
+    def test_all_ambiguous_band(self):
+        # One tenant sharing both servers: each server's worst failover
+        # equals the shared replica load, so a replica sized just under
+        # headroom - wfl sits between the bounds once a sibling bump is
+        # anticipated.
+        ps = _placement(servers=2)
+        ps.place_tenant(Tenant(0, 0.3), [0, 1])
+        core = _tracked_core(ps)
+        headroom = 1.0 - ps.server(0).load
+        wfl = ps.worst_failover_load(0, 1)
+        probe = headroom - wfl - 1e-3  # inside [W, W + probe] band
+        verdict = core.batch_screen(probe, n_bumped=1)
+        assert verdict.tolist() == [AMBIGUOUS, AMBIGUOUS]
+
+    def test_ineligible_reported_infeasible(self):
+        ps = _placement(servers=3)
+        core = _tracked_core(ps)
+        core.set_eligible(1, False)
+        assert core.batch_screen(0.1).tolist() == \
+            [FEASIBLE, INFEASIBLE, FEASIBLE]
+
+    def test_zero_failures_screens_on_headroom_alone(self):
+        ps = _placement(servers=2)
+        ps.place_tenant(Tenant(0, 0.8), [0, 1])
+        core = _tracked_core(ps, failures=0)
+        headroom = 1.0 - ps.server(0).load
+        assert core.batch_screen(headroom / 2).tolist() == \
+            [FEASIBLE, FEASIBLE]
+        assert core.batch_screen(headroom + 0.1).tolist() == \
+            [INFEASIBLE, INFEASIBLE]
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_non_finite_inputs_rejected(self, bad):
+        core = _tracked_core(_placement())
+        with pytest.raises(ConfigurationError):
+            core.batch_screen(bad)
+        with pytest.raises(ConfigurationError):
+            core.batch_screen(0.1, extra_reserve=bad)
+
+    def test_negative_bumps_rejected(self):
+        core = _tracked_core(_placement())
+        with pytest.raises(ConfigurationError):
+            core.batch_screen(0.1, n_bumped=-1)
+
+    def test_verdicts_bound_the_scalar_decision(self):
+        ps = _placement(servers=4)
+        ps.place_tenant(Tenant(0, 0.4), [0, 1])
+        ps.place_tenant(Tenant(1, 0.3), [1, 2])
+        ps.place_tenant(Tenant(2, 0.2), [2, 3])
+        core = _tracked_core(ps)
+        for load in (0.05, 0.25, 0.55, 0.9):
+            verdict = core.batch_screen(load, n_bumped=1)
+            for sid in ps.server_ids:
+                with arrays.overridden(False):
+                    decision = robust_after_placement(
+                        ps, sid, load, (), 1, future_siblings=1)
+                if verdict[sid] == FEASIBLE:
+                    assert decision
+                elif verdict[sid] == INFEASIBLE:
+                    assert not decision
+
+
+class TestBatchRobustAfterPlacement:
+    def _scenario(self):
+        ps = _placement(servers=5)
+        ps.place_tenant(Tenant(0, 0.45), [0, 1])
+        ps.place_tenant(Tenant(1, 0.4), [1, 2])
+        ps.place_tenant(Tenant(2, 0.3), [3, 4])
+        return ps
+
+    def test_matches_scalar_loop_and_counters(self):
+        ps = self._scenario()
+        with arrays.overridden(True):
+            index = ServerIndex(ps, failures=1)
+            for sid in ps.server_ids:
+                index.track(sid)
+            index.candidates(min_avail=0.0)
+            batch_obs = MetricsRegistry()
+            batched = batch_robust_after_placement(
+                ps, ps.server_ids, 0.35, chosen=(0,), failures=1,
+                future_siblings=0, obs=batch_obs)
+        scalar_obs = MetricsRegistry()
+        with arrays.overridden(False):
+            scalars = [robust_after_placement(ps, sid, 0.35, (0,), 1,
+                                              obs=scalar_obs)
+                       for sid in ps.server_ids]
+        assert batched == scalars
+        assert batch_obs.snapshot() == scalar_obs.snapshot()
+
+    def test_falls_back_without_a_core(self):
+        ps = self._scenario()
+        with arrays.overridden(False):
+            obs = MetricsRegistry()
+            decisions = batch_robust_after_placement(
+                ps, ps.server_ids, 0.2, failures=1, obs=obs)
+        assert len(decisions) == len(ps.server_ids)
+        snapshot = obs.snapshot()
+        counted = snapshot.get("feasibility.screened",
+                               {}).get("value", 0) \
+            + snapshot.get("feasibility.exact", {}).get("value", 0)
+        assert counted == len(ps.server_ids)
+
+
+class TestPlacementIntegration:
+    def test_index_registers_its_core(self):
+        ps = _placement()
+        with arrays.overridden(True):
+            index = ServerIndex(ps, failures=1)
+            assert ps.array_core(1) is index._core
+
+    def test_accessor_gates(self):
+        ps = _placement()
+        with arrays.overridden(True):
+            ServerIndex(ps, failures=1)
+            assert ps.array_core(1) is not None
+            assert ps.array_core(2) is None  # no index for that budget
+            with arrays.overridden(False):
+                assert ps.array_core(1) is None
+            ps.set_slack_cache(False)
+            assert ps.array_core(1) is None  # naive mode stays naive
+            ps.set_slack_cache(True)
+            assert ps.array_core(1) is not None
+
+    def test_legacy_index_registers_nothing(self):
+        ps = _placement()
+        with arrays.overridden(False):
+            index = ServerIndex(ps, failures=1)
+            assert index._core is None
+        assert ps.array_core(1) is None
+
+    def test_shadow_audit_gates_the_core(self):
+        ps = _placement()
+        with arrays.overridden(True):
+            ServerIndex(ps, failures=1)
+            ps.shadow_audit = True
+            try:
+                assert ps.array_core(1) is None
+            finally:
+                ps.shadow_audit = False
+
+
+class TestTopPartnerMemoization:
+    """Satellite of the array core: ambiguous-band probes lean on the
+    placement's memoized top-partner sets, so repeated probes between
+    mutations must not recompute them."""
+
+    def _shared_scenario(self):
+        ps = _placement(servers=4)
+        ps.place_tenant(Tenant(0, 0.35), [0, 1])
+        ps.place_tenant(Tenant(1, 0.3), [0, 2])
+        ps.place_tenant(Tenant(2, 0.25), [0, 3])
+        return ps
+
+    def test_repeated_probes_do_not_recompute(self):
+        ps = self._shared_scenario()
+        # Prime the memo: one ambiguous-band probe per server.
+        for sid in ps.server_ids:
+            robust_after_placement(ps, sid, 0.3, (1,), 1,
+                                   future_siblings=1)
+        primed = ps.top_partner_recomputes
+        assert primed > 0
+        for _ in range(5):
+            for sid in ps.server_ids:
+                robust_after_placement(ps, sid, 0.3, (1,), 1,
+                                       future_siblings=1)
+        assert ps.top_partner_recomputes == primed, (
+            "repeated probes between mutations recomputed the "
+            "top-partner selection")
+
+    def test_mutation_invalidates_only_touched_servers(self):
+        ps = self._shared_scenario()
+        ps.top_partners(0, 1)
+        ps.top_partners(3, 1)
+        before = ps.top_partner_recomputes
+        ps.place_tenant(Tenant(3, 0.1), [1, 2])  # touches 1, 2 (+0 via
+        # shared partnership), leaves 3's memo intact
+        ps.top_partners(3, 1)
+        assert ps.top_partner_recomputes == before
+        ps.top_partners(1, 1)
+        assert ps.top_partner_recomputes == before + 1
+
+    def test_disabled_slack_cache_counts_every_call(self):
+        ps = self._shared_scenario()
+        ps.set_slack_cache(False)
+        before = ps.top_partner_recomputes
+        ps.top_partners(0, 1)
+        ps.top_partners(0, 1)
+        assert ps.top_partner_recomputes == before + 2

@@ -10,15 +10,38 @@ snippet in this file's docstring)::
     from repro.analysis.report import theorem2_table
     theorem2_table(theorem2()).to_csv("benchmarks/expected/theorem2.csv")
     EOF
+
+The golden packings pin the exact replica-to-server assignment CUBEFIT
+and RFI produce for the benchmark's 2k-tenant sequence: any change to
+candidate ordering, feasibility screening or the array core that moves
+even one replica changes the per-server tenant-set hash.  Regenerate
+``benchmarks/expected/packings_2k.json`` consciously via::
+
+    PYTHONPATH=src python - <<'EOF'
+    import json
+    from tests.unit.test_expected_snapshots import _packing_snapshot
+    print(json.dumps({name: _packing_snapshot(name)
+                      for name in ("cubefit", "rfi")}, indent=2))
+    EOF
 """
 
+import hashlib
+import json
 from pathlib import Path
 
+import pytest
+
 from repro.analysis.report import theorem2_table
+from repro.sim.bench import (BENCH_DISTRIBUTION_MAX, BENCH_SEED,
+                             FACTORIES, UniformLoad, generate_sequence)
 from repro.sim.figures import theorem2
 
-EXPECTED = Path(__file__).resolve().parents[2] / "benchmarks" / \
-    "expected" / "theorem2.csv"
+_EXPECTED_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / \
+    "expected"
+EXPECTED = _EXPECTED_DIR / "theorem2.csv"
+EXPECTED_PACKINGS = _EXPECTED_DIR / "packings_2k.json"
+
+SNAPSHOT_TENANTS = 2000
 
 
 def test_theorem2_sweep_matches_snapshot():
@@ -26,4 +49,35 @@ def test_theorem2_sweep_matches_snapshot():
     fresh = theorem2_table(result).to_csv()
     assert fresh == EXPECTED.read_text(), (
         "Theorem 2 sweep changed; if intentional, regenerate "
-        "benchmarks/expected/theorem2.csv")
+        "benchmarks/expected/theorem2.csv"
+    )
+
+
+def _packing_snapshot(name: str) -> dict:
+    """Server count + a digest of each server's tenant set for the
+    benchmark scenario at 2k tenants."""
+    algo = FACTORIES[name]()
+    algo.consolidate(generate_sequence(
+        UniformLoad(BENCH_DISTRIBUTION_MAX), SNAPSHOT_TENANTS,
+        seed=BENCH_SEED))
+    placement = algo.placement
+    digest = hashlib.sha256()
+    for sid in sorted(placement.server_ids):
+        tenants = sorted({tid for tid, _
+                          in placement.server(sid).replicas})
+        digest.update(f"{sid}:{tenants}\n".encode())
+    return {
+        "tenants": SNAPSHOT_TENANTS,
+        "servers": placement.num_servers,
+        "tenant_sets_sha256": digest.hexdigest(),
+    }
+
+
+@pytest.mark.parametrize("name", ["cubefit", "rfi"])
+def test_golden_packing_matches_snapshot(name):
+    expected = json.loads(EXPECTED_PACKINGS.read_text())
+    assert _packing_snapshot(name) == expected[name], (
+        f"the {name} packing for the benchmark 2k sequence changed; "
+        "if intentional, regenerate benchmarks/expected/"
+        "packings_2k.json (snippet in this file's docstring)"
+    )

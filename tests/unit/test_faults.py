@@ -240,7 +240,8 @@ class TestCatalog:
         for name, description in CATALOG.items():
             assert description
             prefix = name.split(".")[0]
-            assert prefix in ("algo", "store", "par", "cluster")
+            assert prefix in ("algo", "store", "par", "cluster",
+                              "array_core")
 
     def test_obs_counters_mirror_firings(self):
         from repro.obs import MetricsRegistry

@@ -58,6 +58,9 @@ def main(argv=None):
     parser.add_argument("--scales", type=str, default=None,
                         help="comma-separated tenant counts "
                              f"(default {','.join(map(str, DEFAULT_SCALES))})")
+    parser.add_argument("--names", type=str, default=None,
+                        help="comma-separated scenario subset "
+                             "(default: every scenario)")
     parser.add_argument("--quick", action="store_true",
                         help="reduced protocol + baseline check; does "
                              "not write the baseline")
@@ -78,8 +81,9 @@ def main(argv=None):
     rounds = args.rounds if args.rounds is not None else \
         (QUICK_ROUNDS if args.quick else DEFAULT_ROUNDS)
 
+    names = tuple(args.names.split(",")) if args.names else None
     payload = run_bench(scales=scales, rounds=rounds, jobs=args.jobs,
-                        progress=print)
+                        names=names, progress=print)
 
     if args.quick:
         baseline = json.loads(args.baseline.read_text())
