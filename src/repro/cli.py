@@ -18,6 +18,7 @@ profile with identical shapes.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict, List, Optional
@@ -155,10 +156,15 @@ def _run_soak(args: argparse.Namespace) -> None:
 
             from .store import DurableStore
             store = DurableStore(Path(args.store) / name)
-        result = run_soak(factory, config, store=store,
-                          checkpoint_every=100 if store else None)
+        try:
+            result = run_soak(factory, config, store=store,
+                              checkpoint_every=100 if store else None)
+        finally:
+            # Closed even when the soak (or an interrupt) aborts the
+            # run — an open WAL handle must never outlive the command.
+            if store is not None:
+                store.close()
         if store is not None:
-            store.close()
             print(f"[durable store: {Path(args.store) / name}]")
         print(result)
         if not result.ok:
@@ -341,6 +347,65 @@ def _run_chaos(args: argparse.Namespace) -> None:
             f"{reason}; reproduce: {report.repro_line}")
 
 
+def _run_serve(args: argparse.Namespace) -> None:
+    import signal
+
+    from .obs import MetricsRegistry, set_enabled
+    from .serve import PlacementServer, ServeConfig
+
+    if not args.store:
+        raise ConfigurationError("the serve command requires --store DIR")
+    if not args.socket:
+        raise ConfigurationError(
+            "the serve command requires --socket PATH")
+    set_enabled(True)  # a daemon without its stats verb is blind
+    config = ServeConfig(gamma=args.gamma,
+                         queue_size=args.queue_size,
+                         checkpoint_interval=args.checkpoint_interval,
+                         crash_mode="exit")
+    server = PlacementServer(args.store, args.socket, config,
+                             obs=MetricsRegistry())
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        # Graceful path: drain the queue, checkpoint, close the WAL.
+        signal.signal(signum,
+                      lambda _sig, _frm: server.request_shutdown())
+    server.start()
+    print(f"serving placements on {args.socket} "
+          f"(store {args.store}, gamma {args.gamma}, queue "
+          f"{args.queue_size}, checkpoint every "
+          f"{args.checkpoint_interval or 'never'}s)", flush=True)
+    server.run()
+    print("serve: drained, checkpointed, closed")
+
+
+def _run_serve_send(args: argparse.Namespace) -> None:
+    import json
+
+    from .serve import ServeClient
+    from .serve.protocol import VERBS
+
+    if not args.socket:
+        raise ConfigurationError(
+            "the serve-send command requires --socket PATH")
+    if args.verb not in VERBS:
+        raise ConfigurationError(
+            f"unknown verb {args.verb!r}; known: {sorted(VERBS)}")
+    params = {}
+    if "tenant" in VERBS[args.verb]:
+        if args.tenant is None:
+            raise ConfigurationError(
+                f"verb {args.verb!r} requires --tenant ID")
+        params["tenant"] = args.tenant
+    if "load" in VERBS[args.verb]:
+        if args.load is None:
+            raise ConfigurationError(
+                f"verb {args.verb!r} requires --load X")
+        params["load"] = args.load
+    with ServeClient(args.socket) as client:
+        result = client.call(args.verb, **params)
+    print(json.dumps(result, sort_keys=True, indent=2))
+
+
 def _run_calibrate(args: argparse.Namespace) -> None:
     result = calibrate_load_model()
     print("Section IV calibration (simulated cluster):")
@@ -370,11 +435,13 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "soak": _run_soak,
     "checkpoint": _run_checkpoint,
     "recover": _run_recover,
+    "serve": _run_serve,
+    "serve-send": _run_serve_send,
 }
 
-#: Commands that operate on an existing durable store; they require
-#: --store and are excluded from ``repro all``.
-_STORE_COMMANDS = {"checkpoint", "recover"}
+#: Commands that operate on a durable store or a live service; they
+#: require --store/--socket and are excluded from ``repro all``.
+_STORE_COMMANDS = {"checkpoint", "recover", "serve", "serve-send"}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -412,6 +479,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="exact chaos fault schedule "
                              "('at_op:name=action[:k=v]*', "
                              "comma-separated); reproduces a prior run")
+    parser.add_argument("--socket", metavar="PATH", default=None,
+                        help="unix-domain socket for the serve and "
+                             "serve-send commands")
+    parser.add_argument("--queue-size", type=int, default=64,
+                        help="admission-queue bound for the serve "
+                             "command (default 64); a full queue "
+                             "answers with a typed backpressure error")
+    parser.add_argument("--checkpoint-interval", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="seconds between the serve daemon's "
+                             "checkpoint+compaction rounds (default 5; "
+                             "0 disables the timer)")
+    parser.add_argument("--verb", default="stats",
+                        help="request verb for the serve-send command "
+                             "(default stats)")
+    parser.add_argument("--tenant", type=int, default=None,
+                        help="tenant id for serve-send place/remove/"
+                             "update_load")
+    parser.add_argument("--load", type=float, default=None,
+                        help="tenant load for serve-send place/"
+                             "update_load")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for parallelizable "
                              "experiments (bench, sweep); default 1")
@@ -442,6 +530,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         start = time.perf_counter()
         try:
             _COMMANDS[name](args)
+        except KeyboardInterrupt:
+            # Ctrl-C is an operator decision, not a crash: one line on
+            # stderr and the conventional 128+SIGINT exit status.
+            # Commands holding a durable store release it on the way
+            # out through their own try/finally blocks.
+            print(f"repro {name}: interrupted", file=sys.stderr)
+            return 130
+        except BrokenPipeError:
+            # Downstream closed the pipe (e.g. `| head`): stop quietly
+            # with the conventional 128+SIGPIPE status. Reopen stdout
+            # on devnull so the interpreter's shutdown flush does not
+            # traceback on the dead descriptor.
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+            return 141
         except ReproError as err:
             # Operator-facing failure (missing/corrupt file, bad
             # parameter, failed audit): one line on stderr, non-zero

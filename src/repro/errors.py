@@ -121,6 +121,32 @@ class SimulatedCrash(FaultInjected):
     """
 
 
+class ProtocolError(ReproError):
+    """A serve-protocol frame could not be honoured.
+
+    Raised (and returned as a typed error payload) by the placement
+    service for malformed JSONL frames, unknown verbs, oversized
+    payloads, and requests arriving after shutdown began.  The
+    connection survives: a protocol error condemns the frame, never the
+    session.
+    """
+
+
+class BackpressureError(ReproError):
+    """The service's bounded admission queue rejected a request.
+
+    Carries the server's ``retry_after`` hint (seconds); clients should
+    back off at least that long before resubmitting.  This is the
+    explicit-backpressure contract of ``repro serve`` — a full queue is
+    a typed rejection, never a hang or a dropped connection.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        #: Seconds the client should wait before retrying.
+        self.retry_after = retry_after
+
+
 class SimulationError(ReproError):
     """The discrete-event cluster simulation reached an invalid state."""
 

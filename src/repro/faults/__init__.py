@@ -125,6 +125,18 @@ CATALOG: Dict[str, str] = {
         "written into the struct-of-arrays mirror (a stale vector "
         "read; the default float mutator inflates, keeping the "
         "screen conservative)"),
+    "serve.accept": (
+        "PlacementServer accept loop, after a connection is accepted "
+        "but before a session starts — the connection is dropped, the "
+        "server keeps serving"),
+    "serve.handler": (
+        "PlacementServer request handler, after a frame is parsed but "
+        "before admission — raise surfaces as a typed error response; "
+        "crash kills the daemon mid-traffic"),
+    "serve.checkpoint_timer": (
+        "PlacementServer checkpoint timer body, before the checkpoint "
+        "job is enqueued — raise skips this round; crash kills the "
+        "daemon with the checkpoint un-taken"),
 }
 
 

@@ -159,14 +159,26 @@ def pmap(fn: Callable, items: Sequence, jobs: int = 1,
 
     context = multiprocessing.get_context("fork")
     _PAYLOAD = (fn, items, want_obs)
+    pool = context.Pool(processes=workers)
+    results: List = []
     try:
-        with context.Pool(processes=workers) as pool:
-            outcomes = pool.map(_run_item, range(len(items)),
-                                chunksize=1)
+        # imap streams outcomes back in item order, so snapshots are
+        # absorbed while later items still run — same deterministic
+        # merge order as the barrier, without holding every snapshot.
+        for result, snapshot, events in pool.imap(
+                _run_item, range(len(items)), chunksize=1):
+            _absorb(obs, snapshot, events)
+            results.append(result)
+        pool.close()
+        pool.join()
+    except BaseException:
+        # A worker raised, or the *parent* failed mid-collection
+        # (absorb error, KeyboardInterrupt): the remaining workers are
+        # killed and reaped before the exception propagates — no
+        # zombies, no orphaned result pipes.
+        pool.terminate()
+        pool.join()
+        raise
     finally:
         _PAYLOAD = None
-    results = []
-    for result, snapshot, events in outcomes:
-        _absorb(obs, snapshot, events)
-        results.append(result)
     return results

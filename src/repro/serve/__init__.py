@@ -1,0 +1,21 @@
+"""Long-running placement service.
+
+``repro serve`` turns the durable controller into a daemon: a
+unix-domain socket speaking a JSONL request/response protocol
+(:mod:`repro.serve.protocol`), a bounded admission queue with explicit
+backpressure, timer-driven WAL checkpointing, graceful SIGTERM
+shutdown (drain → checkpoint → close) and SIGKILL survival via the
+store's checkpoint + tail recovery (:mod:`repro.serve.server`).
+:mod:`repro.serve.client` is the matching blocking client;
+:mod:`repro.serve.drill` runs kill/restart drills against a real
+daemon process and audits the recovered state.
+"""
+
+from .client import ServeClient, wait_until_ready
+from .protocol import MAX_FRAME_BYTES, VERBS
+from .server import CRASH_EXIT_CODE, PlacementServer, ServeConfig
+
+__all__ = [
+    "CRASH_EXIT_CODE", "MAX_FRAME_BYTES", "PlacementServer",
+    "ServeClient", "ServeConfig", "VERBS", "wait_until_ready",
+]

@@ -1,0 +1,168 @@
+"""Blocking client for the placement service.
+
+:class:`ServeClient` speaks the JSONL protocol over a unix-domain
+socket: one request frame out, one response frame back, typed errors
+rehydrated into the exact :class:`~repro.errors.ReproError` subclass
+the server raised (:func:`repro.serve.protocol.raise_error`).
+
+The client is deliberately simple — synchronous, one in-flight request
+— because the drills and the CLI both want *legible* traffic: every
+acked placement is one committed WAL record, in order, which is what
+the recovery differential is checked against.
+
+`place_retry` wraps ``place`` with the backpressure contract: a
+:class:`~repro.errors.BackpressureError` rejection is slept off using
+the server's own ``retry_after`` hint, then retried.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..errors import BackpressureError, ConfigurationError, ProtocolError
+from .protocol import (MAX_FRAME_BYTES, encode_request, parse_response,
+                       raise_error, read_frame)
+
+PathLike = Union[str, Path]
+
+
+class ServeClient:
+    """One synchronous connection to a :class:`PlacementServer`."""
+
+    def __init__(self, socket_path: PathLike,
+                 timeout: Optional[float] = 10.0) -> None:
+        self.socket_path = Path(socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        try:
+            self._sock.connect(str(self.socket_path))
+        except OSError as err:
+            self._sock.close()
+            raise ConfigurationError(
+                f"cannot connect to {self.socket_path}: {err}") from None
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+        self._closed = False
+
+    # -- context manager ----------------------------------------------
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # -- request plumbing ---------------------------------------------
+    def call(self, verb: str, **params) -> Dict[str, object]:
+        """Send one request, wait for its response, return the result.
+
+        Raises the typed :class:`~repro.errors.ReproError` carried by an
+        ``ok: false`` response, or :class:`ProtocolError` if the server
+        hung up mid-request (e.g. it crashed under us).
+        """
+        if self._closed:
+            raise ProtocolError("client is closed")
+        self._next_id += 1
+        request_id = self._next_id
+        try:
+            self._sock.sendall(encode_request(request_id, verb,
+                                              **params))
+            line = read_frame(self._reader, MAX_FRAME_BYTES)
+        except OSError as err:
+            # Reset, timeout, broken pipe: the session is gone — one
+            # typed error, whatever the kernel called it.
+            self._closed = True
+            raise ProtocolError(
+                f"connection to {self.socket_path} severed "
+                f"mid-request: {err}") from None
+        if line is None:
+            self._closed = True
+            raise ProtocolError(
+                "server closed the connection mid-request")
+        got_id, body = parse_response(line)
+        if body.get("ok"):
+            if got_id != request_id:
+                raise ProtocolError(
+                    f"response id {got_id!r} does not match "
+                    f"request id {request_id!r}")
+            return body.get("result", {})
+        # Typed rejection: protocol errors for unreadable frames come
+        # back with id null — they still answer this request.
+        if got_id is not None and got_id != request_id:
+            raise ProtocolError(
+                f"error response id {got_id!r} does not match "
+                f"request id {request_id!r}")
+        raise_error(body)
+
+    # -- verbs ---------------------------------------------------------
+    def ping(self) -> Dict[str, object]:
+        return self.call("ping")
+
+    def place(self, tenant: int, load: float) -> List[int]:
+        return list(self.call("place", tenant=tenant, load=load)
+                    ["servers"])
+
+    def place_retry(self, tenant: int, load: float,
+                    attempts: int = 50) -> List[int]:
+        """``place`` honouring the backpressure contract: sleep the
+        server's ``retry_after`` hint and retry, up to ``attempts``."""
+        for _ in range(attempts - 1):
+            try:
+                return self.place(tenant, load)
+            except BackpressureError as err:
+                time.sleep(max(err.retry_after, 0.001))
+        return self.place(tenant, load)
+
+    def remove(self, tenant: int) -> None:
+        self.call("remove", tenant=tenant)
+
+    def update_load(self, tenant: int, load: float) -> List[int]:
+        return list(self.call("update_load", tenant=tenant, load=load)
+                    ["servers"])
+
+    def stats(self) -> Dict[str, object]:
+        return self.call("stats")
+
+    def checkpoint(self) -> Dict[str, object]:
+        return self.call("checkpoint")
+
+
+def wait_until_ready(socket_path: PathLike, timeout: float = 10.0,
+                     interval: float = 0.02) -> None:
+    """Poll the socket with ``ping`` until the daemon answers.
+
+    Raises :class:`~repro.errors.ConfigurationError` when the deadline
+    passes — the caller (drill, CI smoke) gets a hard failure rather
+    than racing a half-started daemon.
+    """
+    deadline = time.monotonic() + timeout
+    last_err: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            with ServeClient(socket_path, timeout=2.0) as client:
+                client.ping()
+                return
+        except (ConfigurationError, ProtocolError, OSError) as err:
+            last_err = err
+            time.sleep(interval)
+    raise ConfigurationError(
+        f"placement service at {socket_path} not ready after "
+        f"{timeout:.1f}s: {last_err}")
+
+
+__all__ = ["ServeClient", "wait_until_ready"]

@@ -1,0 +1,222 @@
+"""JSONL-over-socket wire protocol of the placement service.
+
+One *frame* is one JSON object on one newline-terminated line.  A
+client sends request frames::
+
+    {"id": 7, "verb": "place", "tenant": 12, "load": 0.25}
+
+and receives exactly one response frame per request, carrying the same
+``id``::
+
+    {"id": 7, "ok": true, "result": {"servers": [0, 3]}}
+    {"id": 7, "ok": false,
+     "error": {"type": "CapacityError", "message": "..."}}
+
+Error payloads are *typed*: ``error.type`` is the class name of the
+:class:`~repro.errors.ReproError` subclass the operation raised, so a
+client can rehydrate the exact exception (:func:`raise_error`).  Two
+protocol-level conditions get their own types:
+
+* ``ProtocolError`` — malformed JSON, a missing/duplicate field, an
+  unknown verb, or an oversized frame.  The response's ``id`` is
+  ``null`` when the frame was unreadable.  The connection survives.
+* ``BackpressureError`` — the bounded admission queue was full; the
+  payload carries ``retry_after`` (seconds), the server's explicit
+  back-off hint.
+
+Frames larger than ``max_frame_bytes`` are consumed and answered with
+a typed ``ProtocolError`` — never a dropped connection — so a
+misbehaving client learns *why* it was refused.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple
+
+from .. import errors
+from ..errors import BackpressureError, ProtocolError, ReproError
+
+#: Verbs the service understands, with the request fields each needs.
+VERBS: Dict[str, Tuple[str, ...]] = {
+    "place": ("tenant", "load"),
+    "remove": ("tenant",),
+    "update_load": ("tenant", "load"),
+    "stats": (),
+    "checkpoint": (),
+    "ping": (),
+}
+
+#: Hard ceiling on one frame's bytes (newline included); a request
+#: naming gamma servers per replica stays far below this.
+MAX_FRAME_BYTES = 64 * 1024
+
+#: ``error.type`` values :func:`raise_error` can rehydrate — every
+#: public ReproError subclass, collected once at import.
+ERROR_TYPES: Dict[str, type] = {
+    name: obj for name, obj in vars(errors).items()
+    if isinstance(obj, type) and issubclass(obj, ReproError)}
+
+
+class Request:
+    """One parsed request frame."""
+
+    __slots__ = ("id", "verb", "params")
+
+    def __init__(self, request_id, verb: str,
+                 params: Dict[str, object]) -> None:
+        self.id = request_id
+        self.verb = verb
+        self.params = params
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Request(id={self.id!r}, verb={self.verb!r})"
+
+
+def encode(payload: Dict[str, object]) -> bytes:
+    """One frame: compact JSON plus the terminating newline."""
+    return (json.dumps(payload, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def encode_request(request_id, verb: str, **params) -> bytes:
+    frame = {"id": request_id, "verb": verb}
+    frame.update(params)
+    return encode(frame)
+
+
+def encode_result(request_id, result: Dict[str, object]) -> bytes:
+    return encode({"id": request_id, "ok": True, "result": result})
+
+
+def encode_error(request_id, err: BaseException) -> bytes:
+    """Typed error frame for any exception an operation raised."""
+    error: Dict[str, object] = {
+        "type": type(err).__name__ if isinstance(err, ReproError)
+        else "InternalError",
+        "message": str(err),
+    }
+    retry_after = getattr(err, "retry_after", None)
+    if retry_after is not None:
+        error["retry_after"] = retry_after
+    failpoint = getattr(err, "failpoint", None)
+    if failpoint:
+        error["failpoint"] = failpoint
+    return encode({"id": request_id, "ok": False, "error": error})
+
+
+def _fail(message: str, request_id=None) -> ProtocolError:
+    """Build a :class:`ProtocolError` carrying the request id when the
+    frame got far enough to reveal one — the server echoes it back so
+    the client can match the rejection to its request."""
+    err = ProtocolError(message)
+    err.request_id = request_id
+    return err
+
+
+def parse_request(line: bytes) -> Request:
+    """Parse one raw frame into a validated :class:`Request`.
+
+    Raises :class:`~repro.errors.ProtocolError` on anything the server
+    cannot honour: invalid JSON, a non-object frame, a missing ``id``
+    or ``verb``, an unknown verb, or missing/unknown verb parameters.
+    Once the frame's ``id`` has parsed, it rides on the error as
+    ``err.request_id`` (else ``None``).
+    """
+    try:
+        raw = json.loads(line.decode("utf-8", errors="strict"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise _fail(f"malformed frame: {err}") from None
+    if not isinstance(raw, dict):
+        raise _fail(
+            f"frame must be a JSON object, got {type(raw).__name__}")
+    if "id" not in raw:
+        raise _fail("frame has no 'id'")
+    request_id = raw["id"]
+    if not isinstance(request_id, (str, int)) \
+            or isinstance(request_id, bool):
+        raise _fail(
+            f"'id' must be a string or integer, got {request_id!r}")
+    verb = raw.get("verb")
+    if not isinstance(verb, str) or verb not in VERBS:
+        raise _fail(f"unknown verb {verb!r}; known: {sorted(VERBS)}",
+                    request_id)
+    params = {key: value for key, value in raw.items()
+              if key not in ("id", "verb")}
+    required = VERBS[verb]
+    missing = [field for field in required if field not in params]
+    if missing:
+        raise _fail(f"verb {verb!r} requires field(s) {missing}",
+                    request_id)
+    unknown = sorted(set(params) - set(required))
+    if unknown:
+        raise _fail(f"verb {verb!r} does not take field(s) {unknown}",
+                    request_id)
+    return Request(request_id, verb, params)
+
+
+def parse_response(line: bytes) -> Tuple[object, Dict[str, object]]:
+    """Client side: split a response frame into ``(id, body)``.
+
+    ``body`` is the raw decoded object; use :func:`raise_error` to turn
+    an ``ok: false`` body into its typed exception.
+    """
+    try:
+        raw = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise ProtocolError(f"malformed response frame: {err}") from None
+    if not isinstance(raw, dict) or "ok" not in raw:
+        raise ProtocolError(f"not a response frame: {raw!r}")
+    return raw.get("id"), raw
+
+
+def raise_error(body: Dict[str, object]) -> None:
+    """Rehydrate and raise the typed error of an ``ok: false`` body."""
+    error = body.get("error") or {}
+    name = str(error.get("type", "ReproError"))
+    message = str(error.get("message", "unknown server error"))
+    cls = ERROR_TYPES.get(name, ReproError)
+    if cls is BackpressureError:
+        raise BackpressureError(
+            message, retry_after=float(error.get("retry_after", 0.0)))
+    try:
+        err = cls(message)
+    except TypeError:  # subclass with a richer signature
+        raise ReproError(f"{name}: {message}") from None
+    failpoint = error.get("failpoint")
+    if failpoint and hasattr(err, "failpoint"):
+        err.failpoint = str(failpoint)
+    raise err
+
+
+def read_frame(sock_file, max_frame_bytes: int = MAX_FRAME_BYTES
+               ) -> Optional[bytes]:
+    """Read one newline-terminated frame from a buffered socket file.
+
+    Returns the line without its newline, or ``None`` on a clean EOF.
+    An oversized line is consumed to its newline (so the stream stays
+    framed) and raises :class:`~repro.errors.ProtocolError`.
+    """
+    line = sock_file.readline(max_frame_bytes + 1)
+    if not line:
+        return None
+    if len(line) > max_frame_bytes and not line.endswith(b"\n"):
+        swallowed = len(line)
+        while True:
+            chunk = sock_file.readline(max_frame_bytes)
+            if not chunk:
+                break
+            swallowed += len(chunk)
+            if chunk.endswith(b"\n"):
+                break
+        raise ProtocolError(
+            f"frame exceeds {max_frame_bytes} bytes "
+            f"({swallowed}+ read); oversized payload rejected")
+    return line.rstrip(b"\n")
+
+
+__all__ = [
+    "MAX_FRAME_BYTES", "VERBS", "Request",
+    "encode", "encode_request", "encode_result", "encode_error",
+    "parse_request", "parse_response", "raise_error", "read_frame",
+]

@@ -35,7 +35,7 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.placement import PlacementState
 from ..core.tenant import Replica, Tenant
@@ -133,6 +133,17 @@ class DurableStore:
     def meta(self) -> Optional[Dict[str, object]]:
         """The bound run's invariants, if :meth:`bind` has happened."""
         return dict(self._meta) if self._meta is not None else None
+
+    @property
+    def has_state(self) -> bool:
+        """Whether this directory holds anything :meth:`recover` could
+        rebuild from (a bound ``meta.json`` or a checkpoint).
+
+        Long-lived services use this to decide between a cold start
+        (fresh placement) and a warm start (recover and adopt) without
+        duplicating the recovery preconditions.
+        """
+        return self._meta is not None or self.checkpoint_path.exists()
 
     def attach_obs(self, registry) -> None:
         from ..obs import active
@@ -255,6 +266,21 @@ class DurableStore:
             self._obs.emit("compact", watermark=watermark,
                            segments=[p.name for p in removed])
         return removed
+
+    def checkpoint_and_compact(self, placement: PlacementState
+                               ) -> Tuple[Path, List[Path]]:
+        """Checkpoint ``placement`` and drop the WAL segments the new
+        checkpoint made redundant, in one call.
+
+        The maintenance step of the long-running service: the
+        checkpoint timer and the graceful-shutdown path both run it, so
+        the two cannot drift apart on ordering (checkpoint strictly
+        before compaction — compacting first would delete records the
+        old checkpoint still needs).
+        """
+        path = self.checkpoint(placement)
+        removed = self.compact()
+        return path, removed
 
     def close(self) -> None:
         self.wal.close()

@@ -225,13 +225,24 @@ class WriteAheadLog:
         os.fsync(fileno)
 
     def _close_segment(self) -> None:
-        if self._file is None:
+        """Flush, fsync (per policy) and close the open segment.
+
+        Exception-safe: the handle is detached first and closed in a
+        ``finally``, so a failed fsync (a fired ``store.wal.fsync``
+        failpoint or a real ``OSError``) still releases the file — the
+        caller sees the error, but the WAL is left cleanly closed, not
+        half-closed around a leaked handle.  Idempotent: a second call
+        is a no-op.
+        """
+        handle, self._file = self._file, None
+        if handle is None:
             return
-        self._file.flush()
-        if self.fsync in (FSYNC_ALWAYS, FSYNC_ROTATE):
-            self._fsync(self._file.fileno())
-        self._file.close()
-        self._file = None
+        try:
+            handle.flush()
+            if self.fsync in (FSYNC_ALWAYS, FSYNC_ROTATE):
+                self._fsync(handle.fileno())
+        finally:
+            handle.close()
 
     def append(self, op: str, data: Dict[str, object]) -> int:
         """Commit one record; returns its sequence number."""

@@ -196,6 +196,134 @@ class TestArrayCoreSeam:
         _record_fired(faults.FAILPOINTS.fired_counts())
 
 
+class TestServeSeams:
+    """``serve.*`` — the placement daemon's failpoints, drilled against
+    a live in-process server (crash mode ``abort`` so a simulated
+    crash tears the server down, not the test process)."""
+
+    def _server(self, tmp_path, name="store", **overrides):
+        from repro.serve import PlacementServer, ServeConfig
+        overrides.setdefault("crash_mode", "abort")
+        server = PlacementServer(tmp_path / name,
+                                 tmp_path / f"{name}.sock",
+                                 ServeConfig(**overrides))
+        server.start()
+        return server
+
+    def test_accept_fault_drops_connection_server_survives(
+            self, tmp_path):
+        from repro.errors import ProtocolError
+        from repro.serve import ServeClient
+        server = self._server(tmp_path)
+        try:
+            with faults.injected("serve.accept", action="raise"):
+                victim = ServeClient(server.socket_path, timeout=5.0)
+                with pytest.raises(ProtocolError):
+                    victim.ping()
+                victim.close()
+            # The daemon kept serving: a fresh connection works.
+            with ServeClient(server.socket_path) as client:
+                assert client.ping()["pong"] is True
+        finally:
+            server.stop()
+        assert faults.FAILPOINTS.fired("serve.accept") == 1
+        _record_fired(faults.FAILPOINTS.fired_counts())
+
+    def test_handler_fault_is_typed_error_response(self, tmp_path):
+        from repro.serve import ServeClient
+        server = self._server(tmp_path)
+        try:
+            with ServeClient(server.socket_path) as client:
+                with faults.injected("serve.handler", action="raise"):
+                    with pytest.raises(FaultInjected) as exc:
+                        client.place(1, 0.2)
+                assert exc.value.failpoint == "serve.handler"
+                # Same connection, next request: fully served.
+                assert client.place(1, 0.2)
+        finally:
+            server.stop()
+        _record_fired(faults.FAILPOINTS.fired_counts())
+
+    def test_handler_crash_kills_daemon_recovery_holds(self, tmp_path):
+        from repro.errors import ProtocolError, ReproError
+        from repro.serve import ServeClient
+        from repro.store import recover
+        server = self._server(tmp_path)
+        acked = {}
+        client = ServeClient(server.socket_path, timeout=5.0)
+        try:
+            for tenant in (1, 2, 3):
+                acked[tenant] = client.place(tenant, 0.2)
+            with faults.injected("serve.handler", action="crash"):
+                with pytest.raises((ProtocolError, ReproError, OSError)):
+                    client.place(4, 0.2)
+        finally:
+            client.close()
+            server.stop()
+        assert server.crashed is not None
+        # Kill -9 semantics: every acked placement recovered exactly.
+        state = recover(tmp_path / "store")
+        assert state.audit.ok
+        assert set(state.placement.tenant_ids) == set(acked)
+        for tenant, servers in acked.items():
+            by_index = state.placement.tenant_servers(tenant)
+            assert [by_index[i] for i in sorted(by_index)] == servers
+        _record_fired(faults.FAILPOINTS.fired_counts())
+
+    def test_checkpoint_timer_fault_skips_round_only(self, tmp_path):
+        import time
+        from repro.serve import ServeClient
+        from repro.store import recover
+        server = self._server(tmp_path, checkpoint_interval=0.05)
+        try:
+            with faults.injected("serve.checkpoint_timer",
+                                 action="raise"):
+                with ServeClient(server.socket_path) as client:
+                    client.place(1, 0.3)
+                    deadline = time.monotonic() + 10.0
+                    while (faults.FAILPOINTS.fired(
+                            "serve.checkpoint_timer") == 0
+                           and time.monotonic() < deadline):
+                        time.sleep(0.01)
+                    # Daemon survived the skipped round and still
+                    # serves and checkpoints on demand.
+                    assert client.ping()["pong"] is True
+                    assert client.checkpoint()["wal_applied"] > 0
+        finally:
+            server.stop()
+        assert faults.FAILPOINTS.fired("serve.checkpoint_timer") == 1
+        state = recover(tmp_path / "store")
+        assert state.audit.ok and state.placement.num_tenants == 1
+        _record_fired(faults.FAILPOINTS.fired_counts())
+
+    def test_checkpoint_timer_crash_dies_uncheckpointed(self, tmp_path):
+        import time
+        from repro.serve import ServeClient
+        from repro.store import recover
+        server = self._server(tmp_path, checkpoint_interval=0.05)
+        client = ServeClient(server.socket_path, timeout=5.0)
+        try:
+            acked = {t: client.place(t, 0.2) for t in (1, 2)}
+            with faults.injected("serve.checkpoint_timer",
+                                 action="crash"):
+                deadline = time.monotonic() + 10.0
+                while (server.crashed is None
+                       and time.monotonic() < deadline):
+                    time.sleep(0.01)
+            assert server.crashed is not None
+        finally:
+            client.close()
+            server.stop()
+        # No checkpoint was ever taken — recovery is pure WAL replay,
+        # and the acked placements are all there.
+        state = recover(tmp_path / "store")
+        assert state.checkpoint_seq == 0
+        assert state.records_replayed > 0
+        assert state.audit.ok
+        assert set(state.placement.tenant_ids) == set(acked)
+        _record_fired(faults.FAILPOINTS.fired_counts())
+
+
 class TestCatalogueCoverage:
     def test_every_catalogued_failpoint_fired_in_this_module(self):
         """Adding a CATALOG entry without a conformance exercise is a

@@ -158,3 +158,84 @@ class TestAbsorbSnapshot:
         target.gauge("x").set(1.0)
         with pytest.raises(ConfigurationError):
             absorb_snapshot(target, source.snapshot())
+
+
+@pytest.mark.skipif(not fork_available(), reason="requires fork")
+class TestPoolTeardown:
+    """A parent-side failure mid-collection must terminate and reap
+    every forked worker — the regression where workers outlived a
+    parent that raised while absorbing snapshots (zombies holding
+    orphaned result pipes)."""
+
+    def _child_pids(self, tmp_path):
+        return {int(p.read_text()) for p in tmp_path.glob("pid-*")
+                if p.read_text().strip()}
+
+    def _assert_all_dead(self, pids, timeout=10.0):
+        import os
+        import time
+        assert pids, "workers never started"
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            alive = set()
+            for pid in pids:
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    continue  # terminated AND reaped
+                alive.add(pid)
+            if not alive:
+                return
+            time.sleep(0.05)
+        raise AssertionError(
+            f"worker pids still alive after parent failure: "
+            f"{sorted(alive)}")
+
+    def test_parent_absorb_failure_reaps_workers(self, tmp_path,
+                                                 monkeypatch):
+        import os
+        import time
+
+        def work(item, registry):
+            (tmp_path / f"pid-{item}").write_text(str(os.getpid()))
+            if registry is not None:
+                registry.counter("n").inc()
+            if item > 0:
+                time.sleep(30.0)  # outlives the test unless terminated
+            return item
+
+        def broken_absorb(target, snapshot):
+            raise RuntimeError("parent failed mid-collection")
+
+        monkeypatch.setattr(par_pool, "absorb_snapshot", broken_absorb)
+        obs = MetricsRegistry()
+        with pytest.raises(RuntimeError, match="mid-collection"):
+            pmap(work, list(range(6)), jobs=3, obs=obs)
+        self._assert_all_dead(self._child_pids(tmp_path))
+
+    def test_worker_exception_reaps_workers(self, tmp_path):
+        import os
+        import time
+
+        def work(item, registry):
+            (tmp_path / f"pid-{item}").write_text(str(os.getpid()))
+            if item == 0:
+                time.sleep(0.2)  # let the others start first
+                raise ValueError("worker died")
+            time.sleep(30.0)
+            return item
+
+        with pytest.raises(ValueError, match="worker died"):
+            pmap(work, list(range(6)), jobs=3)
+        self._assert_all_dead(self._child_pids(tmp_path))
+
+    def test_success_path_reaps_workers(self, tmp_path):
+        import os
+
+        def work(item, registry):
+            (tmp_path / f"pid-{item}").write_text(str(os.getpid()))
+            return item * 2
+
+        assert pmap(work, list(range(6)), jobs=3) == \
+            [0, 2, 4, 6, 8, 10]
+        self._assert_all_dead(self._child_pids(tmp_path))

@@ -1,0 +1,345 @@
+"""The placement service: wire protocol, admission, lifecycle.
+
+Protocol error paths are exercised both at the parser level and
+against a live in-process server over a real unix socket: a malformed
+frame, an unknown verb, an oversized payload, and a full admission
+queue must each come back as a *typed error response* on a surviving
+connection — never a dropped connection, never a hang.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.errors import (BackpressureError, ConfigurationError,
+                          FaultInjected, ProtocolError, ReproError)
+from repro.serve import (PlacementServer, ServeClient, ServeConfig,
+                         wait_until_ready)
+from repro.serve import protocol
+from repro.store import recover
+
+
+# ---------------------------------------------------------------------
+# Protocol unit tests (no server involved)
+# ---------------------------------------------------------------------
+class TestProtocolParsing:
+    def test_round_trip(self):
+        frame = protocol.encode_request(7, "place", tenant=3, load=0.5)
+        request = protocol.parse_request(frame.rstrip(b"\n"))
+        assert (request.id, request.verb) == (7, "place")
+        assert request.params == {"tenant": 3, "load": 0.5}
+
+    @pytest.mark.parametrize("line,fragment", [
+        (b"not json at all", "malformed frame"),
+        (b"[1, 2, 3]", "must be a JSON object"),
+        (b'{"verb": "ping"}', "no 'id'"),
+        (b'{"id": true, "verb": "ping"}', "'id' must be"),
+        (b'{"id": 1.5, "verb": "ping"}', "'id' must be"),
+        (b'{"id": 1, "verb": "explode"}', "unknown verb"),
+        (b'{"id": 1}', "unknown verb"),
+        (b'{"id": 1, "verb": "place", "tenant": 2}', "requires field"),
+        (b'{"id": 1, "verb": "ping", "extra": 0}', "does not take"),
+    ])
+    def test_bad_frames_are_typed(self, line, fragment):
+        with pytest.raises(ProtocolError, match=fragment):
+            protocol.parse_request(line)
+
+    def test_error_carries_request_id_once_parsed(self):
+        with pytest.raises(ProtocolError) as exc:
+            protocol.parse_request(b'{"id": 42, "verb": "explode"}')
+        assert exc.value.request_id == 42
+        with pytest.raises(ProtocolError) as exc:
+            protocol.parse_request(b"garbage")
+        assert exc.value.request_id is None
+
+    def test_error_frame_rehydrates_typed(self):
+        frame = protocol.encode_error(
+            3, BackpressureError("full", retry_after=0.25))
+        _, body = protocol.parse_response(frame.rstrip(b"\n"))
+        assert body["error"]["type"] == "BackpressureError"
+        with pytest.raises(BackpressureError) as exc:
+            protocol.raise_error(body)
+        assert exc.value.retry_after == 0.25
+
+    def test_unknown_error_type_falls_back_to_base(self):
+        body = {"ok": False, "error": {"type": "NotAThing",
+                                       "message": "m"}}
+        with pytest.raises(ReproError):
+            protocol.raise_error(body)
+
+    def test_internal_errors_are_not_named(self):
+        frame = protocol.encode_error(1, ValueError("boom"))
+        _, body = protocol.parse_response(frame.rstrip(b"\n"))
+        assert body["error"]["type"] == "InternalError"
+
+    def test_fault_errors_carry_failpoint(self):
+        frame = protocol.encode_error(
+            1, FaultInjected("injected", failpoint="serve.handler"))
+        _, body = protocol.parse_response(frame.rstrip(b"\n"))
+        assert body["error"]["failpoint"] == "serve.handler"
+
+    def test_read_frame_oversize_consumes_to_newline(self):
+        import io
+        big = b"x" * 300 + b"\n"
+        stream = io.BytesIO(big + b'{"id":1,"verb":"ping"}\n')
+        with pytest.raises(ProtocolError, match="exceeds 128 bytes"):
+            protocol.read_frame(stream, max_frame_bytes=128)
+        # The stream stays framed: the next read is the next frame.
+        assert protocol.read_frame(stream, 128) == \
+            b'{"id":1,"verb":"ping"}'
+
+
+# ---------------------------------------------------------------------
+# In-process server fixture
+# ---------------------------------------------------------------------
+@pytest.fixture
+def server(tmp_path):
+    """One live in-process server; crash-mode ``abort`` so a simulated
+    crash tears the server down instead of the test process."""
+    servers = []
+
+    def make(**overrides):
+        overrides.setdefault("crash_mode", "abort")
+        instance = PlacementServer(
+            tmp_path / f"store{len(servers)}",
+            tmp_path / f"serve{len(servers)}.sock",
+            ServeConfig(**overrides))
+        instance.start()
+        servers.append(instance)
+        return instance
+
+    yield make
+    for instance in servers:
+        instance.stop()
+
+
+def _raw_conn(server):
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(10.0)
+    sock.connect(str(server.socket_path))
+    return sock, sock.makefile("rb")
+
+
+class TestServerRoundTrips:
+    def test_verbs_and_stats(self, server):
+        instance = server()
+        with ServeClient(instance.socket_path) as client:
+            assert client.ping()["pong"] is True
+            first = client.place(1, 0.3)
+            assert len(first) == instance.config.gamma
+            client.place(2, 0.4)
+            moved = client.update_load(1, 0.1)
+            assert len(moved) == instance.config.gamma
+            client.remove(2)
+            stats = client.stats()
+            assert stats["placement"]["tenants"] == 1
+            assert stats["queue"]["capacity"] == \
+                instance.config.queue_size
+            result = client.checkpoint()
+            assert result["wal_applied"] > 0
+
+    def test_typed_domain_errors_survive_the_wire(self, server):
+        instance = server()
+        with ServeClient(instance.socket_path) as client:
+            with pytest.raises(ConfigurationError, match="load"):
+                client.place(1, 5.0)
+            # The connection survived the typed rejection.
+            assert client.ping()["pong"] is True
+
+    def test_graceful_stop_checkpoints_exact_state(self, server):
+        instance = server()
+        with ServeClient(instance.socket_path) as client:
+            acked = {t: client.place(t, 0.2) for t in range(1, 8)}
+        instance.stop()
+        state = recover(instance.store_dir)
+        assert state.audit.ok
+        assert set(state.placement.tenant_ids) == set(acked)
+        for tenant_id, servers_ in acked.items():
+            by_index = state.placement.tenant_servers(tenant_id)
+            assert [by_index[i] for i in sorted(by_index)] == servers_
+        # Graceful stop checkpointed: recovery replays no WAL tail.
+        assert state.records_replayed == 0
+
+    def test_warm_restart_adopts_recovered_state(self, server):
+        first = server()
+        with ServeClient(first.socket_path) as client:
+            client.place(1, 0.3)
+            client.place(2, 0.4)
+        first.stop()
+        second = PlacementServer(first.store_dir, first.socket_path,
+                                 ServeConfig(crash_mode="abort"))
+        second.start()
+        try:
+            with ServeClient(second.socket_path) as client:
+                assert client.stats()["placement"]["tenants"] == 2
+                client.place(3, 0.2)
+        finally:
+            second.stop()
+
+
+class TestServerProtocolErrorPaths:
+    def test_malformed_frame_gets_typed_response(self, server):
+        instance = server()
+        sock, reader = _raw_conn(instance)
+        try:
+            sock.sendall(b"this is not json\n")
+            _, body = protocol.parse_response(
+                protocol.read_frame(reader))
+            assert body["ok"] is False
+            assert body["error"]["type"] == "ProtocolError"
+            assert body["id"] is None
+            # Connection survives: a well-formed frame still answers.
+            sock.sendall(protocol.encode_request(5, "ping"))
+            got_id, body = protocol.parse_response(
+                protocol.read_frame(reader))
+            assert got_id == 5 and body["ok"] is True
+        finally:
+            sock.close()
+
+    def test_unknown_verb_echoes_request_id(self, server):
+        instance = server()
+        sock, reader = _raw_conn(instance)
+        try:
+            sock.sendall(protocol.encode(
+                {"id": 9, "verb": "explode"}))
+            got_id, body = protocol.parse_response(
+                protocol.read_frame(reader))
+            assert got_id == 9
+            assert body["error"]["type"] == "ProtocolError"
+            assert "unknown verb" in body["error"]["message"]
+        finally:
+            sock.close()
+
+    def test_oversized_payload_rejected_connection_survives(
+            self, server):
+        instance = server(max_frame_bytes=256)
+        sock, reader = _raw_conn(instance)
+        try:
+            sock.sendall(b'{"id": 1, "verb": "ping", "x": "'
+                         + b"y" * 1024 + b'"}\n')
+            _, body = protocol.parse_response(
+                protocol.read_frame(reader))
+            assert body["error"]["type"] == "ProtocolError"
+            assert "exceeds 256 bytes" in body["error"]["message"]
+            sock.sendall(protocol.encode_request(2, "ping"))
+            got_id, body = protocol.parse_response(
+                protocol.read_frame(reader))
+            assert got_id == 2 and body["ok"] is True
+        finally:
+            sock.close()
+
+    def test_queue_full_is_typed_backpressure(self, server):
+        instance = server(queue_size=2, retry_after=0.125)
+        original = instance._execute
+        entered, release = threading.Event(), threading.Event()
+
+        def gated(request):
+            if request.params.get("tenant") == 1:
+                entered.set()
+                release.wait(10.0)
+            return original(request)
+
+        instance._execute = gated
+        sock, reader = _raw_conn(instance)
+        try:
+            # Request 1 occupies the worker; 2..3 fill the queue; 4
+            # must be rejected immediately with the back-off hint.
+            sock.sendall(protocol.encode_request(1, "place",
+                                                 tenant=1, load=0.1))
+            assert entered.wait(10.0)
+            for rid in (2, 3):
+                sock.sendall(protocol.encode_request(
+                    rid, "place", tenant=rid, load=0.1))
+            sock.sendall(protocol.encode_request(4, "place",
+                                                 tenant=4, load=0.1))
+            got_id, body = protocol.parse_response(
+                protocol.read_frame(reader))
+            assert got_id == 4
+            assert body["error"]["type"] == "BackpressureError"
+            assert body["error"]["retry_after"] == 0.125
+            release.set()
+            # The admitted requests all complete in admission order.
+            for expected in (1, 2, 3):
+                got_id, body = protocol.parse_response(
+                    protocol.read_frame(reader))
+                assert got_id == expected and body["ok"] is True
+        finally:
+            release.set()
+            sock.close()
+
+    def test_draining_server_rejects_new_requests(self, server):
+        instance = server()
+        with ServeClient(instance.socket_path) as client:
+            client.place(1, 0.2)
+            instance._draining = True
+            with pytest.raises(ProtocolError, match="shutting down"):
+                client.place(2, 0.2)
+            # Readiness probes still answer and report the drain.
+            assert client.ping()["draining"] is True
+
+
+class TestClientRetry:
+    def test_place_retry_sleeps_off_backpressure(self, server,
+                                                 monkeypatch):
+        instance = server()
+        naps = []
+        monkeypatch.setattr("repro.serve.client.time.sleep",
+                            naps.append)
+        calls = {"n": 0}
+        original = ServeClient.place
+
+        def flaky(self, tenant, load):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise BackpressureError("full", retry_after=0.5)
+            return original(self, tenant, load)
+
+        monkeypatch.setattr(ServeClient, "place", flaky)
+        with ServeClient(instance.socket_path) as client:
+            assert len(client.place_retry(1, 0.2)) == 2
+        assert naps == [0.5, 0.5]
+
+
+class TestServeConfigValidation:
+    @pytest.mark.parametrize("overrides", [
+        {"gamma": 0}, {"queue_size": 0}, {"retry_after": -1.0},
+        {"checkpoint_interval": -0.5}, {"max_frame_bytes": 10},
+        {"crash_mode": "panic"},
+    ])
+    def test_bad_config_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            ServeConfig(**overrides)
+
+    def test_double_start_rejected(self, server):
+        instance = server()
+        with pytest.raises(ConfigurationError, match="already started"):
+            instance.start()
+
+    def test_second_server_on_live_socket_rejected(self, server,
+                                                   tmp_path):
+        instance = server()
+        clash = PlacementServer(tmp_path / "other-store",
+                                instance.socket_path,
+                                ServeConfig(crash_mode="abort"))
+        with pytest.raises(ConfigurationError, match="already served"):
+            clash.start()
+
+    def test_stale_socket_file_is_reclaimed(self, server, tmp_path):
+        stale = tmp_path / "serve0.sock"
+        stale.parent.mkdir(parents=True, exist_ok=True)
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(str(stale))
+        sock.close()  # bound then closed: file left, nobody listening
+        instance = server()  # binds the same path
+        assert instance.socket_path == stale
+        wait_until_ready(stale, timeout=5.0)
+
+
+class TestWireFormat:
+    def test_frames_are_single_json_lines(self):
+        frame = protocol.encode_result(1, {"servers": [0, 1]})
+        assert frame.endswith(b"\n") and frame.count(b"\n") == 1
+        assert json.loads(frame) == {
+            "id": 1, "ok": True, "result": {"servers": [0, 1]}}

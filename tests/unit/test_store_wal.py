@@ -173,3 +173,69 @@ class TestCorruption:
             handle.write(record.to_json() + "\n")
         with pytest.raises(StoreCorruptionError):
             WriteAheadLog(tmp_path)
+
+
+class TestCloseSafety:
+    """``close()`` must release the file handle even when the final
+    fsync fails — the regression where a fired ``store.wal.fsync``
+    failpoint (or a real ``OSError``) during close leaked the handle
+    and left the WAL half-closed."""
+
+    def test_failed_fsync_on_close_still_releases_handle(self, tmp_path):
+        from repro import faults
+        from repro.errors import FaultInjected
+
+        wal = WriteAheadLog(tmp_path)
+        wal.append("op", {"i": 0})
+        handle = wal._file
+        with faults.injected("store.wal.fsync", action="raise"):
+            with pytest.raises(FaultInjected):
+                wal.close()
+        # The error surfaced, but the handle is closed and detached.
+        assert handle.closed
+        assert wal._file is None
+        # The record had already been flushed: a reopen sees it.
+        assert [r.seq for r in WriteAheadLog(tmp_path).records()] == [0]
+
+    def test_failed_real_fsync_on_close_still_releases(self, tmp_path,
+                                                       monkeypatch):
+        import os as _os
+
+        wal = WriteAheadLog(tmp_path)
+        wal.append("op", {"i": 0})
+        handle = wal._file
+
+        def broken_fsync(fileno):
+            raise OSError(5, "I/O error")
+
+        monkeypatch.setattr(_os, "fsync", broken_fsync)
+        with pytest.raises(OSError):
+            wal.close()
+        assert handle.closed
+        assert wal._file is None
+
+    def test_close_is_idempotent(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append("op", {})
+        wal.close()
+        wal.close()  # no-op, no error
+        assert wal._file is None
+
+    def test_close_after_failed_close_is_noop(self, tmp_path):
+        from repro import faults
+        from repro.errors import FaultInjected
+
+        wal = WriteAheadLog(tmp_path)
+        wal.append("op", {})
+        with faults.injected("store.wal.fsync", action="raise"):
+            with pytest.raises(FaultInjected):
+                wal.close()
+        wal.close()  # second close after the failed one: clean no-op
+
+    def test_append_after_close_reopens_segment(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append("op", {"i": 0})
+        wal.close()
+        wal.append("op", {"i": 1})
+        wal.close()
+        assert [r.seq for r in wal.records()] == [0, 1]
