@@ -114,17 +114,30 @@ def _fail(message: str, request_id=None) -> ProtocolError:
     return err
 
 
+def _reject_constant(name: str) -> None:
+    """``json.loads`` hook: the wire grammar has no non-finite numbers.
+
+    Python's decoder accepts the bare ``NaN`` / ``Infinity`` /
+    ``-Infinity`` literals by default; letting them through would hand
+    verbs like ``update_load`` a load that defeats every downstream
+    ``<= 0`` guard, so the frame is refused before validation."""
+    raise _fail(f"frame contains non-finite number {name}; "
+                f"NaN/Infinity are not accepted")
+
+
 def parse_request(line: bytes) -> Request:
     """Parse one raw frame into a validated :class:`Request`.
 
     Raises :class:`~repro.errors.ProtocolError` on anything the server
-    cannot honour: invalid JSON, a non-object frame, a missing ``id``
-    or ``verb``, an unknown verb, or missing/unknown verb parameters.
+    cannot honour: invalid JSON, a non-object frame, a non-finite
+    number literal (``NaN``/``Infinity``), a missing ``id`` or
+    ``verb``, an unknown verb, or missing/unknown verb parameters.
     Once the frame's ``id`` has parsed, it rides on the error as
     ``err.request_id`` (else ``None``).
     """
     try:
-        raw = json.loads(line.decode("utf-8", errors="strict"))
+        raw = json.loads(line.decode("utf-8", errors="strict"),
+                         parse_constant=_reject_constant)
     except (UnicodeDecodeError, json.JSONDecodeError) as err:
         raise _fail(f"malformed frame: {err}") from None
     if not isinstance(raw, dict):
@@ -200,15 +213,17 @@ def read_frame(sock_file, max_frame_bytes: int = MAX_FRAME_BYTES
     line = sock_file.readline(max_frame_bytes + 1)
     if not line:
         return None
-    if len(line) > max_frame_bytes and not line.endswith(b"\n"):
+    if len(line) > max_frame_bytes:
+        # Over the ceiling (newline included) no matter how it ends;
+        # an unterminated read must still be drained to its newline so
+        # the stream stays framed for the next request.
         swallowed = len(line)
-        while True:
+        while not line.endswith(b"\n"):
             chunk = sock_file.readline(max_frame_bytes)
             if not chunk:
                 break
             swallowed += len(chunk)
-            if chunk.endswith(b"\n"):
-                break
+            line = chunk
         raise ProtocolError(
             f"frame exceeds {max_frame_bytes} bytes "
             f"({swallowed}+ read); oversized payload rejected")

@@ -41,9 +41,11 @@ live server.
 
 from __future__ import annotations
 
+import math
 import os
 import queue
 import socket
+import struct
 import threading
 import time
 from dataclasses import dataclass
@@ -87,6 +89,10 @@ class ServeConfig:
     #: explicit ``checkpoint`` requests and at graceful shutdown).
     checkpoint_interval: float = 0.0
     max_frame_bytes: int = MAX_FRAME_BYTES
+    #: Kernel send timeout (seconds) on accepted sockets; a client
+    #: that stops reading is declared dead after this long instead of
+    #: blocking the worker forever.  ``0`` disables the timeout.
+    send_timeout: float = 5.0
     fsync: str = FSYNC_ALWAYS
     segment_records: int = 512
     #: What a :class:`~repro.errors.SimulatedCrash` does: ``"exit"``
@@ -113,6 +119,9 @@ class ServeConfig:
             raise ConfigurationError(
                 f"max_frame_bytes must be >= 64, got "
                 f"{self.max_frame_bytes}")
+        if self.send_timeout < 0:
+            raise ConfigurationError(
+                f"send_timeout must be >= 0, got {self.send_timeout}")
         if self.crash_mode not in ("exit", "abort"):
             raise ConfigurationError(
                 f"crash_mode must be 'exit' or 'abort', got "
@@ -122,12 +131,28 @@ class ServeConfig:
 class _Connection:
     """One client session: the socket, its buffered reader, and a write
     lock shared by the handler (protocol errors, pings) and the worker
-    (results), so response frames never interleave."""
+    (results), so response frames never interleave.
+
+    Writes carry a kernel-level send timeout (``SO_SNDTIMEO`` — scoped
+    to sends only, so the handler's blocking reads are unaffected): a
+    client that stops reading fills its socket buffer, and without the
+    timeout ``sendall`` would block the single worker thread forever,
+    stalling placements for every other client.  A timed-out send marks
+    the connection dead and drops the frame."""
 
     __slots__ = ("sock", "reader", "lock", "closed")
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(self, sock: socket.socket,
+                 send_timeout: float = 0.0) -> None:
         self.sock = sock
+        if send_timeout > 0:
+            secs = int(send_timeout)
+            usecs = int(round((send_timeout - secs) * 1e6))
+            try:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDTIMEO,
+                                struct.pack("ll", secs, usecs))
+            except OSError:  # pragma: no cover - platform without it
+                pass
         self.reader = sock.makefile("rb")
         self.lock = threading.Lock()
         self.closed = False
@@ -140,24 +165,30 @@ class _Connection:
                 self.sock.sendall(frame)
                 return True
             except OSError:
+                # Includes a timed-out send (EAGAIN under SO_SNDTIMEO):
+                # the peer stopped reading, so the session is dead.
                 self.closed = True
                 return False
 
     def close(self) -> None:
         with self.lock:
             self.closed = True
-            try:
-                self.reader.close()
-            except OSError:
-                pass
-            try:
-                self.sock.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                self.sock.close()
-            except OSError:
-                pass
+        # Shut the socket down *before* touching the buffered reader:
+        # a handler thread blocked in readline() holds the reader's
+        # internal lock, and reader.close() would wait on it forever.
+        # shutdown() wakes that read with EOF, releasing the lock.
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.reader.close()
+        except (OSError, ValueError):
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
 
 
 class _Job:
@@ -299,7 +330,22 @@ class PlacementServer:
         self._shutdown.set()
         self._close_listener()
         # Let the worker drain everything already admitted, then stop.
-        self._queue.put(_STOP)
+        # Never block on a full queue: if the worker is already dead
+        # (a crash in `abort` mode) nothing drains it, so make room by
+        # rejecting one pending job per attempt instead of hanging.
+        while True:
+            try:
+                self._queue.put_nowait(_STOP)
+                break
+            except queue.Full:
+                try:
+                    job = self._queue.get_nowait()
+                except queue.Empty:
+                    continue
+                if job is not _STOP and job.conn is not None:
+                    job.conn.send(encode_error(
+                        job.request.id,
+                        ProtocolError("server is shutting down")))
         for thread in self._threads:
             if thread is not threading.current_thread():
                 thread.join(timeout=10.0)
@@ -338,6 +384,13 @@ class PlacementServer:
     def _close_listener(self) -> None:
         listener, self._listener = self._listener, None
         if listener is not None:
+            # shutdown() wakes a thread blocked in accept(); close()
+            # alone leaves it stuck in the syscall until the join
+            # timeout expires.
+            try:
+                listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 listener.close()
             except OSError:
@@ -385,7 +438,7 @@ class PlacementServer:
                     self._obs.counter("serve.accept_dropped").inc()
                 sock.close()
                 continue
-            conn = _Connection(sock)
+            conn = _Connection(sock, self.config.send_timeout)
             with self._conns_lock:
                 self._conns.append(conn)
             if self._obs is not None:
@@ -578,7 +631,14 @@ def _as_float(value, field: str) -> float:
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise ProtocolError(
             f"'{field}' must be a number, got {value!r}")
-    return float(value)
+    result = float(value)
+    # The protocol layer already refuses bare NaN/Infinity literals;
+    # this guard keeps the invariant local — a non-finite load would
+    # slip past every `<= 0` domain check and corrupt the placement.
+    if not math.isfinite(result):
+        raise ProtocolError(
+            f"'{field}' must be finite, got {value!r}")
+    return result
 
 
 __all__ = ["CRASH_EXIT_CODE", "PlacementServer", "ServeConfig"]

@@ -41,6 +41,12 @@ class TestProtocolParsing:
         (b'{"id": 1}', "unknown verb"),
         (b'{"id": 1, "verb": "place", "tenant": 2}', "requires field"),
         (b'{"id": 1, "verb": "ping", "extra": 0}', "does not take"),
+        (b'{"id": 1, "verb": "place", "tenant": 2, "load": NaN}',
+         "non-finite"),
+        (b'{"id": 1, "verb": "place", "tenant": 2, "load": Infinity}',
+         "non-finite"),
+        (b'{"id": 1, "verb": "update_load", "tenant": 2, '
+         b'"load": -Infinity}', "non-finite"),
     ])
     def test_bad_frames_are_typed(self, line, fragment):
         with pytest.raises(ProtocolError, match=fragment):
@@ -89,6 +95,26 @@ class TestProtocolParsing:
         # The stream stays framed: the next read is the next frame.
         assert protocol.read_frame(stream, 128) == \
             b'{"id":1,"verb":"ping"}'
+
+    def test_read_frame_ceiling_counts_the_newline(self):
+        import io
+        # Exactly at the documented ceiling (newline included): fine.
+        at_limit = b"x" * 127 + b"\n"
+        assert protocol.read_frame(io.BytesIO(at_limit), 128) == \
+            b"x" * 127
+        # One byte over, even though newline-terminated: rejected,
+        # and the stream stays framed for the next frame.
+        stream = io.BytesIO(b"y" * 128 + b"\n" + b"next\n")
+        with pytest.raises(ProtocolError, match="exceeds 128 bytes"):
+            protocol.read_frame(stream, 128)
+        assert protocol.read_frame(stream, 128) == b"next"
+
+    def test_non_finite_floats_rejected_directly(self):
+        from repro.serve import server as server_mod
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ProtocolError, match="finite"):
+                server_mod._as_float(bad, "load")
+        assert server_mod._as_float(0.5, "load") == 0.5
 
 
 # ---------------------------------------------------------------------
@@ -269,6 +295,36 @@ class TestServerProtocolErrorPaths:
             release.set()
             sock.close()
 
+    def test_nan_load_rejected_and_tenant_survives(self, server):
+        """Regression: a NaN ``load`` once slipped past validation and
+        silently removed the tenant before the typed error fired —
+        state and WAL diverged.  The frame must now be refused at the
+        protocol layer with the placement untouched."""
+        instance = server()
+        sock, reader = _raw_conn(instance)
+        try:
+            sock.sendall(protocol.encode_request(1, "place",
+                                                 tenant=1, load=0.3))
+            _, body = protocol.parse_response(
+                protocol.read_frame(reader))
+            assert body["ok"] is True
+            sock.sendall(b'{"id": 2, "verb": "update_load", '
+                         b'"tenant": 1, "load": NaN}\n')
+            _, body = protocol.parse_response(
+                protocol.read_frame(reader))
+            assert body["ok"] is False
+            assert body["error"]["type"] == "ProtocolError"
+            assert "non-finite" in body["error"]["message"]
+            # The tenant is still placed: the bad frame changed nothing.
+            sock.sendall(protocol.encode_request(3, "stats"))
+            got_id, body = protocol.parse_response(
+                protocol.read_frame(reader))
+            assert got_id == 3
+            assert body["result"]["placement"]["tenants"] == 1
+            assert instance.algorithm.placement.tenant_servers(1)
+        finally:
+            sock.close()
+
     def test_draining_server_rejects_new_requests(self, server):
         instance = server()
         with ServeClient(instance.socket_path) as client:
@@ -278,6 +334,76 @@ class TestServerProtocolErrorPaths:
                 client.place(2, 0.2)
             # Readiness probes still answer and report the drain.
             assert client.ping()["draining"] is True
+
+
+class TestServerRobustness:
+    def test_slow_reader_send_times_out(self):
+        """A client that stops reading must not wedge the writer: the
+        kernel send timeout turns a blocked ``sendall`` into a dead
+        connection after ``send_timeout`` seconds."""
+        import time
+        from repro.serve import server as server_mod
+        left, right = socket.socketpair(socket.AF_UNIX,
+                                        socket.SOCK_STREAM)
+        left.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 8192)
+        conn = server_mod._Connection(left, send_timeout=0.2)
+        try:
+            frame = b"x" * 65536
+            deadline = time.monotonic() + 20.0
+            sent = True
+            # `right` never reads, so the buffers fill and the send
+            # must fail by timeout instead of blocking forever.
+            while sent and time.monotonic() < deadline:
+                sent = conn.send(frame)
+            assert sent is False
+            assert conn.closed
+        finally:
+            conn.close()
+            right.close()
+
+    def test_stop_with_idle_connected_client_is_prompt(self, server):
+        """Regression: closing a connection's buffered reader blocked
+        on the handler thread's readline() lock, so graceful shutdown
+        hung until every idle client went away on its own."""
+        import time
+        instance = server()
+        sock, reader = _raw_conn(instance)
+        try:
+            sock.sendall(protocol.encode_request(1, "place",
+                                                 tenant=1, load=0.3))
+            _, body = protocol.parse_response(
+                protocol.read_frame(reader))
+            assert body["ok"] is True
+            # The client stays connected and idle across stop().
+            started = time.monotonic()
+            instance.stop()
+            assert time.monotonic() - started < 5.0, \
+                "stop() waited on an idle client"
+        finally:
+            sock.close()
+
+    def test_stop_with_dead_worker_and_full_queue(self, server):
+        """Regression: ``stop()`` used a blocking put for its sentinel;
+        with the worker already dead (crash in ``abort`` mode) and the
+        queue full it hung forever.  It must now drain and return."""
+        from repro.serve import server as server_mod
+        instance = server(queue_size=2)
+        # Kill the worker the way a crash leaves it: consumed sentinel,
+        # thread gone, queue still full of un-drained jobs.
+        instance._queue.put(server_mod._STOP)
+        for thread in instance._threads:
+            if thread.name == "serve-worker":
+                thread.join(5.0)
+                assert not thread.is_alive()
+        instance._queue.put_nowait(
+            server_mod._Job(server_mod._TimerCheckpoint(), None))
+        instance._queue.put_nowait(
+            server_mod._Job(server_mod._TimerCheckpoint(), None))
+        stopper = threading.Thread(target=instance.stop)
+        stopper.start()
+        stopper.join(10.0)
+        assert not stopper.is_alive(), "stop() hung on a full queue"
+        assert instance._stopped
 
 
 class TestClientRetry:
@@ -306,7 +432,7 @@ class TestServeConfigValidation:
     @pytest.mark.parametrize("overrides", [
         {"gamma": 0}, {"queue_size": 0}, {"retry_after": -1.0},
         {"checkpoint_interval": -0.5}, {"max_frame_bytes": 10},
-        {"crash_mode": "panic"},
+        {"crash_mode": "panic"}, {"send_timeout": -1.0},
     ])
     def test_bad_config_rejected(self, overrides):
         with pytest.raises(ConfigurationError):
