@@ -28,6 +28,7 @@ from ..core.arrays import SCREEN_MARGIN as _SCREEN_MARGIN
 from ..core.placement import PlacementState
 from ..core.tenant import LOAD_EPS, Replica, Tenant
 from ..errors import ConfigurationError, FaultInjected
+from ..obs import LATENCY_BUCKETS
 
 
 class OnlinePlacementAlgorithm(ABC):
@@ -107,7 +108,8 @@ class OnlinePlacementAlgorithm(ABC):
                    opened_before: int, **fields) -> None:
         """Emit the metrics + journal events of one mutation."""
         obs.counter(f"placement.{kind}").inc()
-        obs.histogram(f"placement.{kind}.seconds").observe(seconds)
+        obs.histogram(f"placement.{kind}.seconds",
+                      buckets=LATENCY_BUCKETS).observe(seconds)
         opened = self.placement.num_servers - opened_before
         if opened > 0:
             obs.counter("placement.servers_opened").inc(opened)

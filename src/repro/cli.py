@@ -269,6 +269,7 @@ def _run_bench(args: argparse.Namespace) -> None:
           f"jobs={args.jobs}); deterministic fields: servers, "
           f"utilization, screened fraction.\n")
     run_bench(scales=(args.tenants,), rounds=2, jobs=args.jobs,
+              fleet_scales=((args.tenants, args.shards),),
               progress=print)
 
 
@@ -362,7 +363,8 @@ def _run_serve(args: argparse.Namespace) -> None:
     config = ServeConfig(gamma=args.gamma,
                          queue_size=args.queue_size,
                          checkpoint_interval=args.checkpoint_interval,
-                         crash_mode="exit")
+                         crash_mode="exit",
+                         shard_id=args.shard_id)
     server = PlacementServer(args.store, args.socket, config,
                              obs=MetricsRegistry())
     for signum in (signal.SIGTERM, signal.SIGINT):
@@ -406,6 +408,69 @@ def _run_serve_send(args: argparse.Namespace) -> None:
     print(json.dumps(result, sort_keys=True, indent=2))
 
 
+def _run_fleet_soak(args: argparse.Namespace) -> None:
+    from .fleet import FleetSoakConfig, run_fleet_soak
+    from .obs import MetricsRegistry, set_enabled
+
+    if not args.store:
+        raise ConfigurationError(
+            "the fleet-soak command requires --store DIR (fleet root)")
+    set_enabled(True)  # the p50/p99 latency claim is measured, not inferred
+    config = FleetSoakConfig(shards=args.shards, tenants=args.tenants,
+                             policy=args.policy, gamma=args.gamma,
+                             seed=args.seed)
+    print(f"Fleet soak: {args.tenants} tenants over {args.shards} "
+          f"shard(s) under {args.store}, policy {args.policy}, "
+          f"jobs={args.jobs}; shard {config.crash_shard} is "
+          f"SIGKILL-drilled mid-stream.\n")
+    result = run_fleet_soak(args.store, config, obs=MetricsRegistry(),
+                            jobs=args.jobs)
+    print(result)
+    if not result.ok:
+        raise SimulationError(
+            f"fleet soak failed conformance: audits_ok="
+            f"{result.audits_ok}, divergences="
+            f"{len(result.crash_divergences)}, accounted="
+            f"{result.placed + result.spill_placed + result.spill_unplaced}"
+            f"/{config.tenants}")
+
+
+def _run_fleet_status(args: argparse.Namespace) -> None:
+    from .fleet import read_fleet_meta, shard_directory
+    from .store import recover
+
+    if not args.store:
+        raise ConfigurationError(
+            "the fleet-status command requires --store DIR (fleet root)")
+    meta = read_fleet_meta(args.store)
+    shards = int(meta["shards"])
+    print(f"fleet root: {args.store}")
+    print(f"geometry:   {shards} shard(s), gamma {meta['gamma']}, "
+          f"policy {meta['policy']}, seed {meta['seed']}, "
+          f"budget {meta.get('max_servers_per_shard') or 'unbounded'}")
+    tenants = servers = 0
+    clean = True
+    for shard_id in range(shards):
+        directory = shard_directory(args.store, shard_id)
+        if not (directory / "meta.json").exists():
+            print(f"  shard {shard_id:3d}: (no store yet) {directory}")
+            continue
+        state = recover(directory)
+        tenants += state.placement.num_tenants
+        servers += state.placement.num_servers
+        clean = clean and state.audit.ok
+        print(f"  shard {shard_id:3d}: "
+              f"{state.placement.num_tenants} tenants on "
+              f"{state.placement.num_servers} servers; checkpoint seq "
+              f"{state.checkpoint_seq} + {state.records_replayed} WAL "
+              f"record(s); audit "
+              f"{'OK' if state.audit.ok else 'VIOLATED'}")
+    print(f"fleet:      {tenants} tenants on {servers} servers; "
+          f"audits {'all clean' if clean else 'VIOLATED'}")
+    if not clean:
+        raise SystemExit(1)
+
+
 def _run_calibrate(args: argparse.Namespace) -> None:
     result = calibrate_load_model()
     print("Section IV calibration (simulated cluster):")
@@ -437,11 +502,14 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "recover": _run_recover,
     "serve": _run_serve,
     "serve-send": _run_serve_send,
+    "fleet-soak": _run_fleet_soak,
+    "fleet-status": _run_fleet_status,
 }
 
 #: Commands that operate on a durable store or a live service; they
 #: require --store/--socket and are excluded from ``repro all``.
-_STORE_COMMANDS = {"checkpoint", "recover", "serve", "serve-send"}
+_STORE_COMMANDS = {"checkpoint", "recover", "serve", "serve-send",
+                   "fleet-soak", "fleet-status"}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -504,8 +572,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="worker processes for parallelizable "
                              "experiments (bench, sweep); default 1")
     parser.add_argument("--tenants", type=int, default=2000,
-                        help="sequence length for the bench and sweep "
-                             "commands (default 2000)")
+                        help="sequence length for the bench, sweep and "
+                             "fleet-soak commands (default 2000)")
+    parser.add_argument("--shards", type=int, default=8,
+                        help="shard count for the fleet-soak command "
+                             "(default 8)")
+    parser.add_argument("--policy", default="hash",
+                        choices=["hash", "least-loaded", "headroom"],
+                        help="routing policy for the fleet-soak "
+                             "command (default hash)")
+    parser.add_argument("--shard-id", type=int, default=None,
+                        help="shard id this serve daemon runs as "
+                             "(reported by the stats verb)")
     args = parser.parse_args(argv)
 
     from .par import validate_jobs

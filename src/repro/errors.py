@@ -147,6 +147,37 @@ class BackpressureError(ReproError):
         self.retry_after = retry_after
 
 
+class ShardSaturatedError(PlacementError):
+    """A fleet shard refused a placement that would exceed its budget.
+
+    Raised by a :class:`~repro.fleet.shard.ShardController` with a
+    ``max_servers`` cap when admitting the tenant would have to open
+    servers beyond the cap.  The router treats it as the spillover
+    signal: the tenant is offered to sibling shards in deterministic
+    order before the fleet as a whole reports saturation.
+    """
+
+    def __init__(self, message: str, shard_id: int = -1) -> None:
+        super().__init__(message)
+        #: Shard that refused the placement.
+        self.shard_id = shard_id
+
+
+class ShardDownError(ReproError):
+    """An operation needs a fleet shard that is currently crashed.
+
+    New placements route around a down shard, but an operation on a
+    tenant *homed* on it (remove, resize) cannot proceed until the
+    shard recovers from its WAL + checkpoint.  Typed by construction:
+    whole-shard failure surfaces as this error, never as a hang.
+    """
+
+    def __init__(self, message: str, shard_id: int = -1) -> None:
+        super().__init__(message)
+        #: Shard that is down.
+        self.shard_id = shard_id
+
+
 class SimulationError(ReproError):
     """The discrete-event cluster simulation reached an invalid state."""
 

@@ -137,6 +137,15 @@ CATALOG: Dict[str, str] = {
         "PlacementServer checkpoint timer body, before the checkpoint "
         "job is enqueued — raise skips this round; crash kills the "
         "daemon with the checkpoint un-taken"),
+    "fleet.route": (
+        "PlacementRouter.route, before a routing decision commits — "
+        "the tenant was admitted but no shard has been touched"),
+    "fleet.spill": (
+        "PlacementRouter spillover, before a refused tenant is "
+        "offered to the first sibling shard"),
+    "fleet.rebalance": (
+        "cross-shard rebalancer, before a migration mutates either "
+        "shard — the move is abandoned whole, never half-applied"),
 }
 
 

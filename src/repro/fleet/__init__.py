@@ -1,0 +1,41 @@
+"""repro.fleet — sharded multi-controller placement fleet.
+
+Partitions the server estate into N shards, each a full durable
+controller (:mod:`repro.store` reused unchanged: per-shard WAL +
+checkpoint lineage under ``<root>/shard-NNN/``), behind a
+deterministic :class:`~repro.fleet.router.PlacementRouter` with
+batched admission, spillover, and a cross-shard rebalancer whose
+migrations are audited move by move.  Whole-shard failure is a typed,
+drilled event: see :func:`~repro.fleet.chaos.run_fleet_chaos`.
+
+Entry points:
+
+* :class:`PlacementFleet` — live serial fleet (router + shards +
+  rebalancer + crash/recover).
+* :func:`run_fleet_soak` — route once, execute shards in parallel via
+  :func:`repro.par.pmap` (bit-identical to serial), measure p50/p99
+  placement latency, optionally SIGKILL-drill one shard.
+* :func:`run_fleet_chaos` — whole-shard crash mid-traffic with
+  replica-for-replica recovery verification.
+* CLI: ``repro fleet-soak`` / ``repro fleet-status``.
+"""
+
+from .chaos import FleetChaosConfig, FleetChaosReport, run_fleet_chaos
+from .fleet import (FLEET_META_NAME, PlacementFleet, read_fleet_meta,
+                    write_fleet_meta)
+from .rebalance import Migration, rebalance
+from .router import POLICIES, PlacementRouter, stable_hash
+from .shard import ShardController, shard_directory
+from .soak import (FleetSoakConfig, FleetSoakResult, ShardOutcome,
+                   run_fleet_soak)
+
+__all__ = [
+    "PlacementFleet", "FLEET_META_NAME", "read_fleet_meta",
+    "write_fleet_meta",
+    "PlacementRouter", "POLICIES", "stable_hash",
+    "ShardController", "shard_directory",
+    "Migration", "rebalance",
+    "FleetSoakConfig", "FleetSoakResult", "ShardOutcome",
+    "run_fleet_soak",
+    "FleetChaosConfig", "FleetChaosReport", "run_fleet_chaos",
+]

@@ -1,0 +1,128 @@
+"""Cross-shard rebalancing: audited tenant migrations.
+
+Shards drift apart — hash routing is load-blind, tenants resize and
+depart — so the fleet periodically moves tenants from its most loaded
+shard to its least loaded one.  A migration is the same machinery the
+single-controller repacker uses (remove the tenant, place it again
+through the instrumented algorithm surface, every step WAL-logged),
+split across two stores:
+
+1. ``fleet.rebalance`` failpoint fires — before anything mutates.
+2. The tenant is placed on the **target** shard (its robustness
+   invariants enforced by the target's own placement path).
+3. The tenant is removed from the **source** shard.
+4. Both shards are audited; a violation raises immediately.
+
+Ordering is deliberate: a crash between 2 and 3 leaves the tenant on
+*both* shards — recoverable by :meth:`PlacementFleet.reconcile`'s
+deterministic rule — never on neither.  An acked placement can thus
+survive any single crash point in a migration.
+
+Move selection is deterministic: the source is the most loaded shard
+(ties to the lowest id), the target the least loaded, and the moved
+tenant is the largest tenant whose move does not overshoot the
+midpoint (ties to the lowest tenant id).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .. import faults
+from ..core.tenant import Tenant
+from ..errors import ShardSaturatedError
+
+#: Loads this close to balanced are not worth a migration.
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One audited cross-shard tenant move."""
+
+    tenant_id: int
+    load: float
+    source: int
+    target: int
+    #: Server ids the tenant landed on inside the target shard.
+    target_servers: Tuple[int, ...]
+
+    def __str__(self) -> str:
+        return (f"tenant {self.tenant_id} (load {self.load:.4f}): "
+                f"shard {self.source} -> {self.target} "
+                f"servers {list(self.target_servers)}")
+
+
+def pick_move(loads, tenants_by_shard) -> Tuple[int, int, int, float]:
+    """Choose ``(source, target, tenant_id, load)`` or raise KeyError.
+
+    ``loads`` maps shard id -> total load; ``tenants_by_shard`` maps
+    shard id -> {tenant_id: load}.  Deterministic; pure.
+    """
+    source = min(loads, key=lambda s: (-loads[s], s))
+    target = min(loads, key=lambda s: (loads[s], s))
+    gap = loads[source] - loads[target]
+    movable = [(load, tid) for tid, load
+               in tenants_by_shard[source].items()
+               if load <= gap / 2 + _EPS]
+    if source == target or not movable:
+        raise KeyError("no balancing move available")
+    load, tenant_id = max(movable, key=lambda lt: (lt[0], -lt[1]))
+    return source, target, tenant_id, load
+
+
+def rebalance(fleet, max_moves: int = 16,
+              tolerance: float = 0.1) -> List[Migration]:
+    """Migrate tenants until shard loads are within ``tolerance``.
+
+    ``tolerance`` is relative: rebalancing stops when the spread
+    between the most and least loaded shard is at most ``tolerance``
+    times the mean shard load (or when ``max_moves`` is reached, or no
+    move would improve the balance).  Every committed migration has
+    been audited on both shards; the returned list is the audit trail,
+    and each move is also journaled through the fleet's obs registry.
+    """
+    moves: List[Migration] = []
+    obs = fleet._obs
+    for _ in range(max_moves):
+        live = {c.shard_id: c for c in fleet.shards if c is not None}
+        if len(live) < 2:
+            break
+        loads = {sid: c.total_load for sid, c in live.items()}
+        mean = sum(loads.values()) / len(loads)
+        spread = max(loads.values()) - min(loads.values())
+        if spread <= tolerance * max(mean, _EPS):
+            break
+        tenants_by_shard = {
+            sid: {tid: c.placement.tenant_load(tid)
+                  for tid in c.placement.tenant_ids}
+            for sid, c in live.items()}
+        try:
+            source, target, tenant_id, load = pick_move(
+                loads, tenants_by_shard)
+        except KeyError:
+            break
+        if faults.active():
+            faults.fire("fleet.rebalance")
+        # Place on the target before removing from the source: a crash
+        # in between duplicates the tenant (repaired by reconcile()),
+        # it never loses it.
+        try:
+            servers = live[target].place(Tenant(tenant_id, load))
+        except ShardSaturatedError:
+            break
+        live[source].remove(tenant_id)
+        fleet.router.record_move(source, target, load)
+        fleet.shard_of[tenant_id] = target
+        live[source].audit().raise_if_violated()
+        live[target].audit().raise_if_violated()
+        move = Migration(tenant_id=tenant_id, load=load,
+                         source=source, target=target,
+                         target_servers=tuple(servers))
+        moves.append(move)
+        if obs is not None:
+            obs.counter("fleet.migrations").inc()
+            obs.emit("fleet_migrate", tenant=tenant_id, load=load,
+                     source=source, target=target)
+    return moves

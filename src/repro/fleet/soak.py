@@ -1,0 +1,374 @@
+"""Fleet-scale soak: route, execute shards in parallel, verify.
+
+The soak is the fleet's bench-and-drill harness.  It runs in three
+phases, shaped so that the result is **bit-identical at any ``jobs``
+setting**:
+
+1. **Route.**  The whole admission stream goes through the batched
+   :class:`~repro.fleet.router.PlacementRouter` queue.  Routing uses
+   only the router's own estimates, so the per-shard sub-streams are
+   fixed before any shard exists.
+2. **Execute.**  Each shard's sub-stream runs in a
+   :func:`repro.par.pmap` worker that owns the shard's
+   :class:`~repro.fleet.shard.ShardController` (and therefore its WAL
+   + checkpoint directory) exclusively.  Per-shard work is fully
+   self-contained; ``jobs`` only changes wall-clock time.  When the
+   config names a crash shard, that worker SIGKILL-simulates its
+   controller mid-stream (abandoned with no shutdown), recovers from
+   the shard's own WAL + checkpoint, verifies every acked placement
+   came back replica-for-replica, and finishes its stream on the
+   recovered controller.
+3. **Spill.**  Tenants refused by their budgeted shard come back and
+   are re-admitted serially through a live
+   :class:`~repro.fleet.fleet.PlacementFleet` (router spillover, ring
+   order).  Unbudgeted fleets never spill.
+
+Latency is measured, not inferred: when an obs registry is attached,
+the per-operation ``placement.place.seconds`` histograms
+(:data:`~repro.obs.LATENCY_BUCKETS`) from every worker are absorbed in
+shard order and the soak reports their p50/p99.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.tenant import Tenant
+from ..errors import ConfigurationError, ShardSaturatedError
+from ..obs import LATENCY_BUCKETS, active
+from ..par import pmap
+from ..workloads.distributions import UniformLoad
+from ..workloads.sequences import generate_sequence
+from .fleet import PlacementFleet, write_fleet_meta
+from .router import POLICIES, PlacementRouter
+from .shard import ShardController, shard_directory
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class FleetSoakConfig:
+    """Parameters of one fleet soak."""
+
+    shards: int = 4
+    tenants: int = 10000
+    policy: str = "hash"
+    gamma: int = 2
+    seed: int = 0
+    batch_size: int = 256
+    #: Upper bound of the uniform tenant-load distribution.
+    max_load: float = 0.6
+    max_servers_per_shard: Optional[int] = None
+    #: Shard to SIGKILL-simulate mid-stream (``None`` disables the
+    #: crash drill; the default crashes shard 0).
+    crash_shard: Optional[int] = 0
+    segment_records: int = 512
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be >= 1, got {self.shards}")
+        if self.tenants < 1:
+            raise ConfigurationError(
+                f"tenants must be >= 1, got {self.tenants}")
+        if self.policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown policy {self.policy!r}; known: {POLICIES}")
+        if self.crash_shard is not None and not (
+                0 <= self.crash_shard < self.shards):
+            raise ConfigurationError(
+                f"crash_shard must be in [0, {self.shards}), got "
+                f"{self.crash_shard}")
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard's worker did (picklable; crosses the pool)."""
+
+    shard_id: int
+    tenants: int
+    servers: int
+    nonempty_servers: int
+    total_load: float
+    utilization: float
+    audit_ok: bool
+    min_slack: float
+    wal_next_seq: int
+    #: sha256 over the sorted ``tenant -> [servers]`` mapping — the
+    #: deterministic identity of this shard's packing.
+    fingerprint: str
+    elapsed: float
+    #: ``(tenant_id, load)`` pairs the shard refused (budget).
+    spilled: List[Tuple[int, float]] = field(default_factory=list)
+    #: Crash-drill evidence, when this shard was the victim.
+    crash: Optional[Dict[str, object]] = None
+
+
+@dataclass
+class FleetSoakResult:
+    """Aggregate of one fleet soak."""
+
+    config: FleetSoakConfig
+    outcomes: List[ShardOutcome]
+    placed: int
+    spill_placed: int
+    spill_unplaced: int
+    servers: int
+    utilization: float
+    wall_seconds: float
+    tenants_per_second: float
+    #: Sum over shards of (tenants / shard seconds): the rate the fleet
+    #: sustains when shards run on independent cores.
+    aggregate_tenants_per_second: float
+    latency_p50: Optional[float]
+    latency_p99: Optional[float]
+    router: Dict[str, object]
+
+    @property
+    def audits_ok(self) -> bool:
+        return all(o.audit_ok for o in self.outcomes)
+
+    @property
+    def crash_outcome(self) -> Optional[ShardOutcome]:
+        for outcome in self.outcomes:
+            if outcome.crash is not None:
+                return outcome
+        return None
+
+    @property
+    def crash_divergences(self) -> List[str]:
+        outcome = self.crash_outcome
+        if outcome is None:
+            return []
+        return list(outcome.crash["divergences"])
+
+    @property
+    def ok(self) -> bool:
+        return (self.audits_ok and not self.crash_divergences
+                and self.placed + self.spill_placed
+                + self.spill_unplaced == self.config.tenants)
+
+    def fingerprint(self) -> str:
+        """Deterministic identity of the whole run (jobs-invariant)."""
+        digest = hashlib.sha256()
+        for outcome in self.outcomes:
+            digest.update(outcome.fingerprint.encode("ascii"))
+        digest.update(json.dumps(self.router,
+                                 sort_keys=True).encode("utf-8"))
+        return digest.hexdigest()
+
+    def __str__(self) -> str:
+        cfg = self.config
+        lines = [
+            f"Fleet soak: {cfg.tenants} tenants over {cfg.shards} "
+            f"shard(s), policy {cfg.policy}, gamma {cfg.gamma}, "
+            f"seed {cfg.seed}",
+            f"  placed {self.placed} (+{self.spill_placed} spilled, "
+            f"{self.spill_unplaced} refused) on {self.servers} "
+            f"servers at {self.utilization:.4f} utilization",
+            f"  wall {self.wall_seconds:.2f}s = "
+            f"{self.tenants_per_second:,.0f} tenants/s; aggregate "
+            f"{self.aggregate_tenants_per_second:,.0f} tenants/s "
+            f"across shards",
+        ]
+        if self.latency_p99 is not None:
+            lines.append(
+                f"  place latency p50 {self.latency_p50 * 1e6:.0f}us, "
+                f"p99 {self.latency_p99 * 1e6:.0f}us")
+        outcome = self.crash_outcome
+        if outcome is not None:
+            crash = outcome.crash
+            verdict = ("clean" if not crash["divergences"]
+                       else f"{len(crash['divergences'])} DIVERGENCES")
+            lines.append(
+                f"  crash drill: shard {outcome.shard_id} killed after "
+                f"{crash['acked']} acked placements, recovered "
+                f"replica-for-replica: {verdict}")
+        lines.append(
+            f"  audits: "
+            f"{'all clean' if self.audits_ok else 'VIOLATED'} "
+            f"({sum(o.audit_ok for o in self.outcomes)}/"
+            f"{len(self.outcomes)} shards)")
+        return "\n".join(lines)
+
+
+def _packing_fingerprint(acked: Dict[int, List[int]]) -> str:
+    canon = json.dumps(sorted(acked.items()), separators=(",", ":"))
+    return hashlib.sha256(canon.encode("ascii")).hexdigest()
+
+
+def _run_shard(item, registry) -> ShardOutcome:
+    """Worker body: run one shard's sub-stream to completion.
+
+    ``item`` is ``(shard_id, root, gamma, max_servers,
+    segment_records, assignment, crash_at)`` where ``assignment`` is
+    the routed ``(tenant_id, load)`` sub-stream and ``crash_at`` is an
+    index into it (-1: no crash drill on this shard).
+    """
+    (shard_id, root, gamma, max_servers, segment_records,
+     assignment, crash_at) = item
+
+    def fresh() -> ShardController:
+        return ShardController(
+            shard_id, shard_directory(root, shard_id), gamma=gamma,
+            max_servers=max_servers, obs=registry,
+            segment_records=segment_records)
+
+    started = time.perf_counter()
+    controller = fresh()
+    acked: Dict[int, List[int]] = {}
+    spilled: List[Tuple[int, float]] = []
+    crash_report: Optional[Dict[str, object]] = None
+    for index, (tenant_id, load) in enumerate(assignment):
+        if index == crash_at:
+            # SIGKILL semantics: abandon the controller with no
+            # shutdown, then recover from the shard's own WAL +
+            # checkpoint and verify every acked placement survived.
+            controller.crash()
+            controller = fresh()
+            recovered = controller.recovered_state
+            divergences: List[str] = []
+            placement = controller.placement
+            if placement.num_tenants != len(acked):
+                divergences.append(
+                    f"recovered {placement.num_tenants} tenants, "
+                    f"acked {len(acked)}")
+            for tid, servers in acked.items():
+                by_index = placement.tenant_servers(tid)
+                got = [by_index[i] for i in sorted(by_index)]
+                if got != servers:
+                    divergences.append(
+                        f"tenant {tid}: acked {servers}, "
+                        f"recovered {got}")
+            crash_report = {
+                "at": index,
+                "acked": len(acked),
+                "divergences": divergences,
+                "audit_ok": (recovered is not None
+                             and recovered.audit.ok),
+                "records_replayed": (
+                    0 if recovered is None
+                    else recovered.records_replayed),
+                "checkpoint_seq": (
+                    0 if recovered is None
+                    else recovered.checkpoint_seq),
+            }
+        try:
+            servers = controller.place(Tenant(tenant_id, load))
+        except ShardSaturatedError:
+            spilled.append((tenant_id, load))
+            continue
+        acked[tenant_id] = list(servers)
+    controller.checkpoint_and_compact()
+    report = controller.audit()
+    elapsed = time.perf_counter() - started
+    placement = controller.placement
+    outcome = ShardOutcome(
+        shard_id=shard_id,
+        tenants=placement.num_tenants,
+        servers=placement.num_servers,
+        nonempty_servers=placement.num_nonempty_servers,
+        total_load=placement.total_load(),
+        utilization=placement.utilization(),
+        audit_ok=report.ok,
+        min_slack=report.min_slack,
+        wal_next_seq=controller.store.wal.next_seq,
+        fingerprint=_packing_fingerprint(acked),
+        elapsed=elapsed,
+        spilled=spilled,
+        crash=crash_report,
+    )
+    controller.close()
+    return outcome
+
+
+def run_fleet_soak(root: PathLike,
+                   config: Optional[FleetSoakConfig] = None,
+                   obs=None, jobs: int = 1) -> FleetSoakResult:
+    """Run a fleet soak under ``root``; see the module docstring."""
+    cfg = config if config is not None else FleetSoakConfig()
+    gated = active(obs)
+    root = Path(root)
+    sequence = generate_sequence(UniformLoad(cfg.max_load),
+                                 cfg.tenants, seed=cfg.seed)
+    load_budget = (None if cfg.max_servers_per_shard is None
+                   else float(cfg.max_servers_per_shard))
+    router = PlacementRouter(cfg.shards, policy=cfg.policy,
+                             seed=cfg.seed, batch_size=cfg.batch_size,
+                             load_budget=load_budget)
+    routed = router.route_stream(list(sequence))
+    assignments: Dict[int, List[Tuple[int, float]]] = {
+        shard: [] for shard in range(cfg.shards)}
+    for shard, tenant in routed:
+        assignments[shard].append((tenant.tenant_id, tenant.load))
+    write_fleet_meta(root, shards=cfg.shards, gamma=cfg.gamma,
+                     capacity=1.0, policy=cfg.policy, seed=cfg.seed,
+                     max_servers_per_shard=cfg.max_servers_per_shard)
+
+    items = []
+    for shard in range(cfg.shards):
+        assignment = assignments[shard]
+        crash_at = -1
+        if cfg.crash_shard == shard and assignment:
+            crash_at = max(1, len(assignment) // 2)
+        items.append((shard, str(root), cfg.gamma,
+                      cfg.max_servers_per_shard, cfg.segment_records,
+                      assignment, crash_at))
+
+    started = time.perf_counter()
+    outcomes: List[ShardOutcome] = pmap(_run_shard, items, jobs=jobs,
+                                        obs=gated)
+
+    spill_placed = spill_unplaced = 0
+    spilled = [pair for outcome in outcomes
+               for pair in outcome.spilled]
+    if spilled:
+        with PlacementFleet(root, obs=gated) as fleet:
+            for tenant_id, load in spilled:
+                try:
+                    fleet.place(Tenant(tenant_id, load))
+                except ShardSaturatedError:
+                    spill_unplaced += 1
+                else:
+                    spill_placed += 1
+            fleet.checkpoint_all()
+            servers = fleet.status()["servers"]
+            total_load = sum(c.total_load for c in fleet.shards)
+            nonempty = sum(c.placement.num_nonempty_servers
+                           for c in fleet.shards)
+            audits = fleet.audit_all()
+            for outcome, controller in zip(outcomes, fleet.shards):
+                outcome.audit_ok = audits[controller.shard_id].ok
+            router_snapshot = fleet.router.snapshot()
+        utilization = (total_load / nonempty) if nonempty else 0.0
+    else:
+        servers = sum(o.servers for o in outcomes)
+        total_load = sum(o.total_load for o in outcomes)
+        nonempty = sum(o.nonempty_servers for o in outcomes)
+        utilization = (total_load / nonempty) if nonempty else 0.0
+        router_snapshot = router.snapshot()
+    wall = time.perf_counter() - started
+
+    placed = sum(o.tenants for o in outcomes)
+    aggregate = sum(o.tenants / o.elapsed for o in outcomes
+                    if o.elapsed > 0 and o.tenants)
+    p50 = p99 = None
+    if gated is not None:
+        histogram = gated.histogram("placement.place.seconds",
+                                    buckets=LATENCY_BUCKETS)
+        if histogram.count:
+            p50 = histogram.percentile(50.0)
+            p99 = histogram.percentile(99.0)
+    return FleetSoakResult(
+        config=cfg, outcomes=outcomes, placed=placed,
+        spill_placed=spill_placed, spill_unplaced=spill_unplaced,
+        servers=servers, utilization=utilization,
+        wall_seconds=wall,
+        tenants_per_second=(cfg.tenants / wall if wall > 0 else 0.0),
+        aggregate_tenants_per_second=aggregate,
+        latency_p50=p50, latency_p99=p99, router=router_snapshot)

@@ -28,13 +28,15 @@ from typing import Optional
 
 from .journal import (EventJournal, JournalEvent, ReplaySummary,
                       iter_jsonl, read_journal, replay)
-from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
-                      MetricsRegistry, absorb_snapshot, merge_snapshots)
+from .metrics import (DEFAULT_BUCKETS, LATENCY_BUCKETS, Counter, Gauge,
+                      Histogram, MetricsRegistry, absorb_snapshot,
+                      merge_snapshots)
 from .spans import current_span, span
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "DEFAULT_BUCKETS", "merge_snapshots", "absorb_snapshot",
+    "DEFAULT_BUCKETS", "LATENCY_BUCKETS",
+    "merge_snapshots", "absorb_snapshot",
     "span", "current_span",
     "EventJournal", "JournalEvent", "ReplaySummary",
     "read_journal", "iter_jsonl", "replay",

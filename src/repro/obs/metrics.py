@@ -33,6 +33,18 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
 )
 
+#: Boundaries tuned for per-operation placement latencies: a 1-2-5
+#: ladder from one microsecond to ten seconds.  Placement operations
+#: cluster in the 10us-1ms band at bench scales, where the default
+#: ladder has only one boundary per decade — too coarse for a p99
+#: claim.  Used by the instrumented ``placement.*.seconds`` histograms
+#: and the fleet soak's latency report.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
+    1e-3, 2e-3, 5e-3, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0, 10.0,
+)
+
 
 class Counter:
     """A monotonically increasing integer metric."""
@@ -255,9 +267,12 @@ def absorb_snapshot(registry: MetricsRegistry,
             registry.gauge(name).set(float(data["value"]))
         elif kind == "histogram":
             if int(data["count"]) == 0:
-                # Touch the name so it exists, but an empty histogram
-                # has no min/max/buckets worth merging.
-                registry.histogram(name)
+                # Touch the name so it exists (with the snapshot's own
+                # bounds, so a later non-empty absorb still matches),
+                # but an empty histogram has no min/max worth merging.
+                empty_bounds = tuple(float(b)
+                                     for b in data.get("buckets", ()))
+                registry.histogram(name, empty_bounds or None)
                 continue
             buckets = data["buckets"]
             bounds = tuple(float(b) for b in buckets)

@@ -100,6 +100,12 @@ class ServeConfig:
     #: ``"abort"`` tears the server down in place without flushing
     #: (in-process harnesses, which then recover from the directory).
     crash_mode: str = "exit"
+    #: Shard this daemon serves when it is one member of a
+    #: :mod:`repro.fleet` deployment; ``None`` for a standalone
+    #: controller.  Purely descriptive — reported by the ``stats``
+    #: verb so operators can tell shards apart — the daemon itself
+    #: never routes.
+    shard_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.gamma < 1:
@@ -126,6 +132,9 @@ class ServeConfig:
             raise ConfigurationError(
                 f"crash_mode must be 'exit' or 'abort', got "
                 f"{self.crash_mode!r}")
+        if self.shard_id is not None and self.shard_id < 0:
+            raise ConfigurationError(
+                f"shard_id must be >= 0, got {self.shard_id}")
 
 
 class _Connection:
@@ -601,6 +610,16 @@ class PlacementServer:
             "wal": {"next_seq": self.store.wal.next_seq},
             "queue": {"depth": self._queue.qsize(),
                       "capacity": self.config.queue_size},
+            "shard": {
+                "id": self.config.shard_id,
+                "store": str(self.store.directory),
+                "wal_segments": [path.name for path
+                                 in self.store.wal.segments()],
+                "checkpoint": str(self.store.checkpoint_path),
+                "checkpoint_exists":
+                    self.store.checkpoint_path.exists(),
+                "queue_depth": self._queue.qsize(),
+            },
             "uptime_seconds": time.monotonic() - self._started_at,
             "draining": self._draining,
         }

@@ -53,6 +53,12 @@ DEFAULT_ROUNDS = 3
 BENCH_SEED = 0
 BENCH_DISTRIBUTION_MAX = 0.6
 
+#: Sharded-fleet scenarios timed by default: ``(tenants, shards)``.
+#: One entry — the 100k stream over 8 bestfit shards — demonstrates
+#: the fleet claim: aggregate throughput above the best
+#: single-controller scenario at any scale.
+DEFAULT_FLEET_SCALES: Sequence[tuple] = ((100000, 8),)
+
 
 def bench_sequence(n_tenants: int):
     """The bench workload: ``Uniform(0, 0.6]`` loads, fixed seed."""
@@ -115,10 +121,81 @@ def feasibility_profile(factory: Callable[[], OnlinePlacementAlgorithm],
     }
 
 
+def fleet_scenario(n_tenants: int, shards: int,
+                   rounds: int = DEFAULT_ROUNDS,
+                   policy: str = "hash") -> Dict:
+    """Time the sharded-fleet pipeline on the bench workload.
+
+    The bench stream is routed once through a deterministic
+    :class:`~repro.fleet.router.PlacementRouter`, then every shard's
+    sub-stream is consolidated on its own ``RobustBestFit`` — in
+    memory, like every other bench scenario (the durable fleet with
+    WAL + crash drills is :func:`repro.fleet.soak.run_fleet_soak`).
+    Two rates come out:
+
+    * ``tenants_per_second`` — the full stream over the summed shard
+      time, i.e. what one core executing shards back to back sustains;
+    * ``aggregate_tenants_per_second`` — the sum of per-shard rates,
+      i.e. what the fleet sustains with one core per shard (shards
+      share nothing, so this is linear scale-out, and it is the number
+      the "sharding beats one big controller" claim is about).
+
+    ``servers`` and ``utilization`` are deterministic, like every
+    other scenario.
+    """
+    if rounds < 1:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    from ..fleet.router import PlacementRouter
+
+    sequence = bench_sequence(n_tenants)
+    router = PlacementRouter(shards, policy=policy, seed=BENCH_SEED)
+    routed = router.route_stream(list(sequence))
+    assignments: Dict[int, List] = {s: [] for s in range(shards)}
+    for shard, tenant in routed:
+        assignments[shard].append(tenant)
+
+    best_wall = None
+    best_aggregate = 0.0
+    algos = None
+    for _ in range(rounds):
+        shard_seconds: List[float] = []
+        round_algos = []
+        for shard in range(shards):
+            algo = RobustBestFit(gamma=2)
+            start = time.perf_counter()
+            for tenant in assignments[shard]:
+                algo.place(tenant)
+            shard_seconds.append(time.perf_counter() - start)
+            round_algos.append(algo)
+        wall = sum(shard_seconds)
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+            best_aggregate = sum(
+                len(assignments[shard]) / max(seconds, 1e-9)
+                for shard, seconds in enumerate(shard_seconds)
+                if assignments[shard])
+            algos = round_algos
+    total_load = sum(a.placement.total_load() for a in algos)
+    nonempty = sum(a.placement.num_nonempty_servers for a in algos)
+    return {
+        "shards": shards,
+        "policy": policy,
+        "seconds_min": round(best_wall, 6),
+        "tenants_per_second": round(n_tenants / max(best_wall, 1e-9)),
+        "aggregate_tenants_per_second": round(best_aggregate),
+        "servers": sum(a.placement.num_servers for a in algos),
+        "utilization": round(total_load / nonempty, 4) if nonempty
+        else 0.0,
+    }
+
+
 def run_bench(scales: Sequence[int] = DEFAULT_SCALES,
               rounds: int = DEFAULT_ROUNDS,
               jobs: int = 1,
               names: Optional[Sequence[str]] = None,
+              fleet_scales: Sequence[tuple] = DEFAULT_FLEET_SCALES,
               progress: Optional[Callable[[str], None]] = None) -> Dict:
     """Time every scenario at every scale; return the v2 payload.
 
@@ -165,8 +242,17 @@ def run_bench(scales: Sequence[int] = DEFAULT_SCALES,
                 f"{timing['servers']:>5} servers  "
                 f"util {timing['utilization']:.4f}  "
                 f"screened {fp['screened_fraction']:.1%}")
+    fleet: Dict[str, Dict] = {}
+    for n_tenants, shards in fleet_scales:
+        timing = fleet_scenario(n_tenants, shards, rounds=rounds)
+        fleet[f"{n_tenants}x{shards}"] = timing
+        say(f"[{n_tenants}] fleet x{shards}: "
+            f"{timing['tenants_per_second']:>8,} tenants/s wall, "
+            f"{timing['aggregate_tenants_per_second']:>8,} aggregate  "
+            f"{timing['servers']:>5} servers  "
+            f"util {timing['utilization']:.4f}")
     first_key = str(scales[0])
-    return {
+    payload = {
         "format": BENCH_FORMAT,
         "version": BENCH_VERSION,
         "rounds": rounds,
@@ -177,6 +263,9 @@ def run_bench(scales: Sequence[int] = DEFAULT_SCALES,
         "scales": per_scale,
         "feasibility": feasibility,
     }
+    if fleet:
+        payload["fleet"] = fleet
+    return payload
 
 
 def check_against_baseline(payload: Dict, baseline: Dict,
@@ -228,4 +317,27 @@ def check_against_baseline(payload: Dict, baseline: Dict,
                     f"{where}: {fresh['tenants_per_second']} tenants/s "
                     f"is more than {slowdown_tolerance:g}x slower than "
                     f"baseline {base['tenants_per_second']}")
+    # Fleet scenarios follow the same rules: packing exact, aggregate
+    # throughput within the slowdown floor.  A baseline predating the
+    # fleet section (or a run that skipped it) is silently compatible.
+    for key, base in sorted(baseline.get("fleet", {}).items()):
+        fresh = payload.get("fleet", {}).get(key)
+        if fresh is None:
+            continue
+        where = f"[fleet {key}]"
+        if fresh["servers"] != base["servers"]:
+            problems.append(
+                f"{where}: servers {fresh['servers']} != baseline "
+                f"{base['servers']}")
+        if abs(fresh["utilization"] - base["utilization"]) > 5e-5:
+            problems.append(
+                f"{where}: utilization {fresh['utilization']} != "
+                f"baseline {base['utilization']}")
+        floor = base["aggregate_tenants_per_second"] / slowdown_tolerance
+        if fresh["aggregate_tenants_per_second"] < floor:
+            problems.append(
+                f"{where}: {fresh['aggregate_tenants_per_second']} "
+                f"aggregate tenants/s is more than "
+                f"{slowdown_tolerance:g}x slower than baseline "
+                f"{base['aggregate_tenants_per_second']}")
     return problems

@@ -324,6 +324,100 @@ class TestServeSeams:
         _record_fired(faults.FAILPOINTS.fired_counts())
 
 
+class TestFleetSeams:
+    """``fleet.*`` — the sharded fleet's routing, spillover, and
+    rebalancing seams, drilled against a live serial
+    :class:`~repro.fleet.PlacementFleet`."""
+
+    def _fleet(self, tmp_path, **overrides):
+        from repro.fleet import PlacementFleet
+        overrides.setdefault("shards", 2)
+        return PlacementFleet(tmp_path / "fleet", **overrides)
+
+    def test_route_fault_is_typed_and_fleet_unchanged(self, tmp_path):
+        from repro.core.tenant import Tenant
+        fleet = self._fleet(tmp_path)
+        try:
+            fleet.place(Tenant(1, 0.2))
+            before = fleet.router.snapshot()
+            with faults.injected("fleet.route", action="raise"):
+                with pytest.raises(FaultInjected) as exc:
+                    fleet.place(Tenant(2, 0.2))
+            assert exc.value.failpoint == "fleet.route"
+            # The refused admission mutated nothing: router estimates
+            # are untouched and the next placement is fully served.
+            assert fleet.router.snapshot() == before
+            shard, servers = fleet.place(Tenant(2, 0.2))
+            assert servers
+            for report in fleet.audit_all().values():
+                report.raise_if_violated()
+        finally:
+            fleet.close()
+        _record_fired(faults.FAILPOINTS.fired_counts())
+
+    def test_spill_fault_surfaces_typed_saturation_stays(self, tmp_path):
+        """With the spill path fault-blocked, a saturated target shard
+        cannot hand off — the refusal surfaces typed, and removing the
+        fault lets the same tenant spill to the sibling."""
+        from repro.core.tenant import Tenant
+        fleet = self._fleet(tmp_path, policy="least-loaded",
+                            max_servers_per_shard=2)
+        try:
+            fleet.place(Tenant(1, 0.4))  # fills shard 0's two servers
+            fleet.place(Tenant(2, 0.4))  # fills shard 1's two servers
+            with faults.injected("fleet.spill", action="raise"):
+                with pytest.raises(FaultInjected) as exc:
+                    fleet.place(Tenant(3, 0.9))
+            assert exc.value.failpoint == "fleet.spill"
+            for report in fleet.audit_all().values():
+                report.raise_if_violated()
+        finally:
+            fleet.close()
+        _record_fired(faults.FAILPOINTS.fired_counts())
+
+    def test_rebalance_fault_abandons_move_whole(self, tmp_path):
+        """The failpoint sits before either shard mutates: a faulted
+        migration is abandoned entirely, never half-applied."""
+        from repro.core.tenant import Tenant
+        fleet = self._fleet(tmp_path, policy="hash")
+        try:
+            for tid in range(12):
+                fleet.place(Tenant(tid, 0.3))
+            tenants_before = {
+                shard_id: set(controller.placement.tenant_ids)
+                for shard_id, controller in enumerate(fleet.shards)}
+            with faults.injected("fleet.rebalance", action="raise"):
+                with pytest.raises(FaultInjected) as exc:
+                    fleet.rebalance(max_moves=4, tolerance=0.0)
+            assert exc.value.failpoint == "fleet.rebalance"
+            tenants_after = {
+                shard_id: set(controller.placement.tenant_ids)
+                for shard_id, controller in enumerate(fleet.shards)}
+            assert tenants_after == tenants_before
+            for report in fleet.audit_all().values():
+                report.raise_if_violated()
+        finally:
+            fleet.close()
+        _record_fired(faults.FAILPOINTS.fired_counts())
+
+    def test_fleet_chaos_drill_counts_faults(self, tmp_path):
+        """The whole-shard drill stays conformant with the route seam
+        firing mid-stream: the fault is typed, counted, and the run
+        still finishes audit-clean."""
+        from repro.fleet import FleetChaosConfig, run_fleet_chaos
+        with faults.injected("fleet.route", action="raise",
+                             after_hits=10):
+            report = run_fleet_chaos(
+                tmp_path / "chaos",
+                FleetChaosConfig(operations=80, shards=2, seed=4),
+                obs=MetricsRegistry())
+        assert report.ok, "\n".join(report.failures)
+        assert report.counts.get("fault", 0) >= 1
+        assert report.typed_errors.get("FaultInjected", 0) >= 1
+        assert report.fired.get("fleet.route", 0) >= 1
+        _record_fired(faults.FAILPOINTS.fired_counts())
+
+
 class TestCatalogueCoverage:
     def test_every_catalogued_failpoint_fired_in_this_module(self):
         """Adding a CATALOG entry without a conformance exercise is a

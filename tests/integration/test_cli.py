@@ -350,6 +350,52 @@ class TestStoreCommands:
         assert "savings over RFI by scale" in out
 
 
+class TestFleetCommands:
+    """`repro fleet-soak` / `fleet-status` regression: the one-line
+    stderr/exit-1 convention for bad arguments, and the end-to-end
+    soak-then-status round trip on a real fleet root."""
+
+    def test_fleet_soak_requires_store_flag(self, capsys):
+        assert cli.main(["fleet-soak"]) == 1
+        captured = capsys.readouterr()
+        assert "requires --store" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_fleet_status_requires_store_flag(self, capsys):
+        assert cli.main(["fleet-status"]) == 1
+        assert "requires --store" in capsys.readouterr().err
+
+    def test_fleet_status_missing_root_is_one_line(self, tmp_path,
+                                                   capsys):
+        code = cli.main(["fleet-status", "--store",
+                         str(tmp_path / "nope")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "repro fleet-status: error:" in captured.err
+        assert "not a fleet root" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_fleet_soak_rejects_bad_geometry(self, tmp_path, capsys):
+        code = cli.main(["fleet-soak", "--store", str(tmp_path / "f"),
+                         "--shards", "0"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "repro fleet-soak: error:" in captured.err
+
+    def test_fleet_soak_then_status_round_trip(self, tmp_path, capsys):
+        root = tmp_path / "fleet"
+        assert cli.main(["fleet-soak", "--store", str(root),
+                         "--tenants", "240", "--shards", "2",
+                         "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "SIGKILL-drilled" in out
+        assert "p99" in out
+        assert cli.main(["fleet-status", "--store", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "geometry:   2 shard(s)" in out
+        assert "audits all clean" in out
+
+
 class TestKeyboardInterrupt:
     """Ctrl-C during any subcommand: one line on stderr, exit 130,
     never a traceback — the regression where a KeyboardInterrupt

@@ -166,6 +166,31 @@ class TestServerRoundTrips:
             result = client.checkpoint()
             assert result["wal_applied"] > 0
 
+    def test_stats_shard_section_describes_the_store(self, server):
+        instance = server(shard_id=3)
+        with ServeClient(instance.socket_path) as client:
+            client.place(1, 0.3)
+            client.checkpoint()
+            shard = client.stats()["shard"]
+        assert shard["id"] == 3
+        assert shard["store"] == str(instance.store_dir)
+        assert shard["checkpoint_exists"] is True
+        assert shard["wal_segments"]  # at least the live segment
+        assert all(name.startswith("wal-") and name.endswith(".jsonl")
+                   for name in shard["wal_segments"])
+        assert shard["queue_depth"] == 0
+
+    def test_stats_shard_id_defaults_to_null(self, server):
+        instance = server()
+        with ServeClient(instance.socket_path) as client:
+            shard = client.stats()["shard"]
+        assert shard["id"] is None
+        assert shard["checkpoint_exists"] is False
+
+    def test_negative_shard_id_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="shard_id"):
+            ServeConfig(shard_id=-1)
+
     def test_typed_domain_errors_survive_the_wire(self, server):
         instance = server()
         with ServeClient(instance.socket_path) as client:

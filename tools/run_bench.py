@@ -37,11 +37,16 @@ from pathlib import Path
 _ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_ROOT / "src"))
 
-from repro.sim.bench import (DEFAULT_ROUNDS, DEFAULT_SCALES,  # noqa: E402
+from repro.sim.bench import (DEFAULT_FLEET_SCALES,  # noqa: E402
+                             DEFAULT_ROUNDS, DEFAULT_SCALES,
                              check_against_baseline, run_bench)
 
 QUICK_SCALES = (2000,)
 QUICK_ROUNDS = 2
+#: Quick mode still exercises the fleet pipeline, at a scale cheap
+#: enough for a CI smoke; its key differs from the committed 100k
+#: entry, so the baseline check skips the throughput comparison.
+QUICK_FLEET_SCALES = ((2000, 4),)
 
 
 def main(argv=None):
@@ -61,6 +66,11 @@ def main(argv=None):
     parser.add_argument("--names", type=str, default=None,
                         help="comma-separated scenario subset "
                              "(default: every scenario)")
+    parser.add_argument("--fleet-scales", type=str, default=None,
+                        help="comma-separated TENANTSxSHARDS fleet "
+                             "scenarios (default "
+                             f"{','.join(f'{n}x{s}' for n, s in DEFAULT_FLEET_SCALES)}"
+                             "; 'none' disables)")
     parser.add_argument("--quick", action="store_true",
                         help="reduced protocol + baseline check; does "
                              "not write the baseline")
@@ -81,9 +91,19 @@ def main(argv=None):
     rounds = args.rounds if args.rounds is not None else \
         (QUICK_ROUNDS if args.quick else DEFAULT_ROUNDS)
 
+    if args.fleet_scales is not None:
+        fleet_scales = () if args.fleet_scales == "none" else tuple(
+            tuple(int(part) for part in spec.split("x"))
+            for spec in args.fleet_scales.split(","))
+    elif args.quick:
+        fleet_scales = QUICK_FLEET_SCALES
+    else:
+        fleet_scales = DEFAULT_FLEET_SCALES
+
     names = tuple(args.names.split(",")) if args.names else None
     payload = run_bench(scales=scales, rounds=rounds, jobs=args.jobs,
-                        names=names, progress=print)
+                        names=names, fleet_scales=fleet_scales,
+                        progress=print)
 
     if args.quick:
         baseline = json.loads(args.baseline.read_text())
