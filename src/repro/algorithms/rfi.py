@@ -34,8 +34,7 @@ from typing import List, Optional, Tuple
 
 from ..core.tenant import Replica, Tenant
 from ..errors import ConfigurationError
-from .base import (OnlinePlacementAlgorithm, ServerIndex, register,
-                   robust_after_placement)
+from .base import OnlinePlacementAlgorithm, ServerIndex, register
 
 #: Interleaving threshold recommended by the RTP paper and used in the
 #: CUBEFIT paper's experiments.
@@ -94,17 +93,11 @@ class RFI(OnlinePlacementAlgorithm):
         """Fullest feasible server for ``replica`` (Best Fit), or None."""
         max_level = (self.mu * self.placement.capacity - replica.load
                      if is_primary else None)
-        candidates = self._index.iter_candidates(min_avail=replica.load,
-                                                 max_level=max_level,
-                                                 exclude=chosen)
-        future = self.gamma - len(chosen) - 1
-        for sid in candidates:
-            if robust_after_placement(self.placement, sid, replica.load,
-                                      chosen, failures=1,
-                                      future_siblings=future,
-                                      obs=self._obs):
-                return sid
-        return None
+        return self._index.select(
+            replica.load, chosen, min_avail=replica.load,
+            max_level=max_level, exclude=chosen,
+            future_siblings=self.gamma - len(chosen) - 1,
+            obs=self._obs)
 
     def describe(self) -> dict:
         info = super().describe()

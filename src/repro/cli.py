@@ -409,7 +409,8 @@ def _run_serve_send(args: argparse.Namespace) -> None:
 
 
 def _run_fleet_soak(args: argparse.Namespace) -> None:
-    from .fleet import FleetSoakConfig, run_fleet_soak
+    from .fleet import (FleetSoakConfig, run_fleet_soak,
+                        run_streaming_soak)
     from .obs import MetricsRegistry, set_enabled
 
     if not args.store:
@@ -419,12 +420,21 @@ def _run_fleet_soak(args: argparse.Namespace) -> None:
     config = FleetSoakConfig(shards=args.shards, tenants=args.tenants,
                              policy=args.policy, gamma=args.gamma,
                              seed=args.seed)
+    streaming = args.jobs == 1
+    mode = (f"streaming ingestion, window {args.window}" if streaming
+            else f"jobs={args.jobs}")
     print(f"Fleet soak: {args.tenants} tenants over {args.shards} "
           f"shard(s) under {args.store}, policy {args.policy}, "
-          f"jobs={args.jobs}; shard {config.crash_shard} is "
+          f"{mode}; shard {config.crash_shard} is "
           f"SIGKILL-drilled mid-stream.\n")
-    result = run_fleet_soak(args.store, config, obs=MetricsRegistry(),
-                            jobs=args.jobs)
+    if streaming:
+        result = run_streaming_soak(args.store, config,
+                                    obs=MetricsRegistry(),
+                                    window=args.window,
+                                    fsync=args.fsync)
+    else:
+        result = run_fleet_soak(args.store, config,
+                                obs=MetricsRegistry(), jobs=args.jobs)
     print(result)
     if not result.ok:
         raise SimulationError(
@@ -577,6 +587,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--shards", type=int, default=8,
                         help="shard count for the fleet-soak command "
                              "(default 8)")
+    parser.add_argument("--window", type=int, default=4096,
+                        help="streaming-ingestion window for the "
+                             "fleet-soak command at jobs=1: tenants "
+                             "routed and admitted per cycle "
+                             "(default 4096)")
+    parser.add_argument("--fsync", default="always",
+                        choices=["always", "rotate", "never"],
+                        help="WAL fsync policy for streaming "
+                             "fleet-soak shards (default always; "
+                             "rotate/never trade the durability "
+                             "contract for ingest speed)")
     parser.add_argument("--policy", default="hash",
                         choices=["hash", "least-loaded", "headroom"],
                         help="routing policy for the fleet-soak "

@@ -53,7 +53,7 @@ from __future__ import annotations
 import math
 import os
 from contextlib import contextmanager
-from typing import Iterable, Iterator, Set, Tuple, TYPE_CHECKING
+from typing import Iterable, Iterator, Sequence, Set, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -138,6 +138,10 @@ class ArrayCore:
     """
 
     _GROW = 1024
+    #: Initial CSR partner-row width; grows by doubling.  Partner sets
+    #: are small by construction (a server's partners are its tenants'
+    #: sibling homes, ~``replicas * (gamma - 1)``), so rows stay narrow.
+    _CSR_COLS = 8
 
     def __init__(self, placement: "PlacementState", failures: int,
                  eligibility: bool = False) -> None:
@@ -158,10 +162,33 @@ class ArrayCore:
         self._tracker = placement.dirty_tracker()
         #: Drained-but-unrefreshed ids (the lazy scalar-read mode).
         self._pending: Set[int] = set()
+        # ------------------------------------------------------------------
+        # CSR shared-load mirror (lazy).  Row ``sid`` holds the values of
+        # ``placement._shared[sid]`` in dict insertion order (``_pval``),
+        # the matching partner ids (``_pidx``), and the entry count
+        # (``_pcnt``); unused cells are ``-inf`` / ``-1``.  Rows are
+        # rebuilt on demand: a separate dirty tracker marks mutated rows
+        # stale and :meth:`_csr_rows` refreshes exactly the rows a
+        # resolver call reads, so workloads that never hit the ambiguous
+        # band never pay for the mirror.
+        self._pval = np.full((n, self._CSR_COLS), -np.inf, dtype=np.float64)
+        self._pidx = np.full((n, self._CSR_COLS), -1, dtype=np.int64)
+        self._pcnt = np.zeros(n, dtype=np.int64)
+        self._pfresh = np.zeros(n, dtype=bool)
+        self._csr_tracker = placement.dirty_tracker()
+        #: Monotonic refresh serial + append-only log of refreshed ids.
+        #: Consumers that cache verdicts derived from the vectors (the
+        #: screen cache in :class:`~repro.algorithms.base.ServerIndex`)
+        #: remember their build position and patch exactly the ids
+        #: refreshed since.  The log is cleared (and :attr:`refresh_epoch`
+        #: bumped, invalidating those caches) when it grows too long.
+        self.refresh_log: list = []
+        self.refresh_epoch = 0
 
     def close(self) -> None:
         """Unsubscribe from the placement's invalidation stream."""
         self._tracker.close()
+        self._csr_tracker.close()
 
     # ------------------------------------------------------------------
     # Growth / tracking
@@ -181,7 +208,29 @@ class ArrayCore:
                 [self._nrep, np.zeros(grow, dtype=np.int64)])
             self._eligible = np.concatenate(
                 [self._eligible, np.zeros(grow, dtype=bool)])
+            cols = self._pval.shape[1]
+            self._pval = np.concatenate(
+                [self._pval,
+                 np.full((grow, cols), -np.inf, dtype=np.float64)])
+            self._pidx = np.concatenate(
+                [self._pidx, np.full((grow, cols), -1, dtype=np.int64)])
+            self._pcnt = np.concatenate(
+                [self._pcnt, np.zeros(grow, dtype=np.int64)])
+            self._pfresh = np.concatenate(
+                [self._pfresh, np.zeros(grow, dtype=bool)])
         self.size = max(self.size, server_id + 1)
+
+    def _csr_grow_cols(self, needed: int) -> None:
+        cols = self._pval.shape[1]
+        while cols < needed:
+            cols *= 2
+        rows = self._pval.shape[0]
+        pval = np.full((rows, cols), -np.inf, dtype=np.float64)
+        pval[:, :self._pval.shape[1]] = self._pval
+        self._pval = pval
+        pidx = np.full((rows, cols), -1, dtype=np.int64)
+        pidx[:, :self._pidx.shape[1]] = self._pidx
+        self._pidx = pidx
 
     def track(self, server_id: int, eligible: bool = True) -> None:
         """Start mirroring ``server_id`` (must exist in the placement)."""
@@ -225,6 +274,7 @@ class ArrayCore:
         size = self.size
         eligible = self._eligible
         failpoints = faults.FAILPOINTS
+        log = self.refresh_log
         for sid in server_ids:
             if sid >= size:
                 continue
@@ -239,6 +289,12 @@ class ArrayCore:
                 self._avail[sid] = (server.capacity - load) - value
             else:
                 self._avail[sid] = -np.inf
+            log.append(sid)
+        if len(log) > 16384:
+            # Bound the log: consumers holding an older position must
+            # rebuild (they compare epochs).
+            log.clear()
+            self.refresh_epoch += 1
 
     def sync(self) -> None:
         """Eagerly refresh every server mutated since the last query."""
@@ -389,3 +445,131 @@ class ArrayCore:
             verdict[infeasible] = INFEASIBLE
         verdict[~self._eligible[:n]] = INFEASIBLE
         return verdict
+
+    # ------------------------------------------------------------------
+    # CSR shared-load mirror + vectorized ambiguous-band resolution
+    # ------------------------------------------------------------------
+    def _csr_rows(self, ids: Sequence[int]) -> None:
+        """Bring the CSR partner rows for ``ids`` up to date."""
+        tracker = self._csr_tracker
+        if tracker._dirty:
+            stale = tracker.drain()
+            fresh = self._pfresh
+            limit = len(fresh)
+            for sid in stale:
+                if sid < limit:
+                    fresh[sid] = False
+        shared_of = self.placement._shared
+        pval = self._pval
+        pidx = self._pidx
+        pcnt = self._pcnt
+        fresh = self._pfresh
+        for sid in ids:
+            if fresh[sid]:
+                continue
+            shared = shared_of[sid]
+            n = len(shared)
+            if n > pval.shape[1]:
+                self._csr_grow_cols(n)
+                pval = self._pval
+                pidx = self._pidx
+            old = int(pcnt[sid])
+            if n:
+                pval[sid, :n] = np.fromiter(
+                    shared.values(), np.float64, count=n)
+                pidx[sid, :n] = np.fromiter(
+                    shared.keys(), np.int64, count=n)
+            if old > n:
+                pval[sid, n:old] = -np.inf
+                pidx[sid, n:old] = -1
+            pcnt[sid] = n
+            fresh[sid] = True
+
+    def resolve_worst(self, ids: Sequence[int], replica_load: float,
+                      chosen: Sequence[int] = (),
+                      future_siblings: int = 0) -> np.ndarray:
+        """Exact worst shared sums for many servers in one pass.
+
+        For each ``sid`` in ``ids`` this returns exactly
+        ``worst_shared_sum(placement, sid, failures,
+        {c: replica_load for c in chosen},
+        [replica_load] * future_siblings)`` — the exact top-``failures``
+        sum over the server's *bumped* shared-load multiset — computed
+        for all rows with one ``np.partition`` pass over the CSR mirror
+        instead of one ``heapq.nlargest`` per server.
+
+        Bit-identity with the scalar path holds because the value
+        multiset of the top-``failures`` selection is the same either
+        way (ties contribute equal values) and the final sum accumulates
+        in the same value-descending order.  Rows whose survivor count
+        does not exceed the failure budget are delegated to the scalar
+        function outright (its summation order there is dict insertion
+        order, which only the dict walk reproduces cheaply).
+
+        Precondition (as with the scalar call sites): ``sid`` itself is
+        never in ``chosen``.
+        """
+        m = len(ids)
+        f = self.failures
+        out = np.zeros(m, dtype=np.float64)
+        if m == 0 or f <= 0:
+            return out
+        self._csr_rows(ids)
+        idx = np.fromiter(ids, np.int64, count=m)
+        cnt = self._pcnt[idx]
+        width0 = int(cnt.max())
+        V = self._pval[idx][:, :width0]
+        extra_cols = []
+        if chosen:
+            P = self._pidx[idx][:, :width0]
+            present = np.zeros(m, dtype=np.int64)
+            for c in chosen:
+                hit = P == c
+                has = hit.any(axis=1)
+                present += has
+                V = np.where(hit, V + replica_load, V)
+                extra_cols.append(np.where(has, -np.inf, replica_load))
+            survivors = cnt + (len(chosen) - present) + future_siblings
+        else:
+            survivors = cnt + future_siblings
+        small = survivors <= f
+        big = ~small
+        if big.any():
+            if future_siblings:
+                extra_cols.extend(
+                    np.full(m, replica_load)
+                    for _ in range(future_siblings))
+            Vb = V[big]
+            if extra_cols:
+                Vb = np.column_stack(
+                    [Vb] + [col[big] for col in extra_cols])
+            w = Vb.shape[1]
+            if f == 1:
+                res = Vb.max(axis=1)
+            else:
+                top = np.partition(Vb, w - f, axis=1)[:, w - f:]
+                top.sort(axis=1)
+                res = top[:, f - 1].copy()
+                for j in range(f - 2, -1, -1):
+                    res += top[:, j]
+            out[big] = res
+        if small.any():
+            scalar = _scalar_worst_shared_sum()
+            placement = self.placement
+            bumps = {c: replica_load for c in chosen} if chosen else None
+            extras = [replica_load] * future_siblings
+            for i in np.nonzero(small)[0]:
+                out[i] = scalar(placement, int(idx[i]), f, bumps, extras)
+        return out
+
+
+_WORST_SHARED_SUM = None
+
+
+def _scalar_worst_shared_sum():
+    """Lazy import of the scalar reference (avoids a circular import)."""
+    global _WORST_SHARED_SUM
+    if _WORST_SHARED_SUM is None:
+        from ..algorithms.base import worst_shared_sum
+        _WORST_SHARED_SUM = worst_shared_sum
+    return _WORST_SHARED_SUM

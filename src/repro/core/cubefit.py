@@ -152,8 +152,6 @@ class CubeFit(OnlinePlacementAlgorithm):
     def _find_mature_fit(self, replica: Replica, tau: int,
                          chosen: Sequence[int]) -> Optional[int]:
         """Best Fit: fullest mature bin that exactly m-fits ``replica``."""
-        candidates = self._index.iter_candidates(min_avail=replica.load,
-                                                 exclude=chosen)
         placement = self.placement
         server_of = placement._servers
         same_class_ok = self.config.allow_same_class_first_stage
@@ -161,25 +159,23 @@ class CubeFit(OnlinePlacementAlgorithm):
         if self.config.enforce_fault_domains:
             taken_domains = {
                 server_of[c].tags.get(TAG_DOMAIN) for c in chosen}
-        for sid in candidates:
+
+        def accept(sid: int) -> bool:
             tags = server_of[sid].tags
             bin_class = tags[TAG_CLASS]
             if same_class_ok:
                 if tau < bin_class:
-                    continue
+                    return False
             elif tau <= bin_class:
                 # Only strictly smaller replicas (larger class index) may
                 # reuse a mature bin's leftover space.
-                continue
-            if taken_domains is not None \
-                    and tags.get(TAG_DOMAIN) in taken_domains:
-                continue
-            if robust_after_placement(placement, sid, replica.load,
-                                      chosen,
-                                      failures=self.gamma - 1,
-                                      obs=self._obs):
-                return sid
-        return None
+                return False
+            return taken_domains is None \
+                or tags.get(TAG_DOMAIN) not in taken_domains
+
+        return self._index.select(
+            replica.load, chosen, min_avail=replica.load,
+            exclude=chosen, obs=self._obs, accept=accept)
 
     # ------------------------------------------------------------------
     # Second stage: cube placement

@@ -161,6 +161,7 @@ class PlacementState:
         self.top_partner_recomputes = 0
         #: failure budget -> shared struct-of-arrays mirror
         self._array_cores: Dict[int, "_arrays.ArrayCore"] = {}
+        #: Bumped by every load-*decreasing* mutation (:meth:`unplace`).
         #: live consumer handles fed by every mutation
         self._trackers: List[DirtyTracker] = []
         self.shadow_audit = _shadow_audit_default() \
@@ -175,10 +176,12 @@ class PlacementState:
         Called by every mutation with the servers whose load or
         shared-load set changed; feeds all subscribed dirty trackers.
         """
-        ids = list(server_ids)
+        ids = server_ids if type(server_ids) is tuple else tuple(server_ids)
+        wfl_pop = self._wfl_cache.pop
+        top_pop = self._top_cache.pop
         for sid in ids:
-            self._wfl_cache.pop(sid, None)
-            self._top_cache.pop(sid, None)
+            wfl_pop(sid, None)
+            top_pop(sid, None)
         for tracker in self._trackers:
             tracker._dirty.update(ids)
 
@@ -305,28 +308,37 @@ class PlacementState:
         Updates the shared-load index against every sibling replica of the
         same tenant that is already placed.
         """
-        server = self.server(server_id)
-        siblings = self._tenant_servers.get(replica.tenant_id, {})
-        if replica.index in siblings:
+        server = self._servers.get(server_id)
+        if server is None:
+            server = self.server(server_id)  # raises the canonical error
+        tenant_id = replica.tenant_id
+        siblings = self._tenant_servers.get(tenant_id)
+        if siblings is not None and replica.index in siblings:
             raise PlacementError(
                 f"replica {replica.key} is already placed on server "
                 f"{siblings[replica.index]}")
         server.add(replica)  # validates capacity and tenant-distinctness
-        shared_here = self._shared[server_id]
-        for other_id in siblings.values():
-            # Each replica of the tenant has the same load, so the shared
-            # load grows symmetrically by one replica load on both sides.
-            shared_here[other_id] = shared_here.get(other_id, 0.0) \
-                + replica.load
-            shared_other = self._shared[other_id]
-            shared_other[server_id] = shared_other.get(server_id, 0.0) \
-                + replica.load
-        self._touch((server_id, *siblings.values()))
-        if replica.tenant_id not in self._tenant_servers:
-            self._tenant_servers[replica.tenant_id] = {}
-            self._tenant_loads[replica.tenant_id] = 0.0
-        self._tenant_servers[replica.tenant_id][replica.index] = server_id
-        self._tenant_loads[replica.tenant_id] += replica.load
+        load = replica.load
+        if siblings:
+            shared = self._shared
+            shared_here = shared[server_id]
+            here_get = shared_here.get
+            for other_id in siblings.values():
+                # Each replica of the tenant has the same load, so the
+                # shared load grows symmetrically by one replica load on
+                # both sides.
+                shared_here[other_id] = here_get(other_id, 0.0) + load
+                shared_other = shared[other_id]
+                shared_other[server_id] = \
+                    shared_other.get(server_id, 0.0) + load
+            self._touch((server_id, *siblings.values()))
+        else:
+            self._touch((server_id,))
+            if siblings is None:
+                siblings = self._tenant_servers[tenant_id] = {}
+                self._tenant_loads[tenant_id] = 0.0
+        siblings[replica.index] = server_id
+        self._tenant_loads[tenant_id] += load
 
     def unplace(self, replica_key: ReplicaKey, server_id: int) -> Replica:
         """Remove a replica (rollback support); inverse of :meth:`place`."""

@@ -15,6 +15,11 @@ Entry points:
 * :func:`run_fleet_soak` — route once, execute shards in parallel via
   :func:`repro.par.pmap` (bit-identical to serial), measure p50/p99
   placement latency, optionally SIGKILL-drill one shard.
+* :func:`run_streaming_soak` — the bounded-memory sibling: lazily
+  generated tenants flow through the router's windowed queue into
+  per-shard ``place_batch`` chunks, so million-tenant streams never
+  materialize; packings (unbudgeted) and the crash drill match the
+  three-phase soak.
 * :func:`run_fleet_chaos` — whole-shard crash mid-traffic with
   replica-for-replica recovery verification.
 * CLI: ``repro fleet-soak`` / ``repro fleet-status``.
@@ -26,8 +31,8 @@ from .fleet import (FLEET_META_NAME, PlacementFleet, read_fleet_meta,
 from .rebalance import Migration, rebalance
 from .router import POLICIES, PlacementRouter, stable_hash
 from .shard import ShardController, shard_directory
-from .soak import (FleetSoakConfig, FleetSoakResult, ShardOutcome,
-                   run_fleet_soak)
+from .soak import (DEFAULT_WINDOW, FleetSoakConfig, FleetSoakResult,
+                   ShardOutcome, run_fleet_soak, run_streaming_soak)
 
 __all__ = [
     "PlacementFleet", "FLEET_META_NAME", "read_fleet_meta",
@@ -36,6 +41,6 @@ __all__ = [
     "ShardController", "shard_directory",
     "Migration", "rebalance",
     "FleetSoakConfig", "FleetSoakResult", "ShardOutcome",
-    "run_fleet_soak",
+    "run_fleet_soak", "run_streaming_soak", "DEFAULT_WINDOW",
     "FleetChaosConfig", "FleetChaosReport", "run_fleet_chaos",
 ]

@@ -22,7 +22,10 @@ Three policies, all deterministic:
     budget; falls back to least-loaded on unbounded shards.
 
 Admission is batched: :meth:`submit` parks tenants in a bounded queue
-and :meth:`flush` routes the whole batch, returning per-shard groups.
+and :meth:`flush` routes the whole batch, returning per-shard groups;
+:meth:`stream` drives the same queue over a lazy iterable, yielding
+groups batch by batch so an arbitrarily long admission stream never
+has more than one batch resident in the router.
 Spillover (:meth:`spill_order`) is the router's answer to a shard that
 *refused* a placement despite the estimate: siblings are offered the
 tenant in deterministic ring order starting after the refusing shard.
@@ -34,7 +37,7 @@ sibling (see :mod:`repro.faults`).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .. import faults
 from ..core.tenant import Tenant
@@ -217,25 +220,43 @@ class PlacementRouter:
             groups.setdefault(self.assign(tenant), []).append(tenant)
         return groups
 
-    def route_stream(self, tenants: Sequence[Tenant]
+    def stream(self, tenants: Iterable[Tenant]
+               ) -> Iterator[Dict[int, List[Tenant]]]:
+        """Windowed routing: yield per-shard groups batch by batch.
+
+        The bounded-queue replacement for materializing a whole
+        admission stream: tenants are drawn from the (possibly lazy)
+        iterable one at a time, parked in the batched queue, and
+        yielded as routed groups every ``batch_size`` arrivals — at
+        most one batch of the stream is ever resident in the router.
+        Routing decisions are identical to submitting the same stream
+        tenant by tenant (:meth:`submit` / :meth:`flush`), and
+        therefore independent of how the caller windows its
+        consumption.  The tail batch, if any, is flushed and yielded
+        last.
+        """
+        for tenant in tenants:
+            groups = self.submit(tenant)
+            if groups:
+                yield groups
+        tail = self.flush()
+        if tail:
+            yield tail
+
+    def route_stream(self, tenants: Iterable[Tenant]
                      ) -> List[Tuple[int, Tenant]]:
         """Route a whole admission stream through the batched queue.
 
         Returns ``(shard, tenant)`` pairs grouped batch by batch; each
-        shard's subsequence is in admission order.  This is the fleet
-        soak's phase-1 artifact, identical for any job count.
+        shard's subsequence is in admission order.  Materializes the
+        full routed stream — callers that can consume batch by batch
+        should iterate :meth:`stream` instead and stay within one
+        batch of resident memory.
         """
         routed: List[Tuple[int, Tenant]] = []
-
-        def drain(groups: Dict[int, List[Tenant]]) -> None:
+        for groups in self.stream(tenants):
             for shard, members in groups.items():
                 routed.extend((shard, tenant) for tenant in members)
-
-        for tenant in tenants:
-            groups = self.submit(tenant)
-            if groups:
-                drain(groups)
-        drain(self.flush())
         return routed
 
     # ------------------------------------------------------------------

@@ -27,6 +27,24 @@ Latency is measured, not inferred: when an obs registry is attached,
 the per-operation ``placement.place.seconds`` histograms
 (:data:`~repro.obs.LATENCY_BUCKETS`) from every worker are absorbed in
 shard order and the soak reports their p50/p99.
+
+:func:`run_streaming_soak` is the bounded-memory sibling of the
+three-phase soak: instead of materializing the whole admission stream
+up front, tenants are drawn lazily
+(:func:`~repro.workloads.sequences.stream_tenants`), routed through
+the router's windowed queue (:meth:`PlacementRouter.stream`), and
+admitted window by window through each shard's
+:meth:`~repro.fleet.shard.ShardController.place_batch` — at most one
+window of the stream is ever resident, which is what lets ``repro
+fleet-soak`` ingest millions of tenants in one process.  Packing
+fingerprints are maintained incrementally (per-shard tenant ids are
+strictly increasing, so the canonical sorted serialization can be
+hashed as admissions happen), and the crash drill verifies recovery
+by fingerprint instead of replaying an acked map it never kept.
+Unbudgeted runs are fingerprint-identical to the three-phase soak;
+budgeted runs may pack differently because streaming re-admits a
+refused tenant immediately (ring order) while the batch soak defers
+every spill to a final serial phase.
 """
 
 from __future__ import annotations
@@ -42,8 +60,9 @@ from ..core.tenant import Tenant
 from ..errors import ConfigurationError, ShardSaturatedError
 from ..obs import LATENCY_BUCKETS, active
 from ..par import pmap
+from ..store.wal import FSYNC_ALWAYS
 from ..workloads.distributions import UniformLoad
-from ..workloads.sequences import generate_sequence
+from ..workloads.sequences import generate_sequence, stream_tenants
 from .fleet import PlacementFleet, write_fleet_meta
 from .router import POLICIES, PlacementRouter
 from .shard import ShardController, shard_directory
@@ -372,3 +391,243 @@ def run_fleet_soak(root: PathLike,
         tenants_per_second=(cfg.tenants / wall if wall > 0 else 0.0),
         aggregate_tenants_per_second=aggregate,
         latency_p50=p50, latency_p99=p99, router=router_snapshot)
+
+
+# ----------------------------------------------------------------------
+# Streaming ingestion (bounded resident memory)
+# ----------------------------------------------------------------------
+
+#: Tenants routed + admitted per streaming window (a multiple of the
+#: admission batch keeps the shard-side chunks full).
+DEFAULT_WINDOW = 4096
+
+
+class _StreamShard:
+    """In-process bookkeeping for one shard of a streaming soak."""
+
+    __slots__ = ("shard_id", "controller", "hasher", "first", "acked",
+                 "elapsed", "foreign", "crash_report", "refused")
+
+    def __init__(self, shard_id: int,
+                 controller: ShardController) -> None:
+        self.shard_id = shard_id
+        self.controller = controller
+        # Incremental sha256 over the canonical sorted
+        # ``[tenant, [servers]]`` serialization: per-shard tenant ids
+        # arrive strictly increasing, so admission order *is* sorted
+        # order and the digest can be fed as placements are acked.
+        self.hasher = hashlib.sha256()
+        self.first = True
+        self.acked = 0
+        self.elapsed = 0.0
+        #: Tenant ids admitted here via spillover from another shard's
+        #: refusal — excluded from the fingerprint, exactly like the
+        #: batch soak's phase-3 spills.
+        self.foreign: set = set()
+        self.crash_report: Optional[Dict[str, object]] = None
+        self.refused: List[Tuple[int, float]] = []
+
+    def feed(self, tenant_id: int, servers) -> None:
+        item = json.dumps([tenant_id, list(servers)],
+                          separators=(",", ":"))
+        if self.first:
+            self.hasher.update(b"[")
+            self.first = False
+        else:
+            self.hasher.update(b",")
+        self.hasher.update(item.encode("ascii"))
+        self.acked += 1
+
+    def fingerprint(self) -> str:
+        digest = self.hasher.copy()
+        digest.update(b"]" if not self.first else b"[]")
+        return digest.hexdigest()
+
+
+def _recovered_fingerprint(placement, exclude: set) -> Tuple[str, int]:
+    """Canonical packing fingerprint of a recovered placement.
+
+    Streams the recovered ``tenant -> [servers]`` mapping through the
+    same incremental serialization :class:`_StreamShard` maintains, so
+    a clean recovery reproduces the running digest bit-for-bit without
+    the soak ever keeping an acked map.
+    """
+    hasher = hashlib.sha256()
+    first = True
+    count = 0
+    for tenant_id in sorted(placement.tenant_ids):
+        if tenant_id in exclude:
+            continue
+        by_index = placement.tenant_servers(tenant_id)
+        servers = [by_index[i] for i in sorted(by_index)]
+        item = json.dumps([tenant_id, servers], separators=(",", ":"))
+        hasher.update(b"[" if first else b",")
+        first = False
+        hasher.update(item.encode("ascii"))
+        count += 1
+    hasher.update(b"]" if not first else b"[]")
+    return hasher.hexdigest(), count
+
+
+def run_streaming_soak(root: PathLike,
+                       config: Optional[FleetSoakConfig] = None,
+                       obs=None, window: int = DEFAULT_WINDOW,
+                       fsync: str = FSYNC_ALWAYS) -> FleetSoakResult:
+    """Run a fleet soak by windowed streaming ingestion.
+
+    Same admission stream, routing decisions, and (unbudgeted)
+    packings as :func:`run_fleet_soak`, but the stream is never
+    materialized: tenants are generated lazily, routed ``window`` at a
+    time, and each window's per-shard groups are admitted through
+    :meth:`ShardController.place_batch` on long-lived in-process
+    controllers.  The crash drill (``config.crash_shard``) fires once
+    the victim shard has acked half its expected share and verifies
+    recovery by packing fingerprint.  ``fsync`` is forwarded to every
+    shard's WAL (the default ``always`` keeps the single-controller
+    durability contract; ``rotate``/``never`` trade it for ingest
+    speed on throughput drills).
+    """
+    cfg = config if config is not None else FleetSoakConfig()
+    if window < 1:
+        raise ConfigurationError(f"window must be >= 1, got {window}")
+    gated = active(obs)
+    root = Path(root)
+    load_budget = (None if cfg.max_servers_per_shard is None
+                   else float(cfg.max_servers_per_shard))
+    router = PlacementRouter(cfg.shards, policy=cfg.policy,
+                             seed=cfg.seed, batch_size=window,
+                             load_budget=load_budget)
+    write_fleet_meta(root, shards=cfg.shards, gamma=cfg.gamma,
+                     capacity=1.0, policy=cfg.policy, seed=cfg.seed,
+                     max_servers_per_shard=cfg.max_servers_per_shard)
+
+    def fresh(shard_id: int) -> ShardController:
+        return ShardController(
+            shard_id, shard_directory(root, shard_id), gamma=cfg.gamma,
+            max_servers=cfg.max_servers_per_shard, obs=gated,
+            fsync=fsync, segment_records=cfg.segment_records)
+
+    shards = [_StreamShard(sid, fresh(sid))
+              for sid in range(cfg.shards)]
+    crash_at = (None if cfg.crash_shard is None
+                else max(1, cfg.tenants // (2 * cfg.shards)))
+
+    def crash_drill(shard: _StreamShard) -> None:
+        # SIGKILL semantics, as in the batch soak's worker: abandon
+        # the controller, recover from the shard's own WAL +
+        # checkpoint, and verify every acked placement survived — here
+        # by comparing the recovered packing's fingerprint against the
+        # running digest (the streaming soak keeps no acked map).
+        shard.controller.crash()
+        controller = fresh(shard.shard_id)
+        recovered = controller.recovered_state
+        placement = controller.placement
+        divergences: List[str] = []
+        got_fp, got_count = _recovered_fingerprint(
+            placement, shard.foreign)
+        if got_count != shard.acked:
+            divergences.append(
+                f"recovered {got_count} tenants, acked {shard.acked}")
+        if got_fp != shard.fingerprint():
+            divergences.append(
+                f"recovered packing fingerprint {got_fp[:16]}..., "
+                f"acked {shard.fingerprint()[:16]}...")
+        shard.crash_report = {
+            "at": shard.acked,
+            "acked": shard.acked,
+            "divergences": divergences,
+            "audit_ok": (recovered is not None
+                         and recovered.audit.ok),
+            "records_replayed": (0 if recovered is None
+                                 else recovered.records_replayed),
+            "checkpoint_seq": (0 if recovered is None
+                               else recovered.checkpoint_seq),
+        }
+        shard.controller = controller
+
+    spill_placed = spill_unplaced = 0
+    stream = stream_tenants(UniformLoad(cfg.max_load), cfg.tenants,
+                            seed=cfg.seed)
+    started = time.perf_counter()
+    for groups in router.stream(stream):
+        for shard_id in sorted(groups):
+            shard = shards[shard_id]
+            if (crash_at is not None and cfg.crash_shard == shard_id
+                    and shard.crash_report is None
+                    and shard.acked >= crash_at):
+                crash_drill(shard)
+            group_started = time.perf_counter()
+            outcomes = shard.controller.place_batch(groups[shard_id])
+            shard.elapsed += time.perf_counter() - group_started
+            for tenant, servers in outcomes:
+                if servers is not None:
+                    shard.feed(tenant.tenant_id, servers)
+                    continue
+                # Budget refusal: spill immediately, ring order.
+                shard.refused.append((tenant.tenant_id, tenant.load))
+                router.record_remove(shard_id, tenant.load)
+                for sibling in router.spill_order(tenant, shard_id):
+                    try:
+                        shards[sibling].controller.place(tenant)
+                    except ShardSaturatedError:
+                        continue
+                    router.record_place(sibling, tenant.load)
+                    shards[sibling].foreign.add(tenant.tenant_id)
+                    spill_placed += 1
+                    break
+                else:
+                    spill_unplaced += 1
+    if crash_at is not None:
+        # Imbalanced routing can leave the victim short of the
+        # trigger; the drill still fires once (post-stream) so every
+        # configured soak exercises recovery.
+        victim = shards[cfg.crash_shard]
+        if victim.crash_report is None and victim.acked > 0:
+            crash_drill(victim)
+
+    outcomes: List[ShardOutcome] = []
+    for shard in shards:
+        controller = shard.controller
+        controller.checkpoint_and_compact()
+        report = controller.audit()
+        placement = controller.placement
+        outcomes.append(ShardOutcome(
+            shard_id=shard.shard_id,
+            tenants=placement.num_tenants,
+            servers=placement.num_servers,
+            nonempty_servers=placement.num_nonempty_servers,
+            total_load=placement.total_load(),
+            utilization=placement.utilization(),
+            audit_ok=report.ok,
+            min_slack=report.min_slack,
+            wal_next_seq=controller.store.wal.next_seq,
+            fingerprint=shard.fingerprint(),
+            elapsed=shard.elapsed,
+            spilled=shard.refused,
+            crash=shard.crash_report,
+        ))
+        controller.close()
+    wall = time.perf_counter() - started
+
+    servers = sum(o.servers for o in outcomes)
+    total_load = sum(o.total_load for o in outcomes)
+    nonempty = sum(o.nonempty_servers for o in outcomes)
+    utilization = (total_load / nonempty) if nonempty else 0.0
+    placed = sum(o.tenants for o in outcomes) - spill_placed
+    aggregate = sum(shard.acked / shard.elapsed for shard in shards
+                    if shard.elapsed > 0 and shard.acked)
+    p50 = p99 = None
+    if gated is not None:
+        histogram = gated.histogram("placement.place.seconds",
+                                    buckets=LATENCY_BUCKETS)
+        if histogram.count:
+            p50 = histogram.percentile(50.0)
+            p99 = histogram.percentile(99.0)
+    return FleetSoakResult(
+        config=cfg, outcomes=outcomes, placed=placed,
+        spill_placed=spill_placed, spill_unplaced=spill_unplaced,
+        servers=servers, utilization=utilization,
+        wall_seconds=wall,
+        tenants_per_second=(cfg.tenants / wall if wall > 0 else 0.0),
+        aggregate_tenants_per_second=aggregate,
+        latency_p50=p50, latency_p99=p99, router=router.snapshot())

@@ -18,6 +18,8 @@ exact top-``f`` evaluations, and the recorded ratio is the proof.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -33,7 +35,11 @@ from ..workloads.distributions import UniformLoad
 from ..workloads.sequences import generate_sequence
 
 BENCH_FORMAT = "repro-bench"
-BENCH_VERSION = 2
+#: Version 3 drops the v1 alias block (top-level ``n_tenants`` +
+#: ``scenarios`` duplicating the first scale): every scale lives only
+#: under ``scales``/``feasibility``.  :func:`check_against_baseline`
+#: reads v2 and v3 payloads interchangeably.
+BENCH_VERSION = 3
 
 #: The benched lineup.  Keys are scenario names in the baseline file.
 FACTORIES: Dict[str, Callable[[], OnlinePlacementAlgorithm]] = {
@@ -54,10 +60,18 @@ BENCH_SEED = 0
 BENCH_DISTRIBUTION_MAX = 0.6
 
 #: Sharded-fleet scenarios timed by default: ``(tenants, shards)``.
-#: One entry — the 100k stream over 8 bestfit shards — demonstrates
-#: the fleet claim: aggregate throughput above the best
-#: single-controller scenario at any scale.
-DEFAULT_FLEET_SCALES: Sequence[tuple] = ((100000, 8),)
+#: The 100k stream over 8 bestfit shards demonstrates the fleet
+#: claim — aggregate throughput above the best single-controller
+#: scenario at any scale — and the 1M stream over 16 shards exercises
+#: the windowed streaming ingestion at the fleet-soak acceptance
+#: scale (timed with one round; see :func:`run_bench`).
+DEFAULT_FLEET_SCALES: Sequence[tuple] = ((100000, 8), (1000000, 16))
+
+#: Fleet rows at or above this tenant count are timed with a single
+#: round regardless of ``rounds`` — a 1M-tenant ingestion is minutes
+#: of deterministic compute per round, and the packing fields the
+#: baseline check cares about are round-invariant anyway.
+FLEET_SINGLE_ROUND_FLOOR = 500000
 
 
 def bench_sequence(n_tenants: int):
@@ -121,17 +135,25 @@ def feasibility_profile(factory: Callable[[], OnlinePlacementAlgorithm],
     }
 
 
+#: Tenants routed + admitted per :func:`fleet_scenario` window.
+FLEET_BENCH_WINDOW = 4096
+
+
 def fleet_scenario(n_tenants: int, shards: int,
                    rounds: int = DEFAULT_ROUNDS,
-                   policy: str = "hash") -> Dict:
-    """Time the sharded-fleet pipeline on the bench workload.
+                   policy: str = "hash",
+                   window: int = FLEET_BENCH_WINDOW) -> Dict:
+    """Time the sharded-fleet streaming pipeline on the bench workload.
 
-    The bench stream is routed once through a deterministic
-    :class:`~repro.fleet.router.PlacementRouter`, then every shard's
-    sub-stream is consolidated on its own ``RobustBestFit`` — in
-    memory, like every other bench scenario (the durable fleet with
-    WAL + crash drills is :func:`repro.fleet.soak.run_fleet_soak`).
-    Two rates come out:
+    The bench stream is drawn lazily
+    (:func:`~repro.workloads.sequences.stream_tenants`), routed
+    ``window`` tenants at a time through a deterministic
+    :class:`~repro.fleet.router.PlacementRouter`, and each window's
+    per-shard groups are admitted through ``place_batch`` on the
+    shard's own ``RobustBestFit`` — in memory, like every other bench
+    scenario (the durable fleet with WAL + crash drills is
+    :func:`repro.fleet.soak.run_fleet_soak`), and never with more
+    than one window of the stream resident.  Two rates come out:
 
     * ``tenants_per_second`` — the full stream over the summed shard
       time, i.e. what one core executing shards back to back sustains;
@@ -141,41 +163,41 @@ def fleet_scenario(n_tenants: int, shards: int,
       the "sharding beats one big controller" claim is about).
 
     ``servers`` and ``utilization`` are deterministic, like every
-    other scenario.
+    other scenario: routing depends only on admission order, and
+    batched admission is bit-identical to sequential placement.
     """
     if rounds < 1:
         raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
     if shards < 1:
         raise ConfigurationError(f"shards must be >= 1, got {shards}")
     from ..fleet.router import PlacementRouter
-
-    sequence = bench_sequence(n_tenants)
-    router = PlacementRouter(shards, policy=policy, seed=BENCH_SEED)
-    routed = router.route_stream(list(sequence))
-    assignments: Dict[int, List] = {s: [] for s in range(shards)}
-    for shard, tenant in routed:
-        assignments[shard].append(tenant)
+    from ..workloads.sequences import stream_tenants
 
     best_wall = None
     best_aggregate = 0.0
     algos = None
     for _ in range(rounds):
-        shard_seconds: List[float] = []
-        round_algos = []
-        for shard in range(shards):
-            algo = RobustBestFit(gamma=2)
-            start = time.perf_counter()
-            for tenant in assignments[shard]:
-                algo.place(tenant)
-            shard_seconds.append(time.perf_counter() - start)
-            round_algos.append(algo)
+        router = PlacementRouter(shards, policy=policy,
+                                 seed=BENCH_SEED, batch_size=window)
+        stream = stream_tenants(UniformLoad(BENCH_DISTRIBUTION_MAX),
+                                n_tenants, seed=BENCH_SEED)
+        round_algos = [RobustBestFit(gamma=2) for _ in range(shards)]
+        shard_seconds = [0.0] * shards
+        shard_counts = [0] * shards
+        for groups in router.stream(stream):
+            for shard in sorted(groups):
+                members = groups[shard]
+                start = time.perf_counter()
+                round_algos[shard].place_batch(members)
+                shard_seconds[shard] += time.perf_counter() - start
+                shard_counts[shard] += len(members)
         wall = sum(shard_seconds)
         if best_wall is None or wall < best_wall:
             best_wall = wall
             best_aggregate = sum(
-                len(assignments[shard]) / max(seconds, 1e-9)
-                for shard, seconds in enumerate(shard_seconds)
-                if assignments[shard])
+                count / max(seconds, 1e-9)
+                for count, seconds in zip(shard_counts, shard_seconds)
+                if count)
             algos = round_algos
     total_load = sum(a.placement.total_load() for a in algos)
     nonempty = sum(a.placement.num_nonempty_servers for a in algos)
@@ -197,7 +219,7 @@ def run_bench(scales: Sequence[int] = DEFAULT_SCALES,
               names: Optional[Sequence[str]] = None,
               fleet_scales: Sequence[tuple] = DEFAULT_FLEET_SCALES,
               progress: Optional[Callable[[str], None]] = None) -> Dict:
-    """Time every scenario at every scale; return the v2 payload.
+    """Time every scenario at every scale; return the v3 payload.
 
     ``jobs > 1`` times the scenarios of each scale on a forked worker
     pool — each worker times in its own process, so wall-clock drops
@@ -205,10 +227,13 @@ def run_bench(scales: Sequence[int] = DEFAULT_SCALES,
     counters) are unaffected.  On a loaded or single-core machine keep
     ``jobs=1`` for the least-noise timings.
 
-    The payload keeps the v1 keys (``n_tenants`` + ``scenarios``)
-    aliased to the *first* scale so existing diff tooling keeps
-    working, and adds per-scale sections plus the feasibility
-    screened/exact ratios.
+    Every scale lives under ``scales`` (timings + packing) and
+    ``feasibility`` (screened/exact ratios); fleet rows under
+    ``fleet``.  The v2 alias block (top-level ``n_tenants`` +
+    ``scenarios`` duplicating the first scale) is gone —
+    :func:`check_against_baseline` still reads both versions.  Fleet
+    rows at :data:`FLEET_SINGLE_ROUND_FLOOR` tenants or more are
+    timed with a single round.
     """
     if not scales:
         raise ConfigurationError("no scales to bench")
@@ -244,28 +269,77 @@ def run_bench(scales: Sequence[int] = DEFAULT_SCALES,
                 f"screened {fp['screened_fraction']:.1%}")
     fleet: Dict[str, Dict] = {}
     for n_tenants, shards in fleet_scales:
-        timing = fleet_scenario(n_tenants, shards, rounds=rounds)
+        fleet_rounds = (1 if n_tenants >= FLEET_SINGLE_ROUND_FLOOR
+                        else rounds)
+        timing = fleet_scenario(n_tenants, shards, rounds=fleet_rounds)
         fleet[f"{n_tenants}x{shards}"] = timing
         say(f"[{n_tenants}] fleet x{shards}: "
             f"{timing['tenants_per_second']:>8,} tenants/s wall, "
             f"{timing['aggregate_tenants_per_second']:>8,} aggregate  "
             f"{timing['servers']:>5} servers  "
             f"util {timing['utilization']:.4f}")
-    first_key = str(scales[0])
     payload = {
         "format": BENCH_FORMAT,
         "version": BENCH_VERSION,
         "rounds": rounds,
         "seed": BENCH_SEED,
         "distribution": f"uniform(0,{BENCH_DISTRIBUTION_MAX}]",
-        "n_tenants": scales[0],
-        "scenarios": per_scale[first_key],
         "scales": per_scale,
         "feasibility": feasibility,
     }
     if fleet:
         payload["fleet"] = fleet
     return payload
+
+
+def packing_fingerprint(placement) -> str:
+    """sha256 over the canonical sorted ``tenant -> servers`` mapping."""
+    canon = json.dumps(
+        sorted((tid, sorted(placement.tenant_servers(tid).items()))
+               for tid in placement.tenant_ids))
+    return hashlib.sha256(canon.encode("ascii")).hexdigest()
+
+
+def batch_identity_check(n_tenants: int = 2000,
+                         names: Optional[Sequence[str]] = None,
+                         batch_sizes: Sequence[int] = (1, 64, 0)
+                         ) -> List[str]:
+    """Assert batched consolidation equals the sequential loop.
+
+    Consolidates the bench workload once per ``batch_size`` (``0``
+    means the algorithm's :attr:`~repro.algorithms.base.
+    OnlinePlacementAlgorithm.DEFAULT_BATCH`) and compares packing
+    fingerprints and server counts against the sequential run
+    (``batch_size=1``).  Returns a list of divergences (empty =
+    bit-identical) — the CI smoke's guard on the batched admission
+    pipeline.
+    """
+    chosen = sorted(names) if names else sorted(FACTORIES)
+    unknown = set(chosen) - set(FACTORIES)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown bench scenarios: {sorted(unknown)}")
+    sequence = bench_sequence(n_tenants)
+    tenants = list(sequence)
+    problems: List[str] = []
+    for name in chosen:
+        results = {}
+        for batch_size in batch_sizes:
+            algo = FACTORIES[name]()
+            algo.consolidate(tenants,
+                             batch_size=batch_size or None)
+            results[batch_size] = (
+                packing_fingerprint(algo.placement),
+                algo.placement.num_servers)
+        base_fp, base_servers = results[batch_sizes[0]]
+        for batch_size, (fp, servers) in results.items():
+            if (fp, servers) != (base_fp, base_servers):
+                problems.append(
+                    f"{name}: batch_size={batch_size or 'default'} "
+                    f"packing ({servers} servers, {fp[:16]}...) "
+                    f"diverges from sequential ({base_servers} "
+                    f"servers, {base_fp[:16]}...)")
+    return problems
 
 
 def check_against_baseline(payload: Dict, baseline: Dict,

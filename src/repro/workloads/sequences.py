@@ -31,6 +31,38 @@ def generate_sequence(distribution: LoadDistribution, n: int,
                           metadata={"n": n})
 
 
+#: Chunk length :func:`stream_tenants` draws per RNG call.
+STREAM_CHUNK = 8192
+
+
+def stream_tenants(distribution: LoadDistribution, n: int,
+                   seed: Optional[int] = None, start_id: int = 0,
+                   chunk: int = STREAM_CHUNK):
+    """Lazily yield the same ``n`` tenants :func:`generate_sequence` builds.
+
+    Loads are drawn ``chunk`` at a time from one generator, so at most
+    one chunk of the sequence is ever resident — the ingestion path
+    for fleet-scale streams (millions of tenants) that must never
+    materialize the whole arrival sequence.  numpy's ``Generator``
+    distributions consume the underlying bit stream per element, so
+    chunked draws reproduce the single ``sample(rng, n)`` call
+    value-for-value: ``list(stream_tenants(d, n, seed))`` equals
+    ``generate_sequence(d, n, seed).tenants`` exactly.
+    """
+    if n < 0:
+        raise ConfigurationError(f"n must be non-negative, got {n}")
+    if chunk < 1:
+        raise ConfigurationError(f"chunk must be >= 1, got {chunk}")
+    rng = np.random.default_rng(seed)
+    emitted = 0
+    while emitted < n:
+        count = min(chunk, n - emitted)
+        loads = distribution.sample(rng, count)
+        for load in loads:
+            yield Tenant(tenant_id=start_id + emitted, load=float(load))
+            emitted += 1
+
+
 def generate_client_counts(distribution: ClientCountDistribution, n: int,
                            seed: Optional[int] = None) -> np.ndarray:
     """Draw ``n`` per-tenant client counts (cluster experiments)."""

@@ -350,3 +350,103 @@ class TestTopPartnerMemoization:
         ps.top_partners(0, 1)
         ps.top_partners(0, 1)
         assert ps.top_partner_recomputes == before + 2
+
+
+class TestResolveWorst:
+    """The CSR mirror's vectorized exact resolver must be bit-identical
+    to the scalar :func:`worst_shared_sum` — same values, not merely
+    close — across bumped siblings, future siblings, and interleaved
+    mutations that stale the CSR rows."""
+
+    def test_empty_ids_and_zero_failures(self):
+        ps = _placement()
+        core = _tracked_core(ps, failures=1)
+        assert core.resolve_worst([], 0.1).shape == (0,)
+        zero = ArrayCore(ps, failures=0, eligibility=True)
+        zero.track(0)
+        assert zero.resolve_worst([0], 0.1)[0] == 0.0
+        zero.close()
+        core.close()
+
+    def test_matches_scalar_reference_fuzz(self):
+        import random
+
+        from repro.algorithms.base import worst_shared_sum
+
+        rng = random.Random(7)
+        for trial in range(40):
+            gamma = rng.randint(1, 4)
+            ps = PlacementState(gamma=gamma)
+            n_servers = rng.randint(gamma + 1, 14)
+            for _ in range(n_servers):
+                ps.open_server()
+            failures = rng.randint(1, 3)
+            core = ArrayCore(ps, failures, eligibility=True)
+            for sid in ps.server_ids:
+                core.track(sid)
+            tid = 0
+            for _ in range(rng.randint(5, 40)):
+                homes = rng.sample(range(n_servers), gamma)
+                try:
+                    ps.place_tenant(Tenant(tid, rng.uniform(0.001, 0.15)),
+                                    homes)
+                except Exception:
+                    continue
+                tid += 1
+                if rng.random() < 0.15 and tid > 1:
+                    try:
+                        ps.remove_tenant(rng.randint(0, tid - 1))
+                    except Exception:
+                        pass
+                if rng.random() < 0.4:
+                    load = rng.uniform(0.001, 0.5)
+                    k = rng.randint(0, min(gamma - 1, n_servers - 1))
+                    chosen = tuple(rng.sample(range(n_servers), k))
+                    future = rng.randint(0, 3)
+                    ids = [s for s in range(n_servers) if s not in chosen]
+                    rng.shuffle(ids)
+                    ids = ids[:rng.randint(1, len(ids))]
+                    core.sync()
+                    got = core.resolve_worst(ids, load, chosen, future)
+                    bumps = ({c: load for c in chosen}
+                             if chosen else None)
+                    extras = [load] * future
+                    for i, sid in enumerate(ids):
+                        want = worst_shared_sum(ps, sid, failures, bumps,
+                                                extras)
+                        assert got[i] == want, (
+                            f"resolve_worst drifted from scalar: trial "
+                            f"{trial} sid {sid}: {got[i]!r} != {want!r}")
+            core.close()
+
+    def test_csr_rows_track_removals(self):
+        ps = _placement(gamma=2, servers=3)
+        core = _tracked_core(ps, failures=1)
+        ps.place_tenant(Tenant(0, 0.2), [0, 1])
+        ps.place_tenant(Tenant(1, 0.3), [0, 2])
+        core.sync()
+        got = core.resolve_worst([0], 0.1)
+        assert got[0] == ps.worst_failover_load(0, 1)
+        ps.remove_tenant(1)
+        core.sync()
+        got = core.resolve_worst([0], 0.1)
+        assert got[0] == ps.worst_failover_load(0, 1)
+        assert int(core._pcnt[0]) == 1
+        core.close()
+
+    def test_column_growth_preserves_rows(self):
+        ps = PlacementState(gamma=2)
+        n = ArrayCore._CSR_COLS + 5
+        for _ in range(n + 1):
+            ps.open_server()
+        core = ArrayCore(ps, failures=2, eligibility=True)
+        for sid in ps.server_ids:
+            core.track(sid)
+        # Give server 0 more partners than the initial CSR width.
+        for tid in range(n):
+            ps.place_tenant(Tenant(tid, 0.01), [0, tid + 1])
+        core.sync()
+        got = core.resolve_worst([0], 0.05)
+        assert got[0] == ps.worst_failover_load(0, 2)
+        assert core._pval.shape[1] >= n
+        core.close()

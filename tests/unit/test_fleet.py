@@ -20,7 +20,8 @@ from repro.errors import (ConfigurationError, ShardDownError,
 from repro.fleet import (FLEET_META_NAME, FleetSoakConfig,
                          PlacementFleet, PlacementRouter,
                          ShardController, read_fleet_meta, rebalance,
-                         run_fleet_soak, shard_directory, stable_hash,
+                         run_fleet_soak, run_streaming_soak,
+                         shard_directory, stable_hash,
                          write_fleet_meta)
 from repro.fleet.rebalance import pick_move
 from repro.obs import MetricsRegistry
@@ -486,3 +487,118 @@ class TestFleetBenchScenario:
         assert len(problems) == 2
         # A run that skipped the fleet section stays compatible.
         assert check_against_baseline({}, base) == []
+
+
+class TestRouterStream:
+    def test_windows_are_bounded_and_cover_the_stream(self):
+        router = PlacementRouter(4, policy="hash", batch_size=16)
+        tenants = (Tenant(tid, 0.1) for tid in range(100))
+        routed = []
+        windows = 0
+        for groups in router.stream(tenants):
+            windows += 1
+            window = sum(len(group) for group in groups.values())
+            assert 0 < window <= 16
+            for shard in groups:
+                routed.extend((shard, t.tenant_id)
+                              for t in groups[shard])
+        assert windows == 7  # six full windows + the 4-tenant tail
+        assert sorted(tid for _, tid in routed) == list(range(100))
+
+    def test_stream_matches_route_stream(self):
+        tenants = [Tenant(tid, 0.05 + (tid % 7) / 10)
+                   for tid in range(60)]
+        streaming = PlacementRouter(3, policy="least-loaded",
+                                    batch_size=8)
+        streamed = [(shard, t.tenant_id)
+                    for groups in streaming.stream(iter(tenants))
+                    for shard, members in groups.items()
+                    for t in members]
+        batch = PlacementRouter(3, policy="least-loaded", batch_size=8)
+        routed = [(shard, t.tenant_id)
+                  for shard, t in batch.route_stream(tenants)]
+        assert streamed == routed
+
+    def test_routing_is_window_size_invariant(self):
+        # Flushes route tenant by tenant in admission order, so the
+        # window length changes when decisions happen, never what they
+        # decide — the invariant that lets the streaming soak pick its
+        # window freely.
+        tenants = [Tenant(tid, 0.05 + (tid % 9) / 20)
+                   for tid in range(90)]
+
+        def assignments(batch_size):
+            router = PlacementRouter(3, policy="least-loaded",
+                                     batch_size=batch_size)
+            return [(t.tenant_id, shard)
+                    for groups in router.stream(iter(tenants))
+                    for shard in sorted(groups)
+                    for t in groups[shard]]
+
+        assert (sorted(assignments(7)) == sorted(assignments(32))
+                == sorted(assignments(90)))
+
+
+class TestStreamingSoak:
+    def test_matches_batch_soak_bit_for_bit(self, tmp_path):
+        # The streaming soak is the batch soak with bounded memory:
+        # same routing, same packings, same per-shard fingerprints —
+        # and at window == batch_size the whole-run fingerprint (which
+        # folds in the router snapshot) matches too.
+        config = FleetSoakConfig(shards=3, tenants=240, batch_size=32)
+        batch = run_fleet_soak(tmp_path / "batch", config)
+        streaming = run_streaming_soak(tmp_path / "stream", config,
+                                       window=32)
+        assert streaming.ok
+        assert [o.fingerprint for o in streaming.outcomes] == \
+            [o.fingerprint for o in batch.outcomes]
+        assert streaming.fingerprint() == batch.fingerprint()
+        assert streaming.placed == batch.placed == 240
+        assert streaming.servers == batch.servers
+
+    def test_window_does_not_change_packings(self, tmp_path):
+        config = FleetSoakConfig(shards=2, tenants=150,
+                                 crash_shard=None)
+        a = run_streaming_soak(tmp_path / "a", config, window=7)
+        b = run_streaming_soak(tmp_path / "b", config, window=64)
+        assert [o.fingerprint for o in a.outcomes] == \
+            [o.fingerprint for o in b.outcomes]
+        assert a.servers == b.servers
+
+    def test_crash_drill_verifies_by_fingerprint(self, tmp_path):
+        result = run_streaming_soak(
+            tmp_path / "soak",
+            FleetSoakConfig(shards=2, tenants=160), window=16)
+        assert result.ok
+        crash = result.crash_outcome
+        assert crash is not None and crash.shard_id == 0
+        assert crash.crash["acked"] > 0
+        assert crash.crash["audit_ok"]
+        assert result.crash_divergences == []
+
+    def test_budgeted_streaming_accounts_for_every_tenant(self, tmp_path):
+        result = run_streaming_soak(
+            tmp_path / "soak",
+            FleetSoakConfig(shards=2, tenants=120, crash_shard=None,
+                            max_servers_per_shard=20),
+            window=16)
+        assert result.ok
+        assert (result.placed + result.spill_placed
+                + result.spill_unplaced == 120)
+        assert result.spill_placed + result.spill_unplaced > 0
+
+    def test_window_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            run_streaming_soak(tmp_path / "soak", window=0)
+
+    def test_report_renders_with_latency(self, tmp_path):
+        result = run_streaming_soak(
+            tmp_path / "soak",
+            FleetSoakConfig(shards=2, tenants=100),
+            obs=MetricsRegistry(), window=32)
+        assert result.latency_p99 is not None
+        assert result.latency_p99 >= result.latency_p50
+        text = str(result)
+        assert "Fleet soak" in text
+        assert "crash drill" in text
+        assert "audits: all clean" in text

@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Profile the admission hot path, phase by phase.
+
+Runs one batched consolidation of the bench workload under cProfile
+and buckets every function's *self* time into the pipeline's four
+phases:
+
+* ``sync``        — array-core refresh/sync + dirty-tracker feeds
+  (mirroring placement mutations into the struct-of-arrays core);
+* ``screen``      — candidate iteration, vectorized batch screening,
+  and the quantized band-screen cache (build/patch/consult);
+* ``exact``       — exact top-``f`` shared-load evaluations: scalar
+  ``worst_shared_sum``, the CSR ``resolve_worst`` kernel, and the
+  ``robust_after_placement`` drivers;
+* ``bookkeeping`` — placement mutation itself (``place``, server
+  add, shared-load index updates, cache invalidation).
+
+Self time (pstats ``tottime``) is used so the phases partition the
+run without double counting callers; everything unmatched lands in
+``other`` (tenant generation, dataclass plumbing, the bench driver).
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_hot_path.py
+    PYTHONPATH=src python tools/profile_hot_path.py \
+        --name cubefit --tenants 20000 --batch-size 1   # sequential
+    PYTHONPATH=src python tools/profile_hot_path.py --top 15
+"""
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.sim.bench import FACTORIES, bench_sequence  # noqa: E402
+
+#: phase -> ((filename substring, function name), ...).  Order
+#: matters: the first phase whose pattern matches claims the function.
+PHASE_PATTERNS = (
+    ("sync", (
+        ("arrays.py", "sync"),
+        ("arrays.py", "refresh"),
+        ("arrays.py", "track"),
+        ("arrays.py", "set_eligible"),
+        ("base.py", "refresh"),
+        ("base.py", "sync"),
+        ("base.py", "begin_batch"),
+        ("base.py", "end_batch"),
+    )),
+    ("screen", (
+        ("arrays.py", "batch_screen"),
+        ("arrays.py", "candidates"),
+        ("base.py", "iter_candidates"),
+        ("base.py", "candidates"),
+        ("base.py", "candidates_by_id"),
+        ("base.py", "_survivors"),
+        ("base.py", "select"),
+        ("base.py", "_band_cache"),
+        ("base.py", "_band_of"),
+        ("base.py", "_build_band_cache"),
+        ("base.py", "_patch_band_caches"),
+    )),
+    ("exact", (
+        ("arrays.py", "resolve_worst"),
+        ("base.py", "worst_shared_sum"),
+        ("base.py", "robust_after_placement"),
+        ("base.py", "batch_robust_after_placement"),
+        ("base.py", "_feasible"),
+    )),
+    ("bookkeeping", (
+        ("placement.py", "place"),
+        ("placement.py", "_touch"),
+        ("placement.py", "open_server"),
+        ("placement.py", "server"),
+        ("server.py", "add"),
+        ("server.py", "remove"),
+        ("tenant.py", "replicas"),
+        ("tenant.py", "replica_load"),
+    )),
+)
+
+
+def classify(filename: str, funcname: str) -> str:
+    for phase, patterns in PHASE_PATTERNS:
+        for file_part, func in patterns:
+            if func == funcname and filename.endswith(file_part):
+                return phase
+    return "other"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="cProfile the admission hot path; report self "
+                    "time per pipeline phase.")
+    parser.add_argument("--name", default="bestfit",
+                        choices=sorted(FACTORIES),
+                        help="scenario to profile (default bestfit)")
+    parser.add_argument("--tenants", type=int, default=10000,
+                        help="sequence length (default 10000)")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="consolidation chunk length (default: "
+                             "the algorithm's DEFAULT_BATCH; 1 = "
+                             "sequential admission)")
+    parser.add_argument("--top", type=int, default=8,
+                        help="functions listed per phase (default 8)")
+    args = parser.parse_args(argv)
+
+    sequence = bench_sequence(args.tenants)
+    tenants = list(sequence)
+    algo = FACTORIES[args.name]()
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    algo.consolidate(tenants, batch_size=args.batch_size)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    phases = {phase: [] for phase, _ in PHASE_PATTERNS}
+    phases["other"] = []
+    total = 0.0
+    for (filename, _line, funcname), row in stats.stats.items():
+        calls, _prim, tottime, _cum = row[0], row[1], row[2], row[3]
+        total += tottime
+        phases[classify(filename, funcname)].append(
+            (tottime, calls, funcname, Path(filename).name))
+
+    batch = (args.batch_size if args.batch_size is not None
+             else algo.DEFAULT_BATCH)
+    print(f"hot-path profile: {args.name}, {args.tenants} tenants, "
+          f"batch_size={batch}, {algo.placement.num_servers} servers")
+    print(f"{'phase':<12} {'self s':>9} {'share':>7}")
+    print("-" * 30)
+    order = [phase for phase, _ in PHASE_PATTERNS] + ["other"]
+    for phase in order:
+        seconds = sum(t for t, *_ in phases[phase])
+        share = seconds / total if total else 0.0
+        print(f"{phase:<12} {seconds:>9.3f} {share:>6.1%}")
+    print("-" * 30)
+    print(f"{'total':<12} {total:>9.3f}")
+    for phase in order:
+        rows = sorted(phases[phase], reverse=True)[:args.top]
+        rows = [r for r in rows if r[0] >= 0.001]
+        if not rows:
+            continue
+        print(f"\n{phase}:")
+        for tottime, calls, funcname, filename in rows:
+            print(f"  {tottime:>8.3f}s {calls:>9,}x  "
+                  f"{filename}:{funcname}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,15 +14,19 @@ Usage::
         # reduced protocol and check against the committed baseline
         # instead of writing; exits 1 on packing drift or gross slowdown
 
-The default run times every scenario at 2,000 and 10,000 tenants
-(override with ``--scales``), records screened-vs-exact feasibility
-counters per scenario, and writes the version-2 schema::
+The default run times every scenario at 2,000, 10,000 and 100,000
+tenants (override with ``--scales``), records screened-vs-exact
+feasibility counters per scenario, and writes the version-3 schema::
 
-    {"format": "repro-bench", "version": 2, "rounds": ...,
-     "n_tenants": 2000, "scenarios": {...},        # first scale (v1 alias)
-     "scales": {"2000": {...}, "10000": {...}},
+    {"format": "repro-bench", "version": 3, "rounds": ...,
+     "scales": {"2000": {...}, "10000": {...}, "100000": {...}},
      "feasibility": {"2000": {"cubefit": {"screened": ..., "exact": ...,
-                                          "screened_fraction": ...}}}}
+                                          "screened_fraction": ...}}},
+     "fleet": {"100000x8": {...}, "1000000x16": {...}}}
+
+Version 3 drops v2's duplicate top-level ``n_tenants`` + ``scenarios``
+alias of the first scale; the ``--quick`` baseline check reads v2 and
+v3 baselines interchangeably.
 
 ``servers``, ``utilization`` and the feasibility counters are
 deterministic and meaningful to diff; throughput numbers are
@@ -39,6 +43,7 @@ sys.path.insert(0, str(_ROOT / "src"))
 
 from repro.sim.bench import (DEFAULT_FLEET_SCALES,  # noqa: E402
                              DEFAULT_ROUNDS, DEFAULT_SCALES,
+                             batch_identity_check,
                              check_against_baseline, run_bench)
 
 QUICK_SCALES = (2000,)
@@ -109,12 +114,17 @@ def main(argv=None):
         baseline = json.loads(args.baseline.read_text())
         problems = check_against_baseline(payload, baseline,
                                           slowdown_tolerance=args.tolerance)
+        # The batched admission pipeline must be invisible: packing
+        # fingerprints at every chunk length equal the sequential loop.
+        problems += batch_identity_check(
+            n_tenants=min(min(scales), 10000), names=names)
         if problems:
             for problem in problems:
                 print(f"BASELINE CHECK FAILED: {problem}",
                       file=sys.stderr)
             return 1
-        print(f"baseline check passed against {args.baseline}")
+        print(f"baseline check passed against {args.baseline} "
+              f"(batch==sequential fingerprints agree)")
         return 0
 
     args.output.write_text(json.dumps(payload, indent=1) + "\n")
