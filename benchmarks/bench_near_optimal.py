@@ -5,9 +5,12 @@ the number of tenants is large" and proves a worst-case ratio below
 1.64 (Theorem 2).  This bench measures the actual gap two ways:
 
 * on **small** instances, against the exact branch-and-bound optimum
-  (`repro.algorithms.offline.optimal_servers`);
+  (`repro.algorithms.offline.optimal_servers`, cross-checked against
+  the certified exact-rational oracle in `repro.analysis.optimum`);
 * on **large** instances, against the weight-based lower bound on OPT
-  (Theorem 2 statement II), where exhaustive search is impossible.
+  (Theorem 2 statement II), where exhaustive search is impossible —
+  plus the certified `[LB, UB]` interval the budgeted oracle still
+  proves at sizes exhaustive search cannot touch.
 """
 
 import numpy as np
@@ -16,6 +19,7 @@ import pytest
 from repro.algorithms.lower_bound import best_lower_bound
 from repro.algorithms.offline import (OfflineFirstFitDecreasing,
                                       optimal_servers)
+from repro.analysis.optimum import SearchBudget, branch_and_bound_optimum
 from repro.core.cubefit import CubeFit
 from repro.core.tenant import make_tenants
 from repro.workloads.distributions import UniformLoad
@@ -63,6 +67,42 @@ def test_offline_ffd_close_to_optimum(benchmark):
     gaps = benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info["ffd_extra_servers"] = gaps
     assert max(gaps) <= 2
+
+
+def test_certified_oracle_agrees_with_float_search(benchmark):
+    """The exact-rational oracle certifies what the float search found
+    — and reports how much of its budget the certification costs."""
+    instances = small_instances()
+
+    def run():
+        return [branch_and_bound_optimum(loads, 2)
+                for loads in instances]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for loads, result in zip(instances, results):
+        assert result.certified
+        assert result.optimum() == optimal_servers(loads, gamma=2)
+    benchmark.extra_info["nodes"] = [r.nodes for r in results]
+
+
+def test_budgeted_oracle_interval_at_scale(benchmark):
+    """Beyond exhaustive reach (24 tenants), the budgeted oracle still
+    returns a certified [LB, UB] interval bracketing CubeFit."""
+    rng = np.random.default_rng(2)
+    loads = list(rng.uniform(0.1, 0.9, 24))
+
+    def run():
+        return branch_and_bound_optimum(
+            loads, 2, budget=SearchBudget(max_nodes=50_000))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    algo = CubeFit(gamma=2, num_classes=5)
+    algo.consolidate(make_tenants(loads))
+    assert result.lower_bound <= result.upper_bound
+    assert algo.placement.num_servers >= result.lower_bound
+    benchmark.extra_info["interval"] = [result.lower_bound,
+                                        result.upper_bound]
+    benchmark.extra_info["cubefit_servers"] = algo.placement.num_servers
 
 
 @pytest.mark.parametrize("n", [2_000, 8_000])

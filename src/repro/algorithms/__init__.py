@@ -10,6 +10,7 @@ from .lower_bound import (capacity_lower_bound, weight_lower_bound,
                           best_lower_bound)
 from .offline import OfflineFirstFitDecreasing, optimal_servers
 from .repack import Repacker, RepackPlan, TenantMigration
+from .mixed import MixedGammaFirstFit
 
 # NOTE: CubeFit lives in repro.core.cubefit (it *is* the paper's core
 # contribution) and registers itself with this package's registry when
@@ -26,5 +27,5 @@ __all__ = [
     "RobustFirstFit", "RobustNextFit", "capacity_lower_bound",
     "weight_lower_bound", "best_lower_bound",
     "OfflineFirstFitDecreasing", "optimal_servers",
-    "Repacker", "RepackPlan", "TenantMigration",
+    "Repacker", "RepackPlan", "TenantMigration", "MixedGammaFirstFit",
 ]

@@ -13,6 +13,11 @@ from .cost import CostModel, C4_4XLARGE_HOURLY_USD, HOURS_PER_YEAR
 from .report import (Table, figure5_table, figure6_table, table1_table,
                      theorem2_table)
 from .diagnostics import explain, PackingReport, ServerBreakdown
+from .optimum import (OptimumResult, SearchBudget, branch_and_bound_optimum,
+                      brute_force_optimum, certified_lower_bound,
+                      assignment_to_placement, BRUTE_FORCE_MAX_TENANTS)
+from .sla import (SlaPolicy, DEFAULT_POLICY, p_violate, p_violate_curve,
+                  cheapest_gamma, gamma_map)
 
 __all__ = [
     "replica_weight", "tenant_weight", "total_weight",
@@ -26,4 +31,9 @@ __all__ = [
     "CostModel", "C4_4XLARGE_HOURLY_USD", "HOURS_PER_YEAR",
     "Table", "figure5_table", "figure6_table", "table1_table",
     "theorem2_table", "explain", "PackingReport", "ServerBreakdown",
+    "OptimumResult", "SearchBudget", "branch_and_bound_optimum",
+    "brute_force_optimum", "certified_lower_bound",
+    "assignment_to_placement", "BRUTE_FORCE_MAX_TENANTS",
+    "SlaPolicy", "DEFAULT_POLICY", "p_violate", "p_violate_curve",
+    "cheapest_gamma", "gamma_map",
 ]

@@ -1,0 +1,561 @@
+"""Exact offline optimum for the robust placement problem.
+
+The paper's "near-optimal" claim is substantiated in
+:mod:`repro.algorithms.lower_bound` by *bounds* on OPT (total capacity,
+Theorem 2's ``W/r`` weight argument).  Bounds only ever show a heuristic
+is at most this far from optimal; this module computes the optimum
+itself, so the optimality *gap* can be reported per workload instead of
+inferred.
+
+The underlying integer program has binary variables
+``assign[tenant, replica, server]`` with
+
+* one row per (tenant, replica): each replica lands on exactly one
+  server, the ``gamma`` replicas of a tenant on pairwise distinct ones;
+* one capacity row per server: the replica loads it hosts sum to at
+  most the unit capacity;
+* one survivability row per (server, failure set): the server's level
+  plus the shared load redirected to it by any ``f`` failed partners
+  stays within capacity.  Shared loads are non-negative, so only the
+  ``f`` *largest* partners constrain — exactly the accounting
+  :meth:`repro.core.placement.PlacementState.worst_failover_load` uses;
+
+minimizing the number of open servers.  Rather than hand the program to
+an external solver (none is available here, and float LP relaxations
+would blur the epsilon semantics the audits pin down), it is solved by
+branch-and-bound over exact :class:`fractions.Fraction` arithmetic in
+the style of :mod:`repro.analysis.competitive`:
+
+* tenants are branched in descending load order; a branch assigns the
+  next tenant a ``gamma``-subset of servers;
+* symmetry is broken on server order — fresh servers are only ever
+  opened "next", so permutations of interchangeable server ids are
+  explored once;
+* branches are pruned against the incumbent and an exact capacity
+  bound on the unplaced remainder; the incumbent is seeded from
+  :class:`repro.algorithms.offline.OfflineFirstFitDecreasing`, and the
+  whole search short-circuits when the incumbent meets
+  :func:`certified_lower_bound`;
+* a node/time budget (:class:`SearchBudget`) degrades gracefully: an
+  exhausted search returns a **certified interval** ``[LB, UB]`` — the
+  incumbent as upper bound, the smallest optimistic bound over the
+  abandoned subtrees as lower bound — never a silently wrong "optimum".
+
+Numeric contract: the oracle measures the *same* packings the float
+heuristics produce.  Replica loads are the exact values of the float
+quotients ``load / gamma`` (each converted to ``Fraction`` losslessly),
+and the feasibility predicate is ``level + worst_failover <= capacity +
+LOAD_EPS`` with the audit's tolerance as an exact rational — so an
+oracle packing always passes :func:`repro.core.validation.audit`, and a
+heuristic can never "beat" the oracle by epsilon-squeezing.
+
+:func:`brute_force_optimum` is the oracle's own test oracle: an
+independent exhaustive enumeration (restricted-growth canonical server
+order, from-scratch feasibility, no load sorting and no bounding
+machinery beyond the trivial server-count cutoff) for up to
+:data:`BRUTE_FORCE_MAX_TENANTS` tenants, differential-tested against
+the branch-and-bound in ``tests/property/test_prop_optimum.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from heapq import nlargest
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import TINY_POLICY_LAST_CLASS
+from ..core.placement import PlacementState
+from ..core.tenant import LOAD_EPS, Tenant
+from ..errors import ConfigurationError
+
+#: Hard cap on :func:`brute_force_optimum` input size — the enumeration
+#: is super-exponential and exists only as a differential reference.
+BRUTE_FORCE_MAX_TENANTS = 6
+
+#: Exact feasibility tolerance: the float audits accept ``slack >=
+#: -LOAD_EPS``, and the oracle mirrors that predicate in rationals.
+EXACT_EPS = Fraction(LOAD_EPS)
+
+_ONE = Fraction(1)
+
+
+@dataclass(frozen=True)
+class SearchBudget:
+    """Resource limits for :func:`branch_and_bound_optimum`.
+
+    ``max_nodes`` caps the number of search-tree nodes expanded;
+    ``max_seconds`` caps wall-clock time (checked every few hundred
+    nodes).  ``None`` means unlimited.  An exhausted budget does not
+    fail the solve — it degrades the result to a certified interval.
+    """
+
+    max_nodes: Optional[int] = 200_000
+    max_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_nodes is not None and self.max_nodes < 1:
+            raise ConfigurationError(
+                f"max_nodes must be >= 1, got {self.max_nodes}")
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise ConfigurationError(
+                f"max_seconds must be positive, got {self.max_seconds}")
+
+
+@dataclass
+class OptimumResult:
+    """Outcome of an exact (or budget-limited) optimum solve.
+
+    ``lower_bound == upper_bound`` means the optimum is certified:
+    ``servers`` is OPT and ``assignment`` attains it.  Otherwise the
+    search ran out of budget and OPT is certified to lie in
+    ``[lower_bound, upper_bound]``, with ``assignment`` attaining the
+    upper bound.
+    """
+
+    gamma: int
+    failures: int
+    lower_bound: int
+    upper_bound: int
+    #: Search-tree nodes expanded (0 when the seed already met the
+    #: certified lower bound).
+    nodes: int = 0
+    #: True iff the budget ran out before the search space was closed.
+    exhausted: bool = False
+    #: Per-tenant server ids, in the *input* load order; entry ``i`` is
+    #: the sorted tuple of servers hosting tenant ``i``'s replicas.
+    assignment: Tuple[Tuple[int, ...], ...] = field(default_factory=tuple)
+
+    @property
+    def certified(self) -> bool:
+        """Whether ``upper_bound`` is proven optimal."""
+        return self.lower_bound == self.upper_bound
+
+    @property
+    def servers(self) -> int:
+        """Server count of the best packing found (OPT when certified)."""
+        return self.upper_bound
+
+    def optimum(self) -> int:
+        """The certified optimum; raises if only an interval is known."""
+        if not self.certified:
+            raise ConfigurationError(
+                f"optimum not certified: search exhausted with "
+                f"OPT in [{self.lower_bound}, {self.upper_bound}]")
+        return self.upper_bound
+
+    def __str__(self) -> str:
+        status = "OPT" if self.certified else "OPT in"
+        interval = (str(self.upper_bound) if self.certified
+                    else f"[{self.lower_bound}, {self.upper_bound}]")
+        return (f"OptimumResult({status} {interval}; gamma={self.gamma}, "
+                f"failures={self.failures}, nodes={self.nodes}"
+                f"{', exhausted' if self.exhausted else ''})")
+
+
+def certified_lower_bound(loads: Sequence[float], gamma: int,
+                          failures: Optional[int] = None,
+                          num_classes: int = 10) -> int:
+    """Best lower bound on OPT that is valid for this failure budget.
+
+    The capacity bound holds for any packing.  Theorem 2's ``W/r``
+    weight bound additionally requires a *valid robust* packing at the
+    full failure budget with real replication — it is only applied when
+    ``gamma >= 2`` and ``failures == gamma - 1``.
+    """
+    f = _validate(loads, gamma, failures)
+    from ..algorithms.lower_bound import (best_lower_bound,
+                                          capacity_lower_bound)
+    if gamma >= 2 and f == gamma - 1:
+        return best_lower_bound(loads, gamma, num_classes,
+                                TINY_POLICY_LAST_CLASS)
+    return capacity_lower_bound(loads)
+
+
+def _validate(loads: Sequence[float], gamma: int,
+              failures: Optional[int]) -> int:
+    """Shared argument validation; returns the effective failure budget."""
+    if gamma < 1:
+        raise ConfigurationError(f"gamma must be >= 1, got {gamma}")
+    f = gamma - 1 if failures is None else failures
+    if f < 0:
+        raise ConfigurationError(
+            f"failures must be non-negative, got {f}")
+    for i, load in enumerate(loads):
+        if not load > 0.0:
+            raise ConfigurationError(
+                f"tenant loads must be positive, got {load!r} "
+                f"at index {i}")
+    return f
+
+
+def _replica_fractions(loads: Sequence[float], gamma: int,
+                       f: int) -> List[Fraction]:
+    """Exact per-replica loads, rejecting unpackable tenants.
+
+    A tenant's own servers each carry one replica plus, in the worst
+    failure set, ``min(f, gamma - 1)`` sibling shares — no packing can
+    do better, so ``r * (1 + min(f, gamma - 1)) <= 1 + eps`` is a
+    per-tenant packability requirement (and, met, makes the one-tenant-
+    per-server-group packing feasible).
+    """
+    replicas: List[Fraction] = []
+    factor = 1 + min(f, gamma - 1)
+    for i, load in enumerate(loads):
+        r = Fraction(load / gamma)
+        if r * factor > _ONE + EXACT_EPS:
+            raise ConfigurationError(
+                f"tenant load {load!r} (index {i}) cannot be packed "
+                f"robustly at gamma={gamma}, failures={f}: each replica "
+                f"of {load / gamma:.6g} implies a worst-case level of "
+                f"{float(r * factor):.6g} > capacity 1")
+        replicas.append(r)
+    return replicas
+
+
+def _scaled_ints(replicas: Sequence[Fraction]) -> Tuple[List[int], int]:
+    """Rescale exact replica loads to integers over a common denominator.
+
+    Every replica load is the exact value of an IEEE-754 quotient, and
+    ``LOAD_EPS`` is itself a float, so all denominators are powers of
+    two; their lcm is simply the largest one.  Returns the scaled loads
+    and the scaled feasibility limit ``capacity + LOAD_EPS``.  The hot
+    search loop then runs entirely on machine-speed big-int add/compare
+    while staying bit-for-bit equivalent to ``Fraction`` arithmetic.
+    """
+    denom = max([EXACT_EPS.denominator]
+                + [r.denominator for r in replicas])
+    scaled = [r.numerator * (denom // r.denominator) for r in replicas]
+    limit = denom + EXACT_EPS.numerator * (denom // EXACT_EPS.denominator)
+    return scaled, limit
+
+
+class _ExactPacking:
+    """Incremental exact shared-load state over open servers.
+
+    The rational twin of :class:`~repro.core.placement.PlacementState`,
+    reduced to what the search needs: per-server levels, pairwise
+    shared loads, and the top-``f`` feasibility test — all in the
+    common-denominator integer domain of :func:`_scaled_ints`.
+    """
+
+    __slots__ = ("failures", "limit", "levels", "shared")
+
+    def __init__(self, failures: int, limit: int) -> None:
+        self.failures = failures
+        self.limit = limit
+        self.levels: List[int] = []
+        self.shared: List[Dict[int, int]] = []
+
+    def open_through(self, count: int) -> None:
+        while len(self.levels) < count:
+            self.levels.append(0)
+            self.shared.append({})
+
+    def place(self, servers: Sequence[int], r: int) -> None:
+        levels = self.levels
+        shared = self.shared
+        for s in servers:
+            levels[s] += r
+        for a, b in itertools.combinations(servers, 2):
+            shared[a][b] = shared[a].get(b, 0) + r
+            shared[b][a] = shared[b].get(a, 0) + r
+
+    def unplace(self, servers: Sequence[int], r: int) -> None:
+        levels = self.levels
+        shared = self.shared
+        for s in servers:
+            levels[s] -= r
+        for a, b in itertools.combinations(servers, 2):
+            shared[a][b] -= r
+            if not shared[a][b]:
+                del shared[a][b]
+            shared[b][a] -= r
+            if not shared[b][a]:
+                del shared[b][a]
+
+    def robust(self, server: int) -> bool:
+        """The survivability row of ``server``, over its worst
+        ``failures``-subset of partners (exact integer compare)."""
+        worst = self.levels[server]
+        shared = self.shared[server]
+        f = self.failures
+        if f > 0 and shared:
+            if len(shared) <= f:
+                worst += sum(shared.values())
+            else:
+                worst += sum(nlargest(f, shared.values()))
+        return worst <= self.limit
+
+    def feasible_after(self, servers: Sequence[int], r: int) -> bool:
+        """Place, check exactly the touched survivability rows, keep
+        the placement on success (roll back on failure).
+
+        Placing a tenant changes levels and shared loads of *its*
+        servers only, so those are the only rows that can newly fail.
+        """
+        self.place(servers, r)
+        if all(self.robust(s) for s in servers):
+            return True
+        self.unplace(servers, r)
+        return False
+
+
+def _exactly_feasible(assignment: Sequence[Sequence[int]],
+                      scaled: Sequence[int], limit: int,
+                      failures: int) -> bool:
+    """From-scratch exact feasibility of a complete assignment."""
+    if not assignment:
+        return True
+    packing = _ExactPacking(failures, limit)
+    packing.open_through(max(max(s) for s in assignment) + 1)
+    for servers, r in zip(assignment, scaled):
+        packing.place(servers, r)
+    return all(packing.robust(s) for s in range(len(packing.levels)))
+
+
+def _seed_incumbent(loads: Sequence[float], gamma: int, f: int,
+                    scaled: Sequence[int], limit: int
+                    ) -> Tuple[int, List[Tuple[int, ...]]]:
+    """An exactly-feasible packing to start the search from.
+
+    Tries offline FFD (a strong heuristic upper bound); if its float
+    packing fails the exact predicate (possible only within a float
+    rounding error of the tolerance boundary), falls back to the
+    always-feasible one-tenant-per-server-group packing.
+    """
+    from ..algorithms.offline import OfflineFirstFitDecreasing
+    ffd = OfflineFirstFitDecreasing(gamma=gamma, failures=f)
+    ffd.consolidate(Tenant(tenant_id=i, load=load)
+                    for i, load in enumerate(loads))
+    assignment = [tuple(sorted(ffd.placement.tenant_servers(i).values()))
+                  for i in range(len(loads))]
+    if _exactly_feasible(assignment, scaled, limit, f):
+        return ffd.placement.num_servers, assignment
+    return (len(loads) * gamma,
+            [tuple(range(i * gamma, (i + 1) * gamma))
+             for i in range(len(loads))])
+
+
+def branch_and_bound_optimum(loads: Sequence[float], gamma: int,
+                             failures: Optional[int] = None,
+                             budget: Optional[SearchBudget] = None,
+                             num_classes: int = 10) -> OptimumResult:
+    """Minimum servers of a robust packing of ``loads``, exactly.
+
+    Returns a certified :class:`OptimumResult` when the search closes
+    (``certified`` true, ``servers`` is OPT), or a certified interval
+    when ``budget`` runs out first.  See the module docstring for the
+    model and the search design.
+    """
+    f = _validate(loads, gamma, failures)
+    if budget is None:
+        budget = SearchBudget()
+    if not loads:
+        return OptimumResult(gamma=gamma, failures=f,
+                             lower_bound=0, upper_bound=0)
+    scaled_in, limit = _scaled_ints(_replica_fractions(loads, gamma, f))
+    global_lb = max(1, certified_lower_bound(loads, gamma, f, num_classes))
+    seed_count, seed_assignment = _seed_incumbent(loads, gamma, f,
+                                                  scaled_in, limit)
+    if seed_count <= global_lb:
+        return OptimumResult(gamma=gamma, failures=f,
+                             lower_bound=seed_count,
+                             upper_bound=seed_count,
+                             assignment=tuple(seed_assignment))
+
+    order = sorted(range(len(loads)), key=lambda i: (-loads[i], i))
+    replicas = [scaled_in[i] for i in order]
+    n = len(replicas)
+    packing = _ExactPacking(f, limit)
+    best_count = [seed_count]
+    best_assignment: List[List[Tuple[int, ...]]] = [list(seed_assignment)]
+    current: List[Tuple[int, ...]] = [()] * n
+    nodes = [0]
+    exhausted = [False]
+    #: Smallest optimistic bound over budget-abandoned subtrees; OPT
+    #: cannot be below min(incumbent, this).
+    abandoned_lb = [seed_count]
+    deadline = (time.monotonic() + budget.max_seconds
+                if budget.max_seconds is not None else None)
+    max_nodes = budget.max_nodes
+
+    def out_of_budget() -> bool:
+        if max_nodes is not None and nodes[0] >= max_nodes:
+            return True
+        if deadline is not None and nodes[0] % 256 == 0 \
+                and time.monotonic() > deadline:
+            return True
+        return False
+
+    def node_bound(index: int, open_servers: int) -> int:
+        """Exact optimistic bound on any completion of this node.
+
+        The capacity argument per node reduces to a constant: open
+        servers hold exactly the placed prefix load, so ``open + extra
+        servers for the remainder`` telescopes to ``ceil(total replica
+        load)`` — which :func:`certified_lower_bound` already covers.
+        What remains node-specific is the open-server count itself and
+        the distinctness requirement: every unplaced tenant needs
+        ``gamma`` pairwise-distinct servers.
+        """
+        if index < n:
+            open_servers = max(open_servers, gamma)
+        return max(open_servers, global_lb)
+
+    def recurse(index: int, open_servers: int) -> None:
+        if best_count[0] <= global_lb:
+            return  # incumbent provably optimal; unwind
+        if index == n:
+            best_count[0] = open_servers
+            best_assignment[0] = list(current)
+            return
+        if out_of_budget():
+            exhausted[0] = True
+            abandoned_lb[0] = min(abandoned_lb[0],
+                                  node_bound(index, open_servers))
+            return
+        nodes[0] += 1
+        bound = node_bound(index, open_servers)
+        if bound >= best_count[0]:
+            return
+        r = replicas[index]
+        # Branch on how many fresh servers this tenant opens; fresh ids
+        # are consecutive from ``open_servers`` (symmetry breaking).
+        for new in range(0, gamma + 1):
+            existing_needed = gamma - new
+            if existing_needed > open_servers:
+                continue
+            total = open_servers + new
+            if total >= best_count[0]:
+                break  # more fresh servers only grows ``total``
+            packing.open_through(total)
+            fresh = tuple(range(open_servers, total))
+            for existing in itertools.combinations(range(open_servers),
+                                                   existing_needed):
+                servers = existing + fresh
+                if not packing.feasible_after(servers, r):
+                    continue
+                current[index] = servers
+                recurse(index + 1, total)
+                packing.unplace(servers, r)
+                if exhausted[0]:
+                    # This node's entry bound covers every unexplored
+                    # sibling branch; record it and unwind fast.
+                    abandoned_lb[0] = min(abandoned_lb[0], bound)
+                    return
+                if best_count[0] <= global_lb:
+                    return
+
+    recurse(0, 0)
+
+    upper = best_count[0]
+    if exhausted[0]:
+        lower = max(global_lb, min(upper, abandoned_lb[0]))
+    else:
+        lower = upper
+    # Incumbent improvements are strict, so the search-order assignment
+    # is in play iff the seed was beaten; the seed is already in input
+    # order, a found packing is mapped back through ``order``.
+    if upper < seed_count:
+        assignment: List[Tuple[int, ...]] = [()] * n
+        for position, servers in enumerate(best_assignment[0]):
+            assignment[order[position]] = tuple(sorted(servers))
+    else:
+        assignment = [tuple(sorted(s)) for s in seed_assignment]
+    return OptimumResult(gamma=gamma, failures=f, lower_bound=lower,
+                         upper_bound=upper, nodes=nodes[0],
+                         exhausted=exhausted[0],
+                         assignment=tuple(assignment))
+
+
+def brute_force_optimum(loads: Sequence[float], gamma: int,
+                        failures: Optional[int] = None) -> OptimumResult:
+    """Exhaustive exact optimum for tiny instances (≤ 6 tenants).
+
+    Deliberately *independent* of :func:`branch_and_bound_optimum`'s
+    search machinery: tenants are taken in input order (no load
+    sorting), every canonical assignment is enumerated via restricted
+    growth (a fresh server is only ever "the next" id; feasibility is
+    monotone — placing more tenants only adds load and shared load — so
+    infeasible prefixes prune soundly), there is no seeded incumbent, no
+    optimistic node bound and no budget: the only cutoff is the trivial
+    "already using at least as many servers as the best complete
+    packing", and the winning assignment is re-verified from scratch.
+    Used as the oracle's own test oracle.
+    """
+    f = _validate(loads, gamma, failures)
+    if len(loads) > BRUTE_FORCE_MAX_TENANTS:
+        raise ConfigurationError(
+            f"brute_force_optimum is exhaustive; got {len(loads)} "
+            f"tenants (max {BRUTE_FORCE_MAX_TENANTS})")
+    if not loads:
+        return OptimumResult(gamma=gamma, failures=f,
+                             lower_bound=0, upper_bound=0)
+    scaled, limit = _scaled_ints(_replica_fractions(loads, gamma, f))
+    n = len(loads)
+    best = [n * gamma + 1]
+    best_assignment: List[Optional[List[Tuple[int, ...]]]] = [None]
+    prefix: List[Tuple[int, ...]] = []
+    packing = _ExactPacking(f, limit)
+
+    def enumerate_from(index: int, open_servers: int) -> None:
+        if open_servers >= best[0]:
+            return
+        if index == n:
+            best[0] = open_servers
+            best_assignment[0] = list(prefix)
+            return
+        r = scaled[index]
+        for new in range(0, gamma + 1):
+            if gamma - new > open_servers:
+                continue
+            total = open_servers + new
+            if total >= best[0]:
+                continue
+            packing.open_through(total)
+            fresh = tuple(range(open_servers, total))
+            for existing in itertools.combinations(range(open_servers),
+                                                   gamma - new):
+                servers = existing + fresh
+                if not packing.feasible_after(servers, r):
+                    continue
+                prefix.append(servers)
+                enumerate_from(index + 1, total)
+                prefix.pop()
+                packing.unplace(servers, r)
+
+    enumerate_from(0, 0)
+    assert best_assignment[0] is not None  # singleton packing always works
+    assert _exactly_feasible(best_assignment[0], scaled, limit, f)
+    return OptimumResult(
+        gamma=gamma, failures=f, lower_bound=best[0], upper_bound=best[0],
+        assignment=tuple(tuple(sorted(s)) for s in best_assignment[0]))
+
+
+def assignment_to_placement(loads: Sequence[float],
+                            assignment: Sequence[Sequence[int]],
+                            gamma: int) -> PlacementState:
+    """Materialize an oracle assignment as a float
+    :class:`~repro.core.placement.PlacementState` (for the audits).
+
+    Server ids are densified in first-use order; tenant ``i`` gets id
+    ``i``.  The returned placement is exactly what
+    :func:`repro.core.validation.audit` and friends expect.
+    """
+    if len(assignment) != len(loads):
+        raise ConfigurationError(
+            f"assignment covers {len(assignment)} tenants, "
+            f"expected {len(loads)}")
+    placement = PlacementState(gamma=gamma)
+    dense: Dict[int, int] = {}
+    for i, (load, servers) in enumerate(zip(loads, assignment)):
+        targets = []
+        for s in servers:
+            if s not in dense:
+                dense[s] = placement.open_server().server_id
+            targets.append(dense[s])
+        placement.place_tenant(Tenant(tenant_id=i, load=load), targets)
+    return placement

@@ -274,7 +274,8 @@ def _run_bench(args: argparse.Namespace) -> None:
 
 
 def _run_sweep(args: argparse.Namespace) -> None:
-    from .sim.sensitivity import k_sensitivity, mu_sensitivity
+    from .sim.sensitivity import (k_sensitivity, mu_sensitivity,
+                                  sla_sensitivity)
     from .workloads.distributions import UniformLoad
 
     distribution = UniformLoad(0.6)
@@ -292,6 +293,56 @@ def _run_sweep(args: argparse.Namespace) -> None:
     print(f"best K: {best_k.parameter:.0f} ({best_k.servers} servers)")
     _export(args, "sweep_mu", mu_curve.to_table)
     _export(args, "sweep_k", k_curve.to_table)
+    sla_curve = sla_sensitivity(UniformLoad(0.9), n_tenants=args.tenants,
+                                seed=args.seed, jobs=args.jobs)
+    print(f"\n{sla_curve}")
+    best_sla = sla_curve.best()
+    print(f"cheapest robust point: target {best_sla.parameter} "
+          f"({best_sla.servers} servers)")
+    _export(args, "sweep_sla", sla_curve.to_table)
+
+
+#: Instance size the opt-gap command uses when --tenants is left at the
+#: fleet-scale global default: the exact oracle solves 8-tenant
+#: instances in milliseconds, certifying every row.
+OPT_GAP_DEFAULT_TENANTS = 8
+
+#: Largest instance the opt-gap command accepts; beyond this even the
+#: budget-exhausted interval stops being informative.
+OPT_GAP_MAX_TENANTS = 64
+
+
+def _run_opt_gap(args: argparse.Namespace) -> None:
+    from .analysis.optimum import SearchBudget
+    from .sim.optgap import run_opt_gap
+    from .workloads.distributions import (NormalizedClients, UniformLoad,
+                                          ZipfClients)
+
+    if args.gamma < 1:
+        raise ConfigurationError(f"gamma must be >= 1, got {args.gamma}")
+    tenants = args.tenants
+    if tenants == 2000:  # the global default targets sweep-scale runs
+        tenants = OPT_GAP_DEFAULT_TENANTS
+    if tenants > OPT_GAP_MAX_TENANTS:
+        raise ConfigurationError(
+            f"opt-gap solves an exact optimum; --tenants must be <= "
+            f"{OPT_GAP_MAX_TENANTS}, got {tenants}")
+    budget = None
+    if args.budget is not None:
+        budget = SearchBudget(max_nodes=args.budget)
+    distributions = [
+        UniformLoad(0.6),
+        NormalizedClients(ZipfClients(exponent=3.0)),
+    ]
+    report = run_opt_gap(distributions, n_tenants=tenants,
+                         runs=args.runs, gamma=args.gamma,
+                         seed=args.seed, budget=budget, jobs=args.jobs)
+    print(report)
+    if report.certified_rows < len(report.rows):
+        print(f"[{len(report.rows) - report.certified_rows} row(s) hit "
+              f"the node budget: their optimum column is a certified "
+              f"[LB, UB] interval and their gap an upper bound]")
+    _export(args, "opt_gap", report.to_table)
 
 
 def _run_chaos(args: argparse.Namespace) -> None:
@@ -503,6 +554,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "chaos": _run_chaos,
     "bench": _run_bench,
     "sweep": _run_sweep,
+    "opt-gap": _run_opt_gap,
     "scaling": _run_scaling,
     "churn": _run_churn,
     "explain": _run_explain,
@@ -605,6 +657,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--shard-id", type=int, default=None,
                         help="shard id this serve daemon runs as "
                              "(reported by the stats verb)")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="independent seeded instances per "
+                             "distribution for the opt-gap command "
+                             "(default 3)")
+    parser.add_argument("--budget", type=int, default=None,
+                        help="node budget for the opt-gap exact solver;"
+                             " exhausted solves report a certified "
+                             "[LB, UB] interval (default: the solver's "
+                             "200000-node budget)")
     args = parser.parse_args(argv)
 
     from .par import validate_jobs
@@ -629,6 +690,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         start = time.perf_counter()
         try:
             _COMMANDS[name](args)
+            print(f"[{name}: {time.perf_counter() - start:.1f}s]\n")
         except KeyboardInterrupt:
             # Ctrl-C is an operator decision, not a crash: one line on
             # stderr and the conventional 128+SIGINT exit status.
@@ -650,7 +712,6 @@ def main(argv: Optional[List[str]] = None) -> int:
             # exit — never a traceback.
             print(f"repro {name}: error: {err}", file=sys.stderr)
             return 1
-        print(f"[{name}: {time.perf_counter() - start:.1f}s]\n")
     return 0
 
 

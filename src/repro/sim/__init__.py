@@ -12,7 +12,10 @@ from .churn import (ChurnConfig, ChurnSample, ChurnResult, run_churn,
                     run_churn_seeds)
 from .sensitivity import (SensitivityPoint, SensitivityCurve,
                           mu_sensitivity, k_sensitivity, DEFAULT_MUS,
-                          DEFAULT_KS)
+                          DEFAULT_KS, sla_sensitivity,
+                          DEFAULT_SLA_TARGETS)
+from .optgap import (GapRow, GapReport, run_opt_gap,
+                     DEFAULT_GAP_ALGORITHMS)
 from .elasticity import (ElasticityConfig, ElasticityResult,
                          run_elasticity)
 from .soak import (SoakConfig, SoakResult, run_soak, run_soak_seeds,
@@ -39,7 +42,9 @@ __all__ = [
     "ChurnConfig", "ChurnSample", "ChurnResult", "run_churn",
     "run_churn_seeds",
     "SensitivityPoint", "SensitivityCurve", "mu_sensitivity",
-    "k_sensitivity", "DEFAULT_MUS", "DEFAULT_KS", "ElasticityConfig",
+    "k_sensitivity", "DEFAULT_MUS", "DEFAULT_KS", "sla_sensitivity",
+    "DEFAULT_SLA_TARGETS", "GapRow", "GapReport", "run_opt_gap",
+    "DEFAULT_GAP_ALGORITHMS", "ElasticityConfig",
     "ElasticityResult", "run_elasticity", "SoakConfig", "SoakResult",
     "run_soak", "run_soak_seeds", "DEFAULT_MIX",
     "ChaosConfig", "ChaosReport", "FaultEvent", "SOAK_FAILPOINTS",

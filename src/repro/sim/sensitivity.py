@@ -11,6 +11,11 @@ are evidence instead of folklore:
   the interleaving headroom entirely.
 * :func:`k_sensitivity` — servers used by CUBEFIT as a function of K
   (complements the ablation bench with a full curve).
+* :func:`sla_sensitivity` — servers used by the mixed-gamma first-fit
+  path as a function of the fleet-wide SLA violation target: each point
+  derives a per-tenant gamma plan via
+  :func:`repro.analysis.sla.gamma_map` and consolidates under it,
+  charting the cost of tighter availability.
 """
 
 from __future__ import annotations
@@ -138,4 +143,51 @@ def k_sensitivity(distribution: LoadDistribution,
             utilization=algo.placement.utilization())
 
     curve.points.extend(pmap(measure, ks, jobs=jobs, obs=obs))
+    return curve
+
+
+DEFAULT_SLA_TARGETS: Sequence[float] = (0.1, 0.05, 0.01, 0.005, 0.001)
+
+
+def sla_sensitivity(distribution: LoadDistribution,
+                    n_tenants: int = 2000,
+                    targets: Sequence[float] = DEFAULT_SLA_TARGETS,
+                    gamma: int = 2,
+                    seed: int = 0,
+                    jobs: int = 1,
+                    obs=None,
+                    policy=None) -> SensitivityCurve:
+    """Sweep the fleet-wide SLA target under mixed-gamma placement.
+
+    Each point maps the sequence's tenants through
+    :func:`~repro.analysis.sla.gamma_map` (cheapest gamma meeting
+    ``target`` under ``policy``, default :data:`DEFAULT_POLICY`) and
+    consolidates with
+    :class:`~repro.algorithms.mixed.MixedGammaFirstFit`; ``gamma`` is
+    the fallback for tenants the policy leaves unmapped (none, here).
+    Parallelizes exactly like :func:`mu_sensitivity`.
+    """
+    from ..algorithms.mixed import MixedGammaFirstFit
+    from ..analysis.sla import DEFAULT_POLICY, gamma_map
+
+    if not targets:
+        raise ConfigurationError("no SLA targets to sweep")
+    if policy is None:
+        policy = DEFAULT_POLICY
+    sequence = generate_sequence(distribution, n_tenants, seed=seed)
+    curve = SensitivityCurve(parameter_name="sla_target",
+                             distribution=distribution.name,
+                             tenants=n_tenants)
+
+    def measure(target: float, point_obs) -> SensitivityPoint:
+        plan = gamma_map(sequence, target, policy)
+        algo = MixedGammaFirstFit(plan, gamma=gamma)
+        algo.attach_obs(point_obs)
+        algo.consolidate(sequence)
+        return SensitivityPoint(
+            parameter=target,
+            servers=algo.placement.num_servers,
+            utilization=algo.placement.utilization())
+
+    curve.points.extend(pmap(measure, targets, jobs=jobs, obs=obs))
     return curve

@@ -396,6 +396,96 @@ class TestFleetCommands:
         assert "audits all clean" in out
 
 
+class TestOptGapCommand:
+    """`repro opt-gap` regression: gap tables on two distributions, the
+    one-line-stderr/exit-1 convention for bad arguments, certified
+    [LB, UB] intervals under --budget exhaustion, and a repro line that
+    round-trips through the parser."""
+
+    def test_reports_gaps_for_default_heuristics(self, capsys):
+        assert cli.main(["opt-gap"]) == 0
+        out = capsys.readouterr().out
+        assert "optimality gap vs exact oracle" in out
+        for name in ("cubefit", "rfi", "firstfit"):
+            assert f"{name} gap" in out
+        # Both workload families appear.
+        assert "uniform(0,0.6]" in out
+        assert "zipf(3)" in out
+        assert "reproduce: repro opt-gap" in out
+
+    def test_budget_exhaustion_prints_certified_interval(self, capsys):
+        assert cli.main(["opt-gap", "--tenants", "14",
+                         "--runs", "1", "--budget", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "[" in out.split("optimum")[1]  # interval in the table
+        assert "hit the node budget" in out
+        assert "certified" in out
+
+    def test_repro_line_round_trips(self, capsys):
+        assert cli.main(["opt-gap", "--tenants", "7", "--runs", "2",
+                         "--seed", "3"]) == 0
+        first = capsys.readouterr().out
+        line = next(l for l in first.splitlines()
+                    if l.startswith("reproduce: "))
+        argv = line.removeprefix("reproduce: repro ").split()
+        assert cli.main(argv) == 0
+        second = capsys.readouterr().out
+
+        def table_of(text):
+            lines = text.splitlines()
+            start = next(i for i, l in enumerate(lines)
+                         if "optimality gap" in l)
+            end = next(i for i, l in enumerate(lines)
+                       if l.startswith("reproduce: "))
+            return lines[start:end + 1]
+
+        assert table_of(first) == table_of(second)
+
+    def test_bad_budget_one_line_error(self, capsys):
+        assert cli.main(["opt-gap", "--budget", "0"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("repro opt-gap: error:")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_bad_runs_one_line_error(self, capsys):
+        assert cli.main(["opt-gap", "--runs", "0"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("repro opt-gap: error:")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_oversized_instance_one_line_error(self, capsys):
+        assert cli.main(["opt-gap", "--tenants", "65"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("repro opt-gap: error:")
+        assert "exact optimum" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_bad_gamma_one_line_error(self, capsys):
+        assert cli.main(["opt-gap", "--gamma", "0"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("repro opt-gap: error:")
+
+    def test_csv_export(self, tmp_path, capsys):
+        assert cli.main(["opt-gap", "--runs", "1", "--csv",
+                         str(tmp_path)]) == 0
+        text = (tmp_path / "opt_gap.csv").read_text()
+        assert text.splitlines()[0].startswith("distribution,seed")
+
+
+class TestSweepCommand:
+    def test_sweep_includes_sla_curve(self, capsys):
+        assert cli.main(["sweep", "--tenants", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "sla_target sensitivity" in out
+        assert "cheapest robust point" in out
+
+    def test_sweep_sla_csv_export(self, tmp_path, capsys):
+        assert cli.main(["sweep", "--tenants", "60", "--csv",
+                         str(tmp_path)]) == 0
+        assert (tmp_path / "sweep_sla.csv").exists()
+
+
 class TestKeyboardInterrupt:
     """Ctrl-C during any subcommand: one line on stderr, exit 130,
     never a traceback — the regression where a KeyboardInterrupt
@@ -470,19 +560,60 @@ cli._COMMANDS["metrics"] = hung_up
 print(f"rc={cli.main(['metrics'])}", file=sys.stderr)
 """
 
-    def test_broken_pipe_exits_141_quietly(self):
+    # The command itself succeeds, and the pipe dies just before the
+    # trailing `[name: 0.0s]` timing line — `repro opt-gap | grep -q`
+    # hits exactly this once grep has matched and hung up.  The
+    # timing print runs inside the handler's try block, so this must
+    # still be the quiet 141 exit, not a traceback.
+    _TIMING_SCRIPT = """\
+import sys
+
+import repro.cli as cli
+
+real = sys.stdout
+
+
+class DeadPipe:
+    def write(self, s):
+        raise BrokenPipeError
+
+    def flush(self):
+        pass
+
+    def fileno(self):
+        return real.fileno()
+
+
+def hang_up_after(args):
+    sys.stdout = DeadPipe()
+
+
+cli._COMMANDS["metrics"] = hang_up_after
+print(f"rc={cli.main(['metrics'])}", file=sys.stderr)
+"""
+
+    @staticmethod
+    def _run_scratch(script):
         src_root = str(Path(cli.__file__).resolve().parents[1])
         env = dict(os.environ)
         parts = [src_root] + [p for p in
                               env.get("PYTHONPATH", "").split(
                                   os.pathsep) if p]
         env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
-        proc = subprocess.run(
-            [sys.executable, "-c", self._SCRIPT],
+        return subprocess.run(
+            [sys.executable, "-c", script],
             capture_output=True, env=env, timeout=60)
+
+    def test_broken_pipe_exits_141_quietly(self):
+        proc = self._run_scratch(self._SCRIPT)
         # The interpreter exits cleanly (shutdown flush lands on
         # devnull, not the dead pipe) and stderr carries nothing but
         # our marker: no traceback, no error line.
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stderr.decode().strip() == "rc=141"
+
+    def test_broken_pipe_on_timing_line_exits_141_quietly(self):
+        proc = self._run_scratch(self._TIMING_SCRIPT)
         assert proc.returncode == 0, proc.stderr
         assert proc.stderr.decode().strip() == "rc=141"
 

@@ -23,6 +23,17 @@ even one replica changes the per-server tenant-set hash.  Regenerate
     print(json.dumps({name: _packing_snapshot(name)
                       for name in ("cubefit", "rfi")}, indent=2))
     EOF
+
+The SLA curves pin the closed-form violation model and the gamma menu
+it implies: a drift in ``p_violate`` silently re-prices every tenant's
+replication factor, so any change must be a conscious one.  Regenerate
+``benchmarks/expected/sla_gamma.json`` via::
+
+    PYTHONPATH=src python - <<'EOF'
+    import json
+    from tests.unit.test_expected_snapshots import _sla_snapshot
+    print(json.dumps(_sla_snapshot(), indent=2))
+    EOF
 """
 
 import hashlib
@@ -80,4 +91,39 @@ def test_golden_packing_matches_snapshot(name):
         f"the {name} packing for the benchmark 2k sequence changed; "
         "if intentional, regenerate benchmarks/expected/"
         "packings_2k.json (snippet in this file's docstring)"
+    )
+
+
+EXPECTED_SLA = _EXPECTED_DIR / "sla_gamma.json"
+
+SLA_GRID = [round(0.05 * i, 2) for i in range(1, 20)]
+SLA_TARGETS = (0.05, 0.01, 0.001)
+
+
+def _sla_snapshot() -> dict:
+    """Violation-probability curves and gamma selections over a load
+    grid, under the default policy (pure closed-form arithmetic)."""
+    from repro.analysis.sla import (DEFAULT_POLICY, gamma_map,
+                                    p_violate_curve)
+    return {
+        "policy": {
+            "failure_prob": DEFAULT_POLICY.failure_prob,
+            "overload": DEFAULT_POLICY.overload,
+            "gammas": list(DEFAULT_POLICY.gammas),
+        },
+        "load_grid": SLA_GRID,
+        "p_violate": {str(g): p_violate_curve(SLA_GRID, g)
+                      for g in DEFAULT_POLICY.gammas},
+        "gamma_map": {str(t): [gamma_map([(0, load)], t)[0]
+                               for load in SLA_GRID]
+                      for t in SLA_TARGETS},
+    }
+
+
+def test_sla_curves_match_snapshot():
+    expected = json.loads(EXPECTED_SLA.read_text())
+    assert _sla_snapshot() == expected, (
+        "the SLA violation model changed; if intentional, regenerate "
+        "benchmarks/expected/sla_gamma.json (snippet in this file's "
+        "docstring)"
     )

@@ -1,0 +1,96 @@
+"""Unit tests for the opt-gap harness and the mixed-gamma sweep."""
+
+import pytest
+
+from repro.analysis.optimum import SearchBudget
+from repro.errors import ConfigurationError
+from repro.sim.optgap import DEFAULT_GAP_ALGORITHMS, run_opt_gap
+from repro.sim.sensitivity import sla_sensitivity
+from repro.workloads.distributions import (NormalizedClients, UniformLoad,
+                                           ZipfClients)
+
+DISTS = [UniformLoad(0.6),
+         NormalizedClients(ZipfClients(exponent=3.0))]
+
+
+class TestRunOptGap:
+    def test_sandwich_holds_on_two_distributions(self):
+        report = run_opt_gap(DISTS, n_tenants=7, runs=2, gamma=2,
+                             seed=5)
+        assert len(report.rows) == len(DISTS) * 2
+        assert report.failures == 1
+        for row in report.rows:
+            assert row.certified
+            assert row.lower_bound == row.upper_bound
+            for name in DEFAULT_GAP_ALGORITHMS:
+                assert row.servers[name] >= row.lower_bound
+                assert row.gap(name) >= 1.0
+        assert report.certified_rows == len(report.rows)
+        assert report.mean_gap("rfi") <= report.worst_gap("rfi")
+
+    def test_gamma3_uses_weakest_guarantee(self):
+        # RFI reserves for one failure regardless of gamma, so the
+        # oracle must be solved at failures=1 — otherwise RFI could
+        # report fewer servers than "OPT".
+        report = run_opt_gap([DISTS[0]], n_tenants=6, runs=1, gamma=3,
+                             seed=0)
+        assert report.failures == 1
+        for row in report.rows:
+            for name in DEFAULT_GAP_ALGORITHMS:
+                assert row.servers[name] >= row.lower_bound
+
+    def test_budget_exhaustion_reports_interval(self):
+        report = run_opt_gap([DISTS[0]], n_tenants=14, runs=1, gamma=2,
+                             seed=1, budget=SearchBudget(max_nodes=3))
+        row = report.rows[0]
+        assert not row.certified
+        assert row.lower_bound < row.upper_bound
+        assert row.optimum_label == \
+            f"[{row.lower_bound}, {row.upper_bound}]"
+        assert "certified" in report.to_table().title
+        assert report.max_nodes == 3
+        assert "--budget 3" in report.repro_line
+
+    def test_parallel_is_bit_identical(self):
+        serial = run_opt_gap(DISTS, n_tenants=6, runs=2, seed=9)
+        parallel = run_opt_gap(DISTS, n_tenants=6, runs=2, seed=9,
+                               jobs=4)
+        assert serial == parallel
+
+    def test_repro_line_carries_parameters(self):
+        report = run_opt_gap([DISTS[0]], n_tenants=6, runs=1, gamma=2,
+                             seed=4)
+        assert report.repro_line == \
+            "repro opt-gap --tenants 6 --runs 1 --gamma 2 --seed 4"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_opt_gap([], n_tenants=6)
+        with pytest.raises(ConfigurationError):
+            run_opt_gap(DISTS, algorithms=())
+        with pytest.raises(ConfigurationError):
+            run_opt_gap(DISTS, runs=0)
+        with pytest.raises(ConfigurationError):
+            run_opt_gap(DISTS, algorithms=("no-such-algorithm",))
+
+
+class TestSlaSensitivity:
+    def test_sweep_tightening_targets(self):
+        curve = sla_sensitivity(UniformLoad(0.9), n_tenants=80, seed=3)
+        assert curve.parameter_name == "sla_target"
+        assert len(curve.points) == 5
+        # Looser targets choose smaller gammas: the loosest point can
+        # never need more servers than the strictest.
+        servers = [p.servers for p in curve.points]
+        assert servers[0] <= max(servers)
+        assert all(p.servers >= 1 for p in curve.points)
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sla_sensitivity(UniformLoad(0.6), n_tenants=10, targets=())
+
+    def test_parallel_is_bit_identical(self):
+        serial = sla_sensitivity(UniformLoad(0.9), n_tenants=60, seed=7)
+        parallel = sla_sensitivity(UniformLoad(0.9), n_tenants=60,
+                                   seed=7, jobs=3)
+        assert serial == parallel

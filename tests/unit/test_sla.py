@@ -1,0 +1,126 @@
+"""Unit tests for the SLA violation model (`repro.analysis.sla`)."""
+
+import math
+
+import pytest
+
+from repro.analysis.sla import (DEFAULT_POLICY, SlaPolicy, cheapest_gamma,
+                                gamma_map, p_violate, p_violate_curve)
+from repro.core.tenant import Tenant
+from repro.errors import ConfigurationError
+
+
+class TestPViolate:
+    def test_gamma_one_is_the_failure_probability(self):
+        # One replica: any failure is total loss, regardless of load.
+        for load in (0.05, 0.5, 0.95):
+            assert p_violate(load, 1) == DEFAULT_POLICY.failure_prob
+
+    def test_light_tenant_gamma_two_needs_both_failures(self):
+        # 0.4 re-shared onto one survivor stays under 0.75: only the
+        # double failure violates.
+        assert math.isclose(p_violate(0.4, 2), 0.05 ** 2)
+
+    def test_heavy_tenant_gamma_two_violates_on_any_failure(self):
+        # 0.8 overloads the lone survivor, so one failure is enough:
+        # p^2 + 2pq.
+        expected = 0.05 ** 2 + 2 * 0.05 * 0.95
+        assert math.isclose(p_violate(0.8, 2), expected)
+
+    def test_replication_can_hurt_a_heavy_tenant(self):
+        # The non-monotone case the module docstring calls out: at 0.8
+        # load, gamma 2 doubles the chance of an overloading failure.
+        assert p_violate(0.8, 2) > p_violate(0.8, 1)
+        assert p_violate(0.8, 3) < p_violate(0.8, 1)
+
+    def test_monotone_in_load(self):
+        for gamma in (1, 2, 3):
+            curve = p_violate_curve([l / 20 for l in range(1, 20)],
+                                    gamma)
+            assert curve == sorted(curve)
+
+    def test_zero_failure_prob_never_violates(self):
+        policy = SlaPolicy(failure_prob=0.0)
+        assert p_violate(0.9, 1, policy) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            p_violate(0.0, 2)
+        with pytest.raises(ConfigurationError):
+            p_violate(0.5, 0)
+
+
+class TestPolicyValidation:
+    def test_bad_failure_prob(self):
+        with pytest.raises(ConfigurationError):
+            SlaPolicy(failure_prob=1.0)
+        with pytest.raises(ConfigurationError):
+            SlaPolicy(failure_prob=-0.1)
+
+    def test_bad_overload(self):
+        with pytest.raises(ConfigurationError):
+            SlaPolicy(overload=0.0)
+
+    def test_bad_gamma_menu(self):
+        with pytest.raises(ConfigurationError):
+            SlaPolicy(gammas=())
+        with pytest.raises(ConfigurationError):
+            SlaPolicy(gammas=(0, 1))
+        with pytest.raises(ConfigurationError, match="ascending"):
+            SlaPolicy(gammas=(2, 1))
+
+
+class TestCheapestGamma:
+    def test_picks_smallest_meeting_target(self):
+        # 0.05 / 0.0025 / 0.000125 for a light tenant.
+        assert cheapest_gamma(0.1, 0.05) == 1
+        assert cheapest_gamma(0.1, 0.01) == 2
+        assert cheapest_gamma(0.1, 0.001) == 3
+
+    def test_falls_back_to_most_reliable(self):
+        # No gamma in the menu reaches 1e-9; argmin p_violate wins.
+        assert cheapest_gamma(0.1, 1e-9) == 3
+        # For a heavy tenant the argmin skips the harmful gamma 2.
+        assert cheapest_gamma(0.8, 1e-9) == 3
+
+    def test_respects_restricted_menu(self):
+        # gamma 1 -> 0.05, gamma 2 -> 0.0025; neither meets 0.001, so
+        # the most reliable allowed choice (2) wins — never gamma 3,
+        # which the menu excludes.
+        policy = SlaPolicy(gammas=(1, 2))
+        assert cheapest_gamma(0.1, 0.001, policy) == 2
+        assert cheapest_gamma(0.1, 0.01, policy) == 2
+        assert cheapest_gamma(0.1, 0.05, policy) == 1
+
+    def test_bad_target(self):
+        with pytest.raises(ConfigurationError):
+            cheapest_gamma(0.5, 0.0)
+        with pytest.raises(ConfigurationError):
+            cheapest_gamma(0.5, 1.5)
+
+
+class TestGammaMap:
+    def test_fleet_wide_target(self):
+        plan = gamma_map([(0, 0.1), (1, 0.4), (2, 0.8)], 0.01)
+        assert plan == {0: 2, 1: 2, 2: 3}
+
+    def test_accepts_tenant_objects(self):
+        tenants = [Tenant(tenant_id=7, load=0.1)]
+        assert gamma_map(tenants, 0.05) == {7: 1}
+
+    def test_per_tenant_targets(self):
+        plan = gamma_map([(0, 0.1), (1, 0.1)], {0: 0.05, 1: 0.001})
+        assert plan == {0: 1, 1: 3}
+
+    def test_missing_per_tenant_target_rejected(self):
+        with pytest.raises(ConfigurationError, match="no SLA target"):
+            gamma_map([(0, 0.1), (1, 0.1)], {0: 0.05})
+
+    def test_tighter_target_never_cheapens_any_tenant(self):
+        loads = [(i, 0.05 + 0.045 * i) for i in range(20)]
+        loose = gamma_map(loads, 0.05)
+        tight = gamma_map(loads, 0.001)
+        for tid, _ in loads:
+            assert tight[tid] >= loose[tid] or \
+                p_violate(dict(loads)[tid], tight[tid]) <= \
+                p_violate(dict(loads)[tid], loose[tid])
